@@ -1,0 +1,30 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures as text rows
+and both prints them and writes them to ``benchmarks/out/<name>.txt`` so the
+reproduced artifacts survive the run (pytest captures stdout by default).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table/series and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavy experiment exactly once (no calibration rounds).
+
+    The benches exist to *regenerate the paper's artifacts* and record the
+    wall-clock cost of one full regeneration; statistical timing rounds
+    would multiply multi-second experiments pointlessly.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,144 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Hourly data vs average-day data** — the paper's Fig. 8 argument for
+   fine-grained time series: averaged supply wildly overstates coverage.
+2. **Battery efficiency loss** — how much of the C/L/C model's fidelity
+   matters: a lossless battery understates grid imports.
+3. **Single-pool vs tier-aware scheduling** — the Fig. 10 extension: how
+   much benefit is lost when each tier honours its real SLO window rather
+   than the single 24-hour pool the paper assumes.
+"""
+
+from _common import emit, run_once
+
+import numpy as np
+
+from repro import CarbonExplorer
+from repro.battery import BatterySpec, CellChemistry, LFP_CYCLE_LIFE_POINTS, simulate_battery
+from repro.grid import RenewableInvestment
+from repro.reporting import format_table, percent
+from repro.scheduling import TierPolicy, policies_from_figure10, simulate_combined, simulate_tiered
+
+LOSSLESS = CellChemistry(
+    name="lossless (ablation)",
+    charge_efficiency=1.0,
+    discharge_efficiency=1.0,
+    max_charge_c_rate=1.0,
+    max_discharge_c_rate=1.0,
+    cycle_life_points=LFP_CYCLE_LIFE_POINTS,
+)
+
+
+def ablation_average_day(explorer) -> str:
+    rows = []
+    for multiple in (2.0, 4.0, 8.0):
+        total = multiple * explorer.avg_power_mw
+        inv = RenewableInvestment(solar_mw=total / 2, wind_mw=total / 2)
+        rows.append(
+            (
+                f"{total:,.0f}",
+                percent(explorer.coverage(inv)),
+                percent(explorer.coverage_with_average_day_supply(inv)),
+            )
+        )
+    return format_table(
+        ["investment MW", "hourly data", "average-day data"],
+        rows,
+        title="Ablation 1: the average-day fallacy (hourly data is essential)",
+    )
+
+
+def ablation_lossless_battery(explorer) -> str:
+    inv = RenewableInvestment(
+        solar_mw=4 * explorer.avg_power_mw, wind_mw=4 * explorer.avg_power_mw
+    )
+    supply = explorer.renewable_supply(inv)
+    rows = []
+    for label, chemistry in (("C/L/C (LFP, 97%/97%)", None), ("lossless", LOSSLESS)):
+        spec = (
+            BatterySpec(5 * explorer.avg_power_mw)
+            if chemistry is None
+            else BatterySpec(5 * explorer.avg_power_mw, chemistry=chemistry)
+        )
+        result = simulate_battery(explorer.demand_power, supply, spec)
+        rows.append(
+            (
+                label,
+                f"{result.grid_import.total():,.0f}",
+                f"{result.discharged_mwh:,.0f}",
+            )
+        )
+    table = format_table(
+        ["battery model", "grid import MWh/yr", "discharged MWh/yr"],
+        rows,
+        title="Ablation 2: efficiency losses in the C/L/C model",
+    )
+    return table
+
+
+def ablation_tiered_vs_pooled(explorer) -> str:
+    inv = RenewableInvestment(
+        solar_mw=3 * explorer.avg_power_mw, wind_mw=3 * explorer.avg_power_mw
+    )
+    supply = explorer.renewable_supply(inv)
+    capacity = explorer.demand_power.max() * 1.5
+    fleet_flexible = 0.40
+
+    pooled = simulate_combined(
+        explorer.demand_power, supply, BatterySpec(0.0), capacity, fleet_flexible
+    )
+    tiered = simulate_tiered(
+        explorer.demand_power,
+        supply,
+        BatterySpec(0.0),
+        capacity,
+        policies=policies_from_figure10(fleet_fraction=fleet_flexible),
+    )
+    single = simulate_tiered(
+        explorer.demand_power,
+        supply,
+        BatterySpec(0.0),
+        capacity,
+        policies=[TierPolicy("pool-24h", fleet_flexible, 24)],
+    )
+    rows = [
+        ("single 24h pool (paper)", f"{pooled.grid_import.total():,.0f}", f"{pooled.deferred_mwh:,.0f}"),
+        ("tier-aware (Fig. 10 windows)", f"{tiered.grid_import.total():,.0f}", f"{tiered.deferred_mwh:,.0f}"),
+        ("tiered engine, one 24h tier", f"{single.grid_import.total():,.0f}", f"{single.deferred_mwh:,.0f}"),
+    ]
+    return format_table(
+        ["scheduler", "grid import MWh/yr", "deferred MWh/yr"],
+        rows,
+        title="Ablation 3: single-pool vs tier-aware scheduling (FWR = 40%)",
+    )
+
+
+def build_ablations() -> str:
+    explorer = CarbonExplorer("UT")
+    return "\n\n".join(
+        [
+            ablation_average_day(explorer),
+            ablation_lossless_battery(explorer),
+            ablation_tiered_vs_pooled(explorer),
+        ]
+    )
+
+
+def test_ablations(benchmark):
+    text = run_once(benchmark, build_ablations)
+    emit("ablations", text)
+    explorer = CarbonExplorer("UT")
+    inv = RenewableInvestment(
+        solar_mw=4 * explorer.avg_power_mw, wind_mw=4 * explorer.avg_power_mw
+    )
+    # Lossless battery must import no more than the lossy one.
+    supply = explorer.renewable_supply(inv)
+    lossy = simulate_battery(
+        explorer.demand_power, supply, BatterySpec(5 * explorer.avg_power_mw)
+    )
+    ideal = simulate_battery(
+        explorer.demand_power,
+        supply,
+        BatterySpec(5 * explorer.avg_power_mw, chemistry=LOSSLESS),
+    )
+    assert ideal.grid_import.total() <= lossy.grid_import.total()

@@ -1,0 +1,86 @@
+"""§5.2 depth-of-discharge study: 100% vs 80% vs 60% DoD.
+
+The paper: 80% DoD extends cycle life by 50% but needs larger packs in the
+carbon-optimal configuration, netting 3-9% lower total carbon; 60% DoD hits
+calendar-life limits.  The trade-off only exists where the battery actually
+cycles daily, so we run it at the solar-only North Carolina site (nightly
+discharge, ~1 equivalent cycle/day — the duty the paper assumes) and also
+report the hybrid-Utah case, where rare cycling lets calendar aging
+dominate and DoD tuning stops paying.
+"""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer, Strategy
+from repro.reporting import format_table, percent
+
+
+def dod_table(state: str, battery_hours) -> str:
+    explorer = CarbonExplorer(state)
+    rows = []
+    baseline_total = None
+    baseline_battery = None
+    for dod in (1.0, 0.8, 0.6):
+        space = explorer.default_space(
+            n_renewable_steps=4,
+            battery_hours=battery_hours,
+            extra_capacity_fractions=(0.0,),
+            depth_of_discharge=dod,
+        )
+        best = explorer.optimize(Strategy.RENEWABLES_BATTERY, space).best
+        if dod == 1.0:
+            baseline_total = best.total_tons
+            baseline_battery = best.design.battery_mwh
+        pack_growth = (
+            (best.design.battery_mwh / baseline_battery - 1.0)
+            if baseline_battery
+            else 0.0
+        )
+        rows.append(
+            (
+                percent(dod, 0),
+                f"{best.design.battery_mwh:,.0f}",
+                f"{pack_growth * 100:+.0f}%",
+                f"{best.battery_cycles_per_day:.2f}",
+                f"{best.battery_embodied_tons:,.0f}",
+                f"{best.total_tons:,.0f}",
+                f"{(best.total_tons / baseline_total - 1.0) * 100:+.1f}%",
+                percent(best.coverage),
+            )
+        )
+    return format_table(
+        [
+            "DoD",
+            "optimal pack MWh",
+            "pack vs 100%",
+            "cycles/day",
+            "battery emb t/yr",
+            "total t/yr",
+            "total vs 100%",
+            "coverage",
+        ],
+        rows,
+        title=f"DoD study (§5.2), carbon-optimal battery strategy, {state}",
+    )
+
+
+def build_dod_study() -> str:
+    nc = dod_table(
+        "NC", battery_hours=(0.0, 4.0, 6.0, 8.0, 11.0, 14.0, 17.0, 20.0, 24.0)
+    )
+    ut = dod_table("UT", battery_hours=(0.0, 2.0, 3.5, 5.0, 7.0, 10.0, 14.0, 20.0))
+    return (
+        nc
+        + "\n\n"
+        + ut
+        + "\n\npaper (daily-cycling assumption): 80% DoD -> +50% cycles, larger"
+        "\npacks, 3-9% lower total carbon.  NC cycles ~daily and shows the"
+        "\ntrade-off; hybrid UT cycles rarely, calendar aging caps every DoD at"
+        "\n27 years, and shallower DoD only shrinks usable capacity."
+    )
+
+
+def test_dod_study(benchmark):
+    text = run_once(benchmark, build_dod_study)
+    emit("dod_study", text)
+    assert "80%" in text and "60%" in text

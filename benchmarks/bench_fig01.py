@@ -1,0 +1,45 @@
+"""Figure 1: hourly wind and solar generation in the California grid over a
+week, highlighting the >3x swing in renewable supply."""
+
+from _common import emit, run_once
+
+from repro.grid import generate_grid_dataset
+from repro.reporting import format_table, spark_bar
+
+
+def build_fig01() -> str:
+    grid = generate_grid_dataset("CISO")
+    calendar = grid.calendar
+    start_day = 70  # a spring week, when CAISO's solar/wind contrast peaks
+    rows = []
+    peak = max(grid.wind.max(), grid.solar.max())
+    for day in range(start_day, start_day + 7):
+        for hour_of_day in range(0, 24, 2):
+            hour = day * 24 + hour_of_day
+            rows.append(
+                (
+                    calendar.label(hour),
+                    f"{grid.wind[hour]:,.0f}",
+                    f"{grid.solar[hour]:,.0f}",
+                    spark_bar((grid.wind[hour] + grid.solar[hour]) / (2 * peak), 24),
+                )
+            )
+    table = format_table(
+        ["time", "wind MW", "solar MW", "wind+solar"],
+        rows,
+        title="Figure 1: hourly wind and solar, California grid, one week",
+    )
+
+    renewables = grid.renewables()
+    week = renewables.window(start_day, 7)
+    swing = week.max() / max(week.min(), 1.0)
+    return table + f"\n\nweekly max/min renewable supply ratio: {swing:,.1f}x (paper: >3x)"
+
+
+def test_fig01(benchmark):
+    text = run_once(benchmark, build_fig01)
+    emit("fig01", text)
+    # The paper's headline: renewable supply swings by more than 3x.
+    grid = generate_grid_dataset("CISO")
+    week = grid.renewables().window(70, 7)
+    assert week.max() / max(week.min(), 1.0) > 3.0

@@ -1,0 +1,49 @@
+"""Figure 3: diurnal CPU fluctuations of Meta and Google datacenters, and
+the correlation between CPU utilization and facility power."""
+
+from _common import emit, run_once
+
+import numpy as np
+
+from repro.core import build_site_context
+from repro.datacenter import meta_and_google_profiles
+from repro.reporting import format_table, percent
+from repro.timeseries import DEFAULT_CALENDAR, pearson_correlation
+
+
+def build_fig03() -> str:
+    meta, google = meta_and_google_profiles(DEFAULT_CALENDAR)
+    meta_profile = meta.average_day_profile()
+    google_profile = google.average_day_profile()
+    rows = [
+        (f"{hour:02d}:00", f"{meta_profile[hour]:.3f}", f"{google_profile[hour]:.3f}")
+        for hour in range(24)
+    ]
+    left = format_table(
+        ["hour", "Meta CPU util", "Google CPU util"],
+        rows,
+        title="Figure 3 (left): average diurnal CPU utilization",
+    )
+
+    context = build_site_context("UT")
+    demand = context.demand
+    correlation = pearson_correlation(demand.utilization.values, demand.power.values)
+    meta_days = meta.values.reshape(-1, 24)
+    google_days = google.values.reshape(-1, 24)
+    right = "\n".join(
+        [
+            "",
+            "Figure 3 (right): utilization vs power",
+            f"  Meta diurnal CPU swing:   {(meta_days.max(axis=1) - meta_days.min(axis=1)).mean():.3f} (paper ~0.20)",
+            f"  Google diurnal CPU swing: {(google_days.max(axis=1) - google_days.min(axis=1)).mean():.3f} (paper ~0.15)",
+            f"  facility power diurnal swing: {percent(demand.diurnal_power_swing())} (paper ~4%)",
+            f"  CPU-power Pearson correlation: {correlation:.4f}",
+        ]
+    )
+    return left + right
+
+
+def test_fig03(benchmark):
+    text = run_once(benchmark, build_fig03)
+    emit("fig03", text)
+    assert "correlation" in text

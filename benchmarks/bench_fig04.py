@@ -1,0 +1,39 @@
+"""Figure 4: wind and solar curtailments rising with renewables on the
+California grid, 2015-2021."""
+
+from _common import emit, run_once
+
+from repro.grid import curtailment_trendline, simulate_historical_curtailment
+from repro.reporting import format_table, percent
+
+
+def build_fig04() -> str:
+    records = simulate_historical_curtailment("CISO")
+    rows = [
+        (
+            record.year,
+            percent(record.solar_curtailed_fraction, 2),
+            percent(record.wind_curtailed_fraction, 2),
+            percent(record.total_curtailed_fraction, 2),
+            percent(record.renewable_share),
+        )
+        for record in records
+    ]
+    table = format_table(
+        ["year", "solar curtailed", "wind curtailed", "total curtailed", "renewable share"],
+        rows,
+        title="Figure 4: historical curtailments in the California grid",
+    )
+    slope, _ = curtailment_trendline(records)
+    return table + (
+        f"\n\ntrendline slope: {slope * 100:.3f} %-points/year (paper: rising; "
+        f"2021 total ~6%)"
+    )
+
+
+def test_fig04(benchmark):
+    text = run_once(benchmark, build_fig04)
+    emit("fig04", text)
+    records = simulate_historical_curtailment("CISO")
+    assert records[-1].total_curtailed_fraction > records[0].total_curtailed_fraction
+    assert 0.01 < records[-1].total_curtailed_fraction < 0.20

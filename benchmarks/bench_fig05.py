@@ -1,0 +1,60 @@
+"""Figure 5: average-day generation profiles and daily-total histograms for
+BPAT (wind, OR), DUK (solar, NC), and PACE (mixed, UT)."""
+
+from _common import emit, run_once
+
+from repro.grid import generate_grid_dataset
+from repro.reporting import format_table, histogram_rows
+from repro.timeseries import best_days_ratio, daily_total_histogram
+
+REGIONS = (
+    ("BPAT", "Oregon — majorly wind"),
+    ("DUK", "North Carolina — solar only"),
+    ("PACE", "Utah — wind and solar mix"),
+)
+
+
+def build_fig05() -> str:
+    sections = []
+    for code, label in REGIONS:
+        grid = generate_grid_dataset(code)
+        wind_day = grid.wind.average_day_profile()
+        solar_day = grid.solar.average_day_profile()
+        rows = [
+            (f"{hour:02d}:00", f"{wind_day[hour]:,.0f}", f"{solar_day[hour]:,.0f}")
+            for hour in range(0, 24, 2)
+        ]
+        profile = format_table(
+            ["hour", "wind MW", "solar MW"],
+            rows,
+            title=f"Figure 5 — {label}: yearly-average day",
+        )
+
+        renewables = grid.renewables()
+        hist = daily_total_histogram(renewables, n_bins=10)
+        histogram = format_table(
+            ["daily total MWh", "days", ""],
+            histogram_rows([c / 1.0 for c in hist.bin_centers], hist.counts),
+            title=f"{label}: histogram of total daily generation",
+        )
+        ratio = best_days_ratio(renewables, 10)
+        sections.append(
+            profile
+            + "\n\n"
+            + histogram
+            + f"\nbest-10-days / average daily energy: {ratio:.2f}x"
+        )
+    return "\n\n".join(sections)
+
+
+def test_fig05(benchmark):
+    text = run_once(benchmark, build_fig05)
+    emit("fig05", text)
+    # The wind region's histogram must be wider than the solar region's.
+    bpat = generate_grid_dataset("BPAT").renewables()
+    duk = generate_grid_dataset("DUK").renewables()
+    from repro.timeseries import coefficient_of_variation
+
+    assert coefficient_of_variation(bpat.daily_totals()) > coefficient_of_variation(
+        duk.daily_totals()
+    )

@@ -1,0 +1,90 @@
+"""Figure 6: hourly operational carbon intensity of datacenter energy-supply
+scenarios — grid mix vs Net Zero vs 24/7 carbon-free."""
+
+from _common import emit, run_once
+
+import numpy as np
+
+from repro import CarbonExplorer
+from repro.battery import BatterySpec
+from repro.carbon import SupplyScenario
+from repro.reporting import format_table
+
+
+def build_fig06() -> str:
+    explorer = CarbonExplorer("UT")
+    # A moderate (6x average power) investment: Meta's actual regional
+    # purchase is ~49x this datacenter's average power and washes out the
+    # scenario differences the figure exists to show.
+    from repro.grid import RenewableInvestment
+
+    avg = explorer.avg_power_mw
+    investment = RenewableInvestment(solar_mw=3 * avg, wind_mw=3 * avg)
+
+    # The 24/7 scenario's residual imports come from a battery simulation.
+    battery = explorer.simulate_battery(
+        investment, BatterySpec(10.0 * explorer.avg_power_mw)
+    )
+    series = {
+        "grid mix": explorer.scenario_intensity(SupplyScenario.GRID_MIX),
+        "net zero": explorer.scenario_intensity(SupplyScenario.NET_ZERO, investment),
+        "24/7": explorer.scenario_intensity(
+            SupplyScenario.CARBON_FREE_247,
+            investment,
+            residual_import=battery.grid_import,
+        ),
+    }
+
+    rows = []
+    for name, intensity in series.items():
+        values = intensity.values
+        rows.append(
+            (
+                name,
+                f"{values.mean():.1f}",
+                f"{np.median(values):.1f}",
+                f"{np.quantile(values, 0.95):.1f}",
+                f"{values.max():.1f}",
+                f"{(values < 1.0).mean() * 100:.1f}%",
+            )
+        )
+    table = format_table(
+        ["scenario", "mean", "median", "p95", "max", "carbon-free hours"],
+        rows,
+        title="Figure 6: hourly operational carbon intensity by supply scenario (gCO2eq/kWh)",
+    )
+
+    # A sample day, hour by hour.
+    day = 40
+    day_rows = []
+    for hour_of_day in range(0, 24, 3):
+        hour = day * 24 + hour_of_day
+        day_rows.append(
+            (
+                f"{hour_of_day:02d}:00",
+                f"{series['grid mix'][hour]:.0f}",
+                f"{series['net zero'][hour]:.0f}",
+                f"{series['24/7'][hour]:.0f}",
+            )
+        )
+    sample = format_table(
+        ["hour", "grid mix", "net zero", "24/7"],
+        day_rows,
+        title="Sample day, hourly intensity (gCO2eq/kWh)",
+    )
+    return table + "\n\n" + sample
+
+
+def test_fig06(benchmark):
+    text = run_once(benchmark, build_fig06)
+    emit("fig06", text)
+    explorer = CarbonExplorer("UT")
+    from repro.grid import RenewableInvestment
+
+    avg = explorer.avg_power_mw
+    investment = RenewableInvestment(solar_mw=3 * avg, wind_mw=3 * avg)
+    grid = explorer.scenario_intensity(SupplyScenario.GRID_MIX, investment)
+    net_zero = explorer.scenario_intensity(SupplyScenario.NET_ZERO, investment)
+    assert net_zero.mean() < grid.mean()
+    # Net Zero must still have visibly dirty hours — the figure's point.
+    assert net_zero.max() > 100.0

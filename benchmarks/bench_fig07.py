@@ -1,0 +1,54 @@
+"""Figure 7: 24/7 coverage surface over wind x solar investments for the
+three representative regions, with Meta's existing investments marked."""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer
+from repro.reporting import format_table, percent
+
+REGIONS = (
+    ("OR", "Oregon — majorly wind"),
+    ("NC", "North Carolina — solar only"),
+    ("UT", "Utah — wind and solar mix"),
+)
+
+
+def build_fig07() -> str:
+    sections = []
+    for state, label in REGIONS:
+        explorer = CarbonExplorer(state)
+        avg = explorer.avg_power_mw
+        axis = tuple(avg * m for m in (0.0, 2.0, 4.0, 8.0, 16.0))
+        solar_axis = axis if explorer.context.supports_solar else (0.0,)
+        wind_axis = axis if explorer.context.supports_wind else (0.0,)
+        surface = explorer.coverage_surface(solar_axis, wind_axis)
+
+        header = ["solar MW \\ wind MW"] + [f"{w:,.0f}" for w in wind_axis]
+        rows = []
+        for i, solar in enumerate(solar_axis):
+            row = [f"{solar:,.0f}"]
+            for j in range(len(wind_axis)):
+                row.append(percent(surface[i * len(wind_axis) + j][2]))
+            rows.append(row)
+        table = format_table(
+            header, rows, title=f"Figure 7 — {label} (avg DC power {avg:.0f} MW)"
+        )
+
+        existing = explorer.coverage_of_existing_investment()
+        inv = explorer.existing_investment()
+        sections.append(
+            table
+            + f"\nMeta's investment ({inv.solar_mw:.0f} solar / {inv.wind_mw:.0f} wind MW): "
+            + f"{percent(existing)} coverage"
+        )
+    return "\n\n".join(sections)
+
+
+def test_fig07(benchmark):
+    text = run_once(benchmark, build_fig07)
+    emit("fig07", text)
+    # Solar-only NC must cap well below 100% without storage.
+    nc = CarbonExplorer("NC")
+    from repro.grid import RenewableInvestment
+
+    assert nc.coverage(RenewableInvestment(solar_mw=16 * nc.avg_power_mw)) < 0.65

@@ -1,0 +1,58 @@
+"""Figure 9: battery capacity (in hours of compute) required for 24/7
+renewable coverage at different solar and wind investments, Utah."""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer
+from repro.grid import RenewableInvestment
+from repro.reporting import format_table
+
+
+def build_fig09() -> str:
+    explorer = CarbonExplorer("UT")
+    avg = explorer.avg_power_mw
+    multiples = (4.0, 8.0, 16.0, 32.0)
+
+    header = ["solar MW \\ wind MW"] + [f"{m * avg:,.0f}" for m in multiples]
+    rows = []
+    for solar_multiple in multiples:
+        row = [f"{solar_multiple * avg:,.0f}"]
+        for wind_multiple in multiples:
+            inv = RenewableInvestment(
+                solar_mw=solar_multiple * avg, wind_mw=wind_multiple * avg
+            )
+            hours = explorer.battery_hours_for_full_coverage(
+                inv, max_hours_of_load=120.0
+            )
+            row.append("unreachable" if hours == float("inf") else f"{hours:.1f} h")
+        rows.append(row)
+    table = format_table(
+        header,
+        rows,
+        title=(
+            "Figure 9 — battery hours of average load needed for 24/7, Utah "
+            f"(avg DC power {avg:.0f} MW)"
+        ),
+    )
+    existing = explorer.battery_hours_for_full_coverage(
+        explorer.existing_investment(), max_hours_of_load=120.0
+    )
+    return table + (
+        f"\n\nwith Meta's existing UT investment: {existing:.1f} h "
+        "(paper: ~5 h on its data)"
+    )
+
+
+def test_fig09(benchmark):
+    text = run_once(benchmark, build_fig09)
+    emit("fig09", text)
+    explorer = CarbonExplorer("UT")
+    # More renewables -> monotonically less battery needed.
+    avg = explorer.avg_power_mw
+    small = explorer.battery_hours_for_full_coverage(
+        RenewableInvestment(solar_mw=8 * avg, wind_mw=8 * avg), max_hours_of_load=120.0
+    )
+    large = explorer.battery_hours_for_full_coverage(
+        RenewableInvestment(solar_mw=32 * avg, wind_mw=32 * avg), max_hours_of_load=120.0
+    )
+    assert large <= small

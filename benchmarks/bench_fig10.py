@@ -1,0 +1,35 @@
+"""Figure 10: breakdown of Meta's data-processing workloads by completion
+time SLO."""
+
+from _common import emit, run_once
+
+from repro.datacenter import WORKLOAD_TIERS, flexible_fraction_within
+from repro.reporting import format_table, percent, spark_bar
+
+
+def build_fig10() -> str:
+    rows = [
+        (
+            f"Tier {tier.tier}",
+            tier.name,
+            percent(tier.share),
+            spark_bar(tier.share, width=36),
+        )
+        for tier in WORKLOAD_TIERS
+    ]
+    table = format_table(
+        ["tier", "SLO", "share", ""],
+        rows,
+        title="Figure 10: data-processing workloads by completion-time SLO",
+    )
+    return table + (
+        f"\n\nshare with SLO >= 4 hours: {percent(flexible_fraction_within(4))} "
+        "(paper: ~87.4%)"
+    )
+
+
+def test_fig10(benchmark):
+    text = run_once(benchmark, build_fig10)
+    emit("fig10", text)
+    assert "71.2%" in text  # the daily-SLO tier dominates
+    assert "87.4%" in text

@@ -1,0 +1,58 @@
+"""Figure 15: the total (operational + embodied) footprint of the
+carbon-optimal setting of each solution, per MW of datacenter capacity, for
+all thirteen regions — with coverage annotations (stars = 100%)."""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer, SITE_ORDER, Strategy
+from repro.reporting import format_table, percent
+
+_STRATEGY_LABELS = {
+    Strategy.RENEWABLES_ONLY: "renew",
+    Strategy.RENEWABLES_BATTERY: "renew+batt",
+    Strategy.RENEWABLES_CAS: "renew+CAS",
+    Strategy.RENEWABLES_BATTERY_CAS: "all",
+}
+
+
+def build_fig15() -> str:
+    rows = []
+    for state in SITE_ORDER:
+        explorer = CarbonExplorer(state)
+        space = explorer.default_space(
+            n_renewable_steps=4,
+            battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
+            extra_capacity_fractions=(0.0, 0.5),
+        )
+        results = explorer.optimize_all(space)
+        row = [
+            state,
+            explorer.context.grid.authority.renewable_class.value,
+        ]
+        for strategy in Strategy:
+            best = results[strategy].best
+            row.append(annotate_per_mw(best, explorer.avg_power_mw))
+        rows.append(row)
+
+    table = format_table(
+        ["site", "region type"] + [_STRATEGY_LABELS[s] for s in Strategy],
+        rows,
+        title=(
+            "Figure 15: carbon-optimal total footprint per MW of DC capacity "
+            "(tCO2eq/yr/MW, coverage in parens, * = 100% 24/7)"
+        ),
+    )
+    return table
+
+
+def annotate_per_mw(evaluation, avg_power_mw: float) -> str:
+    coverage = evaluation.coverage
+    star = " *" if coverage > 0.9999 else ""
+    return f"{evaluation.total_tons / avg_power_mw:,.0f} ({percent(coverage, 0)}){star}"
+
+
+def test_fig15(benchmark):
+    text = run_once(benchmark, build_fig15)
+    emit("fig15", text)
+    lines = [l for l in text.splitlines() if l and l[:2] in SITE_ORDER]
+    assert len(lines) == 13

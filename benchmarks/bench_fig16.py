@@ -1,0 +1,44 @@
+"""Figure 16: battery charge-level distribution under the carbon-optimal
+battery configuration — the paper observes a U shape (often fully charged or
+fully discharged)."""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer, Strategy
+from repro.battery import BatterySpec
+from repro.reporting import format_table, histogram_rows
+
+
+def build_fig16() -> str:
+    explorer = CarbonExplorer("UT")
+    space = explorer.default_space(
+        n_renewable_steps=4,
+        battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
+        extra_capacity_fractions=(0.0,),
+    )
+    best = explorer.optimize(Strategy.RENEWABLES_BATTERY, space).best
+    result = explorer.simulate_battery(
+        best.design.investment, BatterySpec(best.design.battery_mwh)
+    )
+    hist = result.charge_level_histogram(n_bins=10)
+    table = format_table(
+        ["state of charge", "hours", ""],
+        histogram_rows(hist.bin_centers, hist.counts),
+        title=(
+            "Figure 16: battery charge-level distribution at the carbon-"
+            f"optimal config ({best.design.describe()})"
+        ),
+    )
+    fractions = hist.fractions()
+    edge_mass = fractions[0] + fractions[-1]
+    return table + (
+        f"\n\nfraction of hours in the outer bins: {edge_mass * 100:.1f}% "
+        "(paper: batteries are often fully charged or fully discharged)"
+    )
+
+
+def test_fig16(benchmark):
+    text = run_once(benchmark, build_fig16)
+    emit("fig16", text)
+    edge = float(text.rsplit("outer bins:", 1)[1].split("%")[0])
+    assert edge > 40.0  # U-shaped distribution

@@ -1,0 +1,99 @@
+"""Extension ablation: oracle vs forecast-driven carbon-aware scheduling.
+
+The paper's scheduler is an offline oracle (§6).  How much of its benefit
+survives when the plan must be made from day-ahead forecasts?
+"""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer
+from repro.forecast import (
+    BlendedForecaster,
+    ClimatologyForecaster,
+    PersistenceForecaster,
+    forecast_series,
+    normalized_mae,
+    schedule_with_forecast,
+)
+from repro.reporting import format_table, percent
+
+FORECASTERS = (
+    ("persistence", PersistenceForecaster()),
+    ("climatology", ClimatologyForecaster()),
+    ("blended (0.65)", BlendedForecaster()),
+)
+
+
+def build_forecast_bench() -> str:
+    explorer = CarbonExplorer("UT")
+    # A moderate (6x average power) investment: deficits are routine, so
+    # scheduling has real work to do and forecast quality matters.
+    from repro.grid import RenewableInvestment
+
+    avg = explorer.avg_power_mw
+    investment = RenewableInvestment(solar_mw=3 * avg, wind_mw=3 * avg)
+    supply = explorer.renewable_supply(investment)
+    capacity = explorer.demand_power.max() * 1.5
+
+    accuracy_rows = [
+        (name, percent(normalized_mae(supply.values, forecast_series(f, supply.values))))
+        for name, f in FORECASTERS
+    ]
+    accuracy = format_table(
+        ["forecaster", "normalized MAE (renewable supply)"],
+        accuracy_rows,
+        title="Day-ahead forecast accuracy, Utah renewable supply",
+    )
+
+    rows = []
+    for name, forecaster in FORECASTERS:
+        result = schedule_with_forecast(
+            explorer.demand_power,
+            supply,
+            explorer.context.grid_intensity,
+            forecaster,
+            capacity_mw=capacity,
+            flexible_ratio=0.4,
+        )
+        rows.append(
+            (
+                name,
+                f"{result.baseline_deficit_mwh:,.0f}",
+                f"{result.realized_deficit_mwh:,.0f}",
+                f"{result.oracle_deficit_mwh:,.0f}",
+                percent(result.regret()),
+            )
+        )
+    scheduling = format_table(
+        ["forecaster", "no-CAS deficit", "realized deficit", "oracle deficit", "regret"],
+        rows,
+        title="Forecast-driven scheduling vs the paper's oracle (FWR 40%)",
+    )
+    note = (
+        "\nclimatology smooths supply above demand almost everywhere, so it"
+        "\npredicts no deficits and schedules nothing — persistence-style"
+        "\nforecasts are what deficit-driven scheduling actually needs."
+    )
+    return accuracy + "\n\n" + scheduling + note
+
+
+def test_forecast(benchmark):
+    text = run_once(benchmark, build_forecast_bench)
+    emit("forecast", text)
+    explorer = CarbonExplorer("UT")
+    from repro.grid import RenewableInvestment
+
+    avg = explorer.avg_power_mw
+    supply = explorer.renewable_supply(
+        RenewableInvestment(solar_mw=3 * avg, wind_mw=3 * avg)
+    )
+    result = schedule_with_forecast(
+        explorer.demand_power,
+        supply,
+        explorer.context.grid_intensity,
+        BlendedForecaster(),
+        capacity_mw=explorer.demand_power.max() * 1.5,
+        flexible_ratio=0.4,
+    )
+    # Forecast scheduling must retain about half the oracle's benefit.
+    assert result.regret() < 0.6

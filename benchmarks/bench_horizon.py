@@ -1,0 +1,61 @@
+"""Extension: 15-year planning-horizon totals per strategy (§5.1 lifetimes).
+
+Annualized figures hide replacement cliffs: over a facility's 15-year life
+a battery is bought 2-3 times and extra servers 3 times.  This bench rolls
+each strategy's carbon-optimal design over the horizon.
+"""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer, Strategy
+from repro.carbon import horizon_from_evaluation
+from repro.reporting import format_table, percent
+
+
+def build_horizon_bench() -> str:
+    explorer = CarbonExplorer("UT")
+    space = explorer.default_space(
+        n_renewable_steps=4,
+        battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
+        extra_capacity_fractions=(0.0, 0.5),
+    )
+    results = explorer.optimize_all(space)
+    fleet_size = explorer.context.demand.fleet.n_servers
+
+    rows = []
+    for strategy in Strategy:
+        best = results[strategy].best
+        plan = horizon_from_evaluation(
+            best, fleet_size, explorer.context.embodied, horizon_years=15.0
+        )
+        rows.append(
+            (
+                strategy.value,
+                percent(best.coverage),
+                f"{plan.operational_tons:,.0f}",
+                f"{plan.embodied_tons:,.0f}",
+                f"{plan.total_tons:,.0f}",
+                plan.battery_purchases,
+                plan.server_refreshes,
+            )
+        )
+    table = format_table(
+        [
+            "strategy",
+            "coverage",
+            "15y operational t",
+            "15y embodied t",
+            "15y total t",
+            "battery buys",
+            "server refreshes",
+        ],
+        rows,
+        title="15-year planning-horizon carbon, carbon-optimal designs, Utah",
+    )
+    return table
+
+
+def test_horizon(benchmark):
+    text = run_once(benchmark, build_horizon_bench)
+    emit("horizon", text)
+    assert "battery buys" in text

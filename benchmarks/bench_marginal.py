@@ -1,0 +1,94 @@
+"""Extension: scheduling by average vs marginal carbon intensity.
+
+The paper (like most deployed systems) ranks hours by the grid's average
+intensity; emissions literature argues the *marginal* generator is what
+actually responds to shifted load.  This bench measures how much the two
+signals disagree per region and what each achieves when driving the greedy
+scheduler.
+"""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer
+from repro.grid import RenewableInvestment, TABLE1_AUTHORITY_CODES, generate_grid_dataset
+from repro.grid.marginal import marginal_intensity_g_per_kwh, signal_divergence_hours
+from repro.reporting import format_table, percent
+from repro.scheduling import schedule_carbon_aware
+
+
+def build_marginal_bench() -> str:
+    divergence_rows = []
+    for code in TABLE1_AUTHORITY_CODES:
+        grid = generate_grid_dataset(code)
+        hours = signal_divergence_hours(grid)
+        divergence_rows.append(
+            (code, f"{hours:,}", percent(hours / grid.calendar.n_hours))
+        )
+    divergence = format_table(
+        ["balancing authority", "divergent hours", "share of year"],
+        divergence_rows,
+        title="Hours where average and marginal signals rank a day's hours differently",
+    )
+
+    explorer = CarbonExplorer("UT")
+    avg_power = explorer.avg_power_mw
+    investment = RenewableInvestment(solar_mw=3 * avg_power, wind_mw=3 * avg_power)
+    supply = explorer.renewable_supply(investment)
+    capacity = explorer.demand_power.max() * 1.5
+    marginal = marginal_intensity_g_per_kwh(explorer.context.grid)
+
+    # The raw marginal signal is piecewise-constant (gas / coal / zero), so
+    # within its plateaus the greedy scheduler sees no strictly-cleaner hour
+    # to move into.  The tie-broken variant adds an epsilon of the average
+    # signal purely to rank hours inside a plateau.
+    tie_broken = marginal + explorer.context.grid_intensity * 1e-3
+
+    by_average = schedule_carbon_aware(
+        explorer.demand_power, supply, explorer.context.grid_intensity, capacity, 0.4
+    )
+    by_marginal = schedule_carbon_aware(
+        explorer.demand_power, supply, marginal, capacity, 0.4
+    )
+    by_tie_broken = schedule_carbon_aware(
+        explorer.demand_power, supply, tie_broken, capacity, 0.4
+    )
+
+    def deficit(result):
+        return (result.shifted_demand - supply).positive_part().total()
+
+    baseline = (explorer.demand_power - supply).positive_part().total()
+    rows = [
+        ("no scheduling", f"{baseline:,.0f}", "-"),
+        (
+            "average-intensity signal",
+            f"{deficit(by_average):,.0f}",
+            percent(1 - deficit(by_average) / baseline),
+        ),
+        (
+            "marginal signal (raw plateaus)",
+            f"{deficit(by_marginal):,.0f}",
+            percent(1 - deficit(by_marginal) / baseline),
+        ),
+        (
+            "marginal signal + avg tie-break",
+            f"{deficit(by_tie_broken):,.0f}",
+            percent(1 - deficit(by_tie_broken) / baseline),
+        ),
+    ]
+    outcome = format_table(
+        ["scheduler signal", "renewable deficit MWh/yr", "deficit reduced"],
+        rows,
+        title="Greedy CAS driven by each signal, Utah (FWR 40%)",
+    )
+    return divergence + "\n\n" + outcome + (
+        "\nlesson: signal *granularity* matters as much as signal choice —"
+        "\na plateaued marginal signal cannot rank hours within a day, and a"
+        "\nscheduler following it does nothing there; adding any within-"
+        "\nplateau tie-break restores nearly the average-signal benefit."
+    )
+
+
+def test_marginal(benchmark):
+    text = run_once(benchmark, build_marginal_bench)
+    emit("marginal", text)
+    assert "marginal signal + avg tie-break" in text

@@ -1,0 +1,55 @@
+"""Extension: geographic load migration across the Table-1 fleet (§6).
+
+How much fleet-level deficit disappears when flexible work may follow the
+sun and wind between regions, versus staying put?
+"""
+
+from _common import emit, run_once
+
+from repro.scheduling import fleet_sites_from_states, migrate_load
+from repro.reporting import format_table, percent
+
+FLEETS = (
+    ("wind + solar pair", ("OR", "NC")),
+    ("three classes", ("OR", "NC", "UT")),
+    ("full coast-to-coast", ("OR", "NE", "TX", "NC", "VA")),
+)
+
+
+def build_migration_bench() -> str:
+    rows = []
+    for label, states in FLEETS:
+        fleet = fleet_sites_from_states(states)
+        for ratio in (0.1, 0.4, 1.0):
+            result = migrate_load(fleet, flexible_ratio=ratio)
+            rows.append(
+                (
+                    label,
+                    ", ".join(states),
+                    percent(ratio, 0),
+                    f"{result.deficit_before_mwh:,.0f}",
+                    f"{result.deficit_after_mwh:,.0f}",
+                    percent(result.deficit_reduction()),
+                    f"{result.migrated_mwh:,.0f}",
+                )
+            )
+    table = format_table(
+        ["fleet", "sites", "FWR", "deficit before", "deficit after", "reduction", "migrated MWh"],
+        rows,
+        title="Geographic load migration across datacenter fleets (2% move overhead)",
+    )
+    return table + (
+        "\nwind-heavy and solar-heavy regions cover each other's gaps; the"
+        "\nreduction grows with fleet diversity and workload flexibility."
+    )
+
+
+def test_migration(benchmark):
+    text = run_once(benchmark, build_migration_bench)
+    emit("migration", text)
+    small = migrate_load(fleet_sites_from_states(("OR", "NC")), flexible_ratio=0.4)
+    large = migrate_load(
+        fleet_sites_from_states(("OR", "NE", "TX", "NC", "VA")), flexible_ratio=0.4
+    )
+    assert small.deficit_reduction() > 0.0
+    assert large.deficit_reduction() > 0.0

@@ -1,0 +1,65 @@
+"""Extension: lithium-iron-phosphate vs sodium-ion storage (§4.2's note).
+
+Na-ion cells are cheaper to manufacture (no lithium/cobalt) but less
+efficient and shorter-lived.  Which chemistry yields lower total carbon at
+the same usable capacity?
+"""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer
+from repro.battery import LFP, SODIUM_ION, BatterySpec
+from repro.carbon import operational_carbon_tons
+from repro.grid import RenewableInvestment
+from repro.reporting import format_table
+
+
+def build_naion_bench() -> str:
+    explorer = CarbonExplorer("UT")
+    avg = explorer.avg_power_mw
+    investment = RenewableInvestment(solar_mw=4 * avg, wind_mw=4 * avg)
+    embodied = explorer.context.embodied
+
+    rows = []
+    for hours in (2.0, 5.0, 10.0):
+        for chemistry in (LFP, SODIUM_ION):
+            spec = BatterySpec(hours * avg, chemistry=chemistry)
+            result = explorer.simulate_battery(investment, spec)
+            operational = operational_carbon_tons(
+                result.grid_import, explorer.context.grid_intensity
+            )
+            battery_embodied = embodied.battery_annual_tons(
+                spec, cycles_per_day=max(result.cycles_per_day(), 1e-3)
+            )
+            rows.append(
+                (
+                    f"{hours:.0f} h",
+                    chemistry.name.split(" ")[0],
+                    f"{result.grid_import.total():,.0f}",
+                    f"{operational:,.0f}",
+                    f"{battery_embodied:,.0f}",
+                    f"{operational + battery_embodied:,.0f}",
+                )
+            )
+    table = format_table(
+        [
+            "pack size",
+            "chemistry",
+            "grid import MWh/yr",
+            "operational t/yr",
+            "battery embodied t/yr",
+            "op + battery t/yr",
+        ],
+        rows,
+        title="LFP vs sodium-ion at equal nameplate capacity, Utah",
+    )
+    return table + (
+        "\nNa-ion trades lower manufacturing carbon against more round-trip"
+        "\nloss (more grid import) and faster replacement (shorter cycle life)."
+    )
+
+
+def test_naion(benchmark):
+    text = run_once(benchmark, build_naion_bench)
+    emit("naion", text)
+    assert "Sodium-ion" in text and "LiFePO4" in text

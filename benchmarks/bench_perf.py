@@ -1,0 +1,71 @@
+"""Micro performance benchmarks of the hot simulation kernels.
+
+Unlike the artifact benches (rounds=1), these use pytest-benchmark's
+statistical timing: they are the kernels design-space sweeps call thousands
+of times, so their per-call cost bounds how fine an exhaustive grid can be.
+"""
+
+import pytest
+
+from repro.battery import BatterySpec, simulate_battery
+from repro.core import DesignPoint, Strategy, build_site_context, evaluate_design
+from repro.grid import RenewableInvestment, projected_supply
+from repro.scheduling import schedule_carbon_aware, simulate_combined
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_site_context("UT")
+
+
+@pytest.fixture(scope="module")
+def supply(context):
+    avg = context.demand.avg_power_mw
+    return projected_supply(
+        context.grid, RenewableInvestment(solar_mw=3 * avg, wind_mw=3 * avg)
+    )
+
+
+def test_perf_battery_year(benchmark, context, supply):
+    """One year of hourly C/L/C battery simulation."""
+    demand = context.demand.power
+    spec = BatterySpec(5 * context.demand.avg_power_mw)
+    result = benchmark(simulate_battery, demand, supply, spec)
+    assert result.grid_import.min() >= 0.0
+
+
+def test_perf_greedy_scheduler_year(benchmark, context, supply):
+    """One year of per-day greedy carbon-aware scheduling."""
+    demand = context.demand.power
+    result = benchmark(
+        schedule_carbon_aware,
+        demand,
+        supply,
+        context.grid_intensity,
+        demand.max() * 1.5,
+        0.4,
+    )
+    assert result.moved_mwh > 0.0
+
+
+def test_perf_combined_year(benchmark, context, supply):
+    """One year of the battery-first combined heuristic."""
+    demand = context.demand.power
+    spec = BatterySpec(5 * context.demand.avg_power_mw)
+    result = benchmark(
+        simulate_combined, demand, supply, spec, demand.max() * 1.5, 0.4
+    )
+    assert result.grid_import.min() >= 0.0
+
+
+def test_perf_full_design_evaluation(benchmark, context):
+    """One end-to-end design evaluation (the optimizer's unit of work)."""
+    avg = context.demand.avg_power_mw
+    design = DesignPoint(
+        investment=RenewableInvestment(solar_mw=3 * avg, wind_mw=3 * avg),
+        battery_mwh=5 * avg,
+    )
+    evaluation = benchmark(
+        evaluate_design, context, design, Strategy.RENEWABLES_BATTERY_CAS
+    )
+    assert 0.0 <= evaluation.coverage <= 1.0

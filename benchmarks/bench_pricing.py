@@ -1,0 +1,80 @@
+"""Extension: do time-of-use prices steer scheduling like carbon does?
+
+§3.2 argues price signals will incentivize deferral toward renewable-rich
+hours.  This bench measures (a) the rank alignment between hourly price and
+hourly carbon intensity per region, and (b) the carbon outcome of a
+scheduler that ranks hours by *price* instead of carbon.
+"""
+
+from _common import emit, run_once
+
+from repro import CarbonExplorer
+from repro.grid import TABLE1_AUTHORITY_CODES, generate_grid_dataset, hourly_prices, price_carbon_alignment
+from repro.reporting import format_table, percent
+from repro.scheduling import schedule_carbon_aware
+
+
+def build_pricing_bench() -> str:
+    alignment_rows = [
+        (code, f"{price_carbon_alignment(generate_grid_dataset(code)):.3f}")
+        for code in TABLE1_AUTHORITY_CODES
+    ]
+    alignment = format_table(
+        ["balancing authority", "price-carbon rank correlation"],
+        alignment_rows,
+        title="Do cheap hours coincide with clean hours?",
+    )
+
+    explorer = CarbonExplorer("UT")
+    investment = explorer.existing_investment()
+    supply = explorer.renewable_supply(investment)
+    capacity = explorer.demand_power.max() * 1.5
+    prices = hourly_prices(explorer.context.grid)
+
+    by_carbon = schedule_carbon_aware(
+        explorer.demand_power, supply, explorer.context.grid_intensity, capacity, 0.4
+    )
+    by_price = schedule_carbon_aware(
+        explorer.demand_power, supply, prices, capacity, 0.4
+    )
+
+    def deficit(result):
+        return (result.shifted_demand - supply).positive_part().total()
+
+    baseline = (explorer.demand_power - supply).positive_part().total()
+    rows = [
+        ("no scheduling", f"{baseline:,.0f}", "-"),
+        ("rank by carbon intensity", f"{deficit(by_carbon):,.0f}",
+         percent(1 - deficit(by_carbon) / baseline)),
+        ("rank by energy price", f"{deficit(by_price):,.0f}",
+         percent(1 - deficit(by_price) / baseline)),
+    ]
+    outcome = format_table(
+        ["scheduler signal", "renewable deficit MWh/yr", "deficit reduced"],
+        rows,
+        title="Scheduling by price vs by carbon, Utah (FWR 40%)",
+    )
+    return alignment + "\n\n" + outcome
+
+
+def test_pricing(benchmark):
+    text = run_once(benchmark, build_pricing_bench)
+    emit("pricing", text)
+    # Price-driven scheduling must capture most of the carbon-driven benefit
+    # on a fossil-marginal grid.
+    explorer = CarbonExplorer("UT")
+    supply = explorer.renewable_supply(explorer.existing_investment())
+    capacity = explorer.demand_power.max() * 1.5
+    prices = hourly_prices(explorer.context.grid)
+    baseline = (explorer.demand_power - supply).positive_part().total()
+    by_price = schedule_carbon_aware(
+        explorer.demand_power, supply, prices, capacity, 0.4
+    )
+    by_carbon = schedule_carbon_aware(
+        explorer.demand_power, supply, explorer.context.grid_intensity, capacity, 0.4
+    )
+
+    def gain(result):
+        return baseline - (result.shifted_demand - supply).positive_part().total()
+
+    assert gain(by_price) > 0.5 * gain(by_carbon)

@@ -1,0 +1,60 @@
+"""Extension: sensitivity of the optimum to embodied-carbon coefficients.
+
+§6 stresses that embodied coefficients are uncertain; this bench pushes
+each to its published bound (§5.1 ranges) and re-optimizes.
+"""
+
+from _common import emit, run_once
+
+from repro.core import DesignSpace, Strategy, build_site_context
+from repro.core.sensitivity import sensitivity_analysis
+from repro.reporting import format_table, percent
+
+
+def build_sensitivity_bench() -> str:
+    context = build_site_context("UT")
+    avg = context.demand.avg_power_mw
+    space = DesignSpace(
+        solar_mw=tuple(avg * m for m in (0.0, 2.0, 4.0, 8.0)),
+        wind_mw=tuple(avg * m for m in (0.0, 2.0, 4.0, 8.0)),
+        battery_mwh=tuple(avg * h for h in (0.0, 2.0, 5.0, 10.0)),
+    )
+    report = sensitivity_analysis(context, space, Strategy.RENEWABLES_BATTERY)
+    base = report.baseline.best
+
+    rows = [
+        (
+            "(baseline)",
+            "paper defaults",
+            f"{base.total_tons:,.0f}",
+            "-",
+            base.design.describe(),
+        )
+    ]
+    for record in report.records:
+        delta = (record.best_total_tons / base.total_tons - 1.0) * 100
+        rows.append(
+            (
+                record.coefficient,
+                f"{record.value:g}",
+                f"{record.best_total_tons:,.0f}",
+                f"{delta:+.1f}%",
+                record.best_design.describe() + (" (changed)" if record.design_changed else ""),
+            )
+        )
+    table = format_table(
+        ["coefficient", "value", "optimal total t/yr", "vs baseline", "optimal design"],
+        rows,
+        title="One-at-a-time sensitivity of the battery-strategy optimum, Utah",
+    )
+    return table + (
+        f"\n\nmax total-carbon swing across published ranges: "
+        f"{percent(report.max_total_swing())}; "
+        f"design robust: {report.robust_design()}"
+    )
+
+
+def test_sensitivity(benchmark):
+    text = run_once(benchmark, build_sensitivity_bench)
+    emit("sensitivity", text)
+    assert "battery_kg_per_kwh" in text

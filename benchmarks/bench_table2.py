@@ -1,0 +1,37 @@
+"""Table 2: carbon efficiency of grid energy sources."""
+
+from _common import emit, run_once
+
+from repro.grid import CARBON_INTENSITY_G_PER_KWH, EnergySource
+from repro.reporting import format_table
+
+#: Print order matching the paper's two-column table.
+_PAPER_ORDER = (
+    EnergySource.WIND,
+    EnergySource.SOLAR,
+    EnergySource.WATER,
+    EnergySource.OIL,
+    EnergySource.NATURAL_GAS,
+    EnergySource.COAL,
+    EnergySource.NUCLEAR,
+    EnergySource.OTHER,
+)
+
+
+def build_table2() -> str:
+    rows = [
+        (source.value, f"{CARBON_INTENSITY_G_PER_KWH[source]:.0f}")
+        for source in _PAPER_ORDER
+    ]
+    return format_table(
+        ["Type", "gCO2eq/kWh"],
+        rows,
+        title="Table 2: Carbon efficiency of various energy sources",
+    )
+
+
+def test_table2(benchmark):
+    text = run_once(benchmark, build_table2)
+    emit("table2", text)
+    assert "820" in text  # coal
+    assert "11" in text  # wind

@@ -1,0 +1,65 @@
+"""Extension: Turbo Boost vs buying servers (§4.3's alternative).
+
+For a given extra-capacity need, which is greener — boosting existing
+servers (extra *operational* carbon from less efficient execution) or
+buying more (extra *embodied* carbon)?  The answer depends on how many
+hours per year the surge actually runs and how dirty the surge energy is.
+"""
+
+from _common import emit, run_once
+
+from repro.carbon import DEFAULT_EMBODIED_MODEL
+from repro.core import build_site_context
+from repro.datacenter import compare_turbo_vs_servers
+from repro.reporting import format_table
+
+
+def build_turbo_bench() -> str:
+    context = build_site_context("UT")
+    fleet = context.demand.fleet
+    mean_intensity = context.grid_intensity.mean()
+
+    rows = []
+    for extra in (0.1, 0.2, 0.3):
+        for surge_hours in (250.0, 1000.0, 4000.0):
+            for intensity in (0.0, mean_intensity):
+                comparison = compare_turbo_vs_servers(
+                    fleet,
+                    DEFAULT_EMBODIED_MODEL,
+                    extra_fraction=extra,
+                    surge_hours_per_year=surge_hours,
+                    grid_intensity_g_per_kwh=intensity,
+                )
+                rows.append(
+                    (
+                        f"+{extra:.0%}",
+                        f"{surge_hours:,.0f}",
+                        f"{intensity:.0f}",
+                        f"{comparison.turbo_operational_tons:,.1f}",
+                        f"{comparison.servers_embodied_tons:,.1f}",
+                        "TURBO" if comparison.turbo_wins else "servers",
+                    )
+                )
+    table = format_table(
+        [
+            "extra capacity",
+            "surge h/yr",
+            "surge gCO2/kWh",
+            "turbo op t/yr",
+            "servers emb t/yr",
+            "greener",
+        ],
+        rows,
+        title="Turbo Boost vs extra servers for deferred-work capacity, Utah fleet",
+    )
+    return table + (
+        "\nturbo wins for rare surges or renewable-powered surges; buying"
+        "\nservers wins once boosted (inefficient) execution runs for"
+        "\nthousands of dirty hours."
+    )
+
+
+def test_turbo(benchmark):
+    text = run_once(benchmark, build_turbo_bench)
+    emit("turbo", text)
+    assert "TURBO" in text and "servers" in text  # both regimes appear

@@ -1,0 +1,107 @@
+"""Battery sizing and the depth-of-discharge trade-off (paper §4.2, §5.2).
+
+Sizes on-site storage for the Utah datacenter at several renewable
+investment levels (the Fig. 9 question: "how much battery needs to be
+deployed for 24/7 renewable energy?"), then runs the §5.2 DoD study: a
+shallower depth of discharge extends cycle life but shrinks usable capacity,
+so the carbon-optimal DoD is a real trade-off.
+
+Run:  python examples/battery_sizing.py
+"""
+
+from repro import CarbonExplorer
+from repro.battery import BatterySpec
+from repro.grid import RenewableInvestment
+from repro.reporting import format_table, histogram_rows, percent
+
+
+def sizing_sweep(explorer: CarbonExplorer) -> None:
+    """Battery hours needed for 24/7 at a grid of renewable investments."""
+    avg = explorer.avg_power_mw
+    rows = []
+    for multiple in (4.0, 6.0, 8.0, 12.0):
+        total = multiple * avg
+        investment = RenewableInvestment(solar_mw=total / 2, wind_mw=total / 2)
+        hours = explorer.battery_hours_for_full_coverage(
+            investment, max_hours_of_load=96.0
+        )
+        rows.append(
+            (
+                f"{multiple:.0f}x avg power",
+                percent(explorer.coverage(investment)),
+                "unreachable" if hours == float("inf") else f"{hours:.1f} h",
+            )
+        )
+    print(
+        format_table(
+            ["renewable investment", "coverage w/o battery", "battery for 24/7"],
+            rows,
+            title=f"Battery sizing, {explorer.state} (Fig. 9 question)",
+        )
+    )
+
+
+def charge_level_distribution(explorer: CarbonExplorer) -> None:
+    """Fig. 16: under a tight carbon-optimal battery, charge levels pile up
+    at empty and full."""
+    avg = explorer.avg_power_mw
+    investment = RenewableInvestment(solar_mw=3 * avg, wind_mw=3 * avg)
+    result = explorer.simulate_battery(investment, BatterySpec(5.0 * avg))
+    hist = result.charge_level_histogram(n_bins=10)
+    print()
+    print(
+        format_table(
+            ["state of charge", "hours", ""],
+            histogram_rows(hist.bin_centers, hist.counts),
+            title="Battery charge-level distribution (Fig. 16)",
+        )
+    )
+
+
+def dod_study(explorer: CarbonExplorer) -> None:
+    """§5.2: compare 100% vs 80% vs 60% DoD at a fixed design."""
+    avg = explorer.avg_power_mw
+    investment = RenewableInvestment(solar_mw=3 * avg, wind_mw=3 * avg)
+    rows = []
+    for dod in (1.0, 0.8, 0.6):
+        # Keep *usable* energy constant: shallower DoD needs a bigger pack.
+        usable_target = 5.0 * avg
+        spec = BatterySpec(usable_target / dod, depth_of_discharge=dod)
+        result = explorer.simulate_battery(investment, spec)
+        embodied = explorer.context.embodied.battery_annual_tons(
+            spec, cycles_per_day=max(result.cycles_per_day(), 1e-3)
+        )
+        rows.append(
+            (
+                percent(dod, 0),
+                f"{spec.capacity_mwh:.0f}",
+                f"{spec.lifetime_years(max(result.cycles_per_day(), 1e-3)):.1f}",
+                f"{embodied:,.1f}",
+                f"{result.grid_import.total():,.0f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            [
+                "DoD",
+                "pack size (MWh)",
+                "lifetime (yr)",
+                "embodied tCO2/yr",
+                "grid import (MWh/yr)",
+            ],
+            rows,
+            title="Depth-of-discharge study at equal usable capacity (§5.2)",
+        )
+    )
+
+
+def main() -> None:
+    explorer = CarbonExplorer("UT")
+    sizing_sweep(explorer)
+    charge_level_distribution(explorer)
+    dod_study(explorer)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Carbon-aware scheduling walkthrough (paper §4.3, Figs. 10-12).
+
+Reproduces the Fig. 11 illustration: three days of the Utah datacenter with
+the greedy scheduler at a 17.6 MW capacity cap and 10% flexible workloads,
+printed hour by hour against grid carbon intensity.  Then sweeps the two
+input constraints — capacity and flexible-workload ratio — and finally runs
+the tier-aware extension driven by the Fig. 10 SLO breakdown.
+
+Run:  python examples/carbon_aware_scheduling.py
+"""
+
+from repro import CarbonExplorer
+from repro.battery import BatterySpec
+from repro.reporting import format_table, percent, spark_bar
+from repro.scheduling import policies_from_figure10, simulate_tiered
+
+
+def three_day_illustration(explorer: CarbonExplorer) -> None:
+    """Fig. 11: P_DC_MAX = 17.6 MW, FWR = 10%, three winter days."""
+    investment = explorer.existing_investment()
+    capacity = max(17.6, explorer.demand_power.max())
+    result = explorer.schedule(investment, capacity_mw=capacity, flexible_ratio=0.10)
+    intensity = explorer.context.grid_intensity
+
+    start_day = 10
+    rows = []
+    calendar = explorer.demand_power.calendar
+    for day in range(start_day, start_day + 3):
+        for hour_of_day in range(0, 24, 3):
+            hour = day * 24 + hour_of_day
+            rows.append(
+                (
+                    calendar.label(hour),
+                    f"{intensity[hour]:.0f}",
+                    f"{result.original_demand[hour]:.2f}",
+                    f"{result.shifted_demand[hour]:.2f}",
+                    spark_bar(intensity[hour] / intensity.max(), width=20),
+                )
+            )
+    print(
+        format_table(
+            ["time", "gCO2/kWh", "P_DC before", "P_DC after", "intensity"],
+            rows,
+            title="Three days of carbon-aware scheduling (Fig. 11)",
+        )
+    )
+    print(f"\nEnergy moved across the year: {result.moved_mwh:,.0f} MWh "
+          f"({percent(result.moved_fraction())} of annual demand)")
+
+
+def constraint_sweep(explorer: CarbonExplorer) -> None:
+    """How the two input constraints shape the benefit."""
+    investment = explorer.existing_investment()
+    supply = explorer.renewable_supply(investment)
+    baseline = (explorer.demand_power - supply).positive_part().total()
+    rows = []
+    for ratio in (0.1, 0.4, 1.0):
+        for multiple in (1.0, 1.5, 2.0):
+            result = explorer.schedule(
+                investment,
+                capacity_mw=explorer.demand_power.max() * multiple,
+                flexible_ratio=ratio,
+            )
+            deficit = (result.shifted_demand - supply).positive_part().total()
+            rows.append(
+                (
+                    percent(ratio, 0),
+                    f"{multiple:.1f}x peak",
+                    f"{(baseline - deficit) / baseline * 100:.1f}%",
+                    percent(result.additional_capacity_fraction()),
+                )
+            )
+    print()
+    print(
+        format_table(
+            ["FWR", "capacity cap", "deficit reduced by", "extra capacity used"],
+            rows,
+            title="Scheduling benefit vs the two input constraints (Fig. 12 axis)",
+        )
+    )
+
+
+def tiered_extension(explorer: CarbonExplorer) -> None:
+    """Tier-aware scheduling from the Fig. 10 SLO breakdown."""
+    investment = explorer.existing_investment()
+    policies = policies_from_figure10(fleet_fraction=0.40)
+    result = simulate_tiered(
+        explorer.demand_power,
+        explorer.renewable_supply(investment),
+        BatterySpec(0.0),
+        capacity_mw=explorer.demand_power.max() * 1.5,
+        policies=policies,
+    )
+    rows = [
+        (p.name, f"{p.deadline_hours} h", f"{mwh:,.0f}")
+        for p, mwh in zip(policies, result.deferred_mwh_by_tier)
+    ]
+    print()
+    print(
+        format_table(
+            ["tier", "deadline", "deferred MWh/yr"],
+            rows,
+            title="Tier-aware extension: deferral by SLO tier (Fig. 10 shares)",
+        )
+    )
+    print(f"late (past deadline): {result.late_mwh:,.1f} MWh")
+
+
+def main() -> None:
+    explorer = CarbonExplorer("UT")
+    three_day_illustration(explorer)
+    constraint_sweep(explorer)
+    tiered_extension(explorer)
+
+
+if __name__ == "__main__":
+    main()

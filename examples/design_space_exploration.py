@@ -1,0 +1,87 @@
+"""Deep dive into the holistic design exploration (paper §5 / Fig. 13-14).
+
+Walks the optimizer workflow a datacenter architect would actually run:
+
+1. sweep a coarse design grid under the combined strategy;
+2. read the operational-vs-embodied Pareto frontier and its knee;
+3. refine the search around the knee (coarse-to-fine zoom);
+4. stress the winning design across the published coefficient ranges
+   (sensitivity) and across weather years (robustness).
+
+Run:  python examples/design_space_exploration.py   (~1 minute)
+"""
+
+from repro import CarbonExplorer, Strategy
+from repro.core import knee_point, pareto_frontier
+from repro.core.refine import refine_optimize
+from repro.core.robustness import evaluate_across_years
+from repro.core.sensitivity import sensitivity_analysis
+from repro.reporting import format_table, percent
+
+STRATEGY = Strategy.RENEWABLES_BATTERY_CAS
+
+
+def main() -> None:
+    explorer = CarbonExplorer("UT")
+    space = explorer.default_space(
+        n_renewable_steps=4,
+        battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
+        extra_capacity_fractions=(0.0, 0.5),
+    )
+
+    # 1+2. Coarse sweep and its Pareto frontier.
+    sweep = explorer.optimize(STRATEGY, space)
+    frontier = pareto_frontier(sweep.evaluations)
+    knee = knee_point(frontier)
+    rows = [
+        (
+            f"{e.embodied_tons:,.0f}",
+            f"{e.operational_tons:,.0f}",
+            percent(e.coverage),
+            "<- knee" if e is knee else "",
+        )
+        for e in frontier
+    ]
+    print(
+        format_table(
+            ["embodied t/yr", "operational t/yr", "coverage", ""],
+            rows,
+            title=f"Pareto frontier, {STRATEGY.value}, Utah "
+            f"({sweep.n_evaluated} designs swept)",
+        )
+    )
+    print(f"\nknee (carbon-optimal): {knee.design.describe()}")
+    print(f"total carbon: {knee.total_tons:,.0f} tCO2eq/yr at {percent(knee.coverage)} coverage")
+
+    # 3. Coarse-to-fine refinement around the knee.
+    refined = refine_optimize(explorer.context, space, STRATEGY, n_rounds=2)
+    improvement = knee.total_tons - refined.best.total_tons
+    print(
+        f"\nrefined optimum: {refined.best.design.describe()}"
+        f"\n  total {refined.best.total_tons:,.0f} t/yr "
+        f"({improvement:,.0f} t/yr better than the coarse grid; "
+        f"{refined.total_evaluations} evaluations total)"
+    )
+
+    # 4a. Coefficient sensitivity (the §5.1 published ranges).
+    report = sensitivity_analysis(explorer.context, space, STRATEGY)
+    print(
+        f"\nsensitivity across published coefficient ranges: "
+        f"max total-carbon swing {percent(report.max_total_swing())}, "
+        f"design robust: {report.robust_design()}"
+    )
+
+    # 4b. Weather robustness of the refined design.
+    robustness = evaluate_across_years(
+        "UT", refined.best.design, STRATEGY, seeds=(0, 1, 2, 3)
+    )
+    print(
+        f"weather robustness over {robustness.n_years} years: mean coverage "
+        f"{percent(robustness.mean_coverage())}, worst "
+        f"{percent(robustness.worst_coverage())}, total spread "
+        f"{percent(robustness.total_relative_spread())}"
+    )
+
+
+if __name__ == "__main__":
+    main()

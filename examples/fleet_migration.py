@@ -1,0 +1,98 @@
+"""Fleet-wide geographic load migration (extension of paper §6).
+
+Carbon Explorer optimizes each site in isolation; this example explores the
+complementary lever its related-work section points to: moving flexible
+work *between* sites so it follows wind and sun across the country.  A
+wind-heavy Oregon night can run work shipped from a solar-dark North
+Carolina evening, and vice versa.
+
+Run:  python examples/fleet_migration.py
+"""
+
+from repro.reporting import format_table, percent
+from repro.scheduling import fleet_sites_from_states, migrate_load
+
+
+def pairwise_study() -> None:
+    """How complementary are region pairs?"""
+    pairs = (
+        ("OR", "NC"),  # wind + solar: different supply shapes
+        ("OR", "NE"),  # two wind regions with independent weather systems
+        ("NC", "GA"),  # two solar regions: same day/night cycle, least to trade
+    )
+    rows = []
+    for pair in pairs:
+        fleet = fleet_sites_from_states(pair)
+        result = migrate_load(fleet, flexible_ratio=0.4)
+        rows.append(
+            (
+                " + ".join(pair),
+                f"{result.deficit_before_mwh:,.0f}",
+                f"{result.deficit_after_mwh:,.0f}",
+                percent(result.deficit_reduction()),
+            )
+        )
+    print(
+        format_table(
+            ["pair", "deficit before MWh", "after MWh", "reduction"],
+            rows,
+            title="Pairwise complementarity (FWR 40%, 2% migration overhead)",
+        )
+    )
+
+
+def flexibility_sweep() -> None:
+    """Migration benefit as a function of workload flexibility."""
+    fleet = fleet_sites_from_states(("OR", "NE", "TX", "NC", "VA"))
+    rows = []
+    for ratio in (0.0, 0.1, 0.25, 0.4, 0.7, 1.0):
+        result = migrate_load(fleet, flexible_ratio=ratio)
+        rows.append(
+            (
+                percent(ratio, 0),
+                percent(result.deficit_reduction()),
+                f"{result.migrated_mwh:,.0f}",
+                f"{result.overhead_mwh:,.0f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["FWR", "fleet deficit reduction", "migrated MWh", "overhead MWh"],
+            rows,
+            title="Five-site fleet (OR, NE, TX, NC, VA): benefit vs flexibility",
+        )
+    )
+
+
+def overhead_sensitivity() -> None:
+    """Does the energy cost of moving work ever cancel the benefit?"""
+    fleet = fleet_sites_from_states(("OR", "NC", "UT"))
+    rows = []
+    for overhead in (0.0, 0.02, 0.1, 0.3):
+        result = migrate_load(fleet, flexible_ratio=0.4, migration_overhead=overhead)
+        rows.append(
+            (
+                percent(overhead, 0),
+                percent(result.deficit_reduction()),
+                f"{result.overhead_mwh:,.0f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["migration overhead", "deficit reduction", "overhead energy MWh"],
+            rows,
+            title="Sensitivity to the energy cost of moving work",
+        )
+    )
+
+
+def main() -> None:
+    pairwise_study()
+    flexibility_sweep()
+    overhead_sensitivity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: explore one datacenter's carbon design space in ~30 lines.
+
+Binds the Utah datacenter (the paper's running example) to one simulated
+year, then walks the main questions Carbon Explorer answers: how much of the
+year does the current renewable investment cover, what would storage and
+scheduling add, and what is the carbon-optimal portfolio?
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CarbonExplorer, Strategy
+from repro.reporting import format_table, percent
+
+
+def main() -> None:
+    explorer = CarbonExplorer("UT")
+    print(f"Site: {explorer.state}, average power {explorer.avg_power_mw:.1f} MW")
+
+    # 1. Today's investment and its hourly (24/7) coverage.
+    investment = explorer.existing_investment()
+    coverage = explorer.coverage(investment)
+    print(
+        f"Existing regional investment: {investment.solar_mw:.0f} MW solar + "
+        f"{investment.wind_mw:.0f} MW wind -> {percent(coverage)} 24/7 coverage"
+    )
+
+    # 2. Storage: how big a battery closes the gap entirely?
+    hours = explorer.battery_hours_for_full_coverage(investment)
+    print(f"Battery for 100% coverage: {hours:.1f} hours of average load")
+
+    # 3. Carbon-optimal design per strategy (coarse grid for a quick demo).
+    space = explorer.default_space(
+        n_renewable_steps=4,
+        battery_hours=(0.0, 2.0, 5.0, 10.0),
+        extra_capacity_fractions=(0.0, 0.5),
+    )
+    rows = []
+    for strategy in Strategy:
+        best = explorer.optimize(strategy, space).best
+        rows.append(
+            [
+                strategy.value,
+                percent(best.coverage),
+                f"{best.operational_tons:,.0f}",
+                f"{best.embodied_tons:,.0f}",
+                f"{best.total_tons:,.0f}",
+                best.design.describe(),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["strategy", "coverage", "op tCO2/yr", "emb tCO2/yr", "total", "design"],
+            rows,
+            title="Carbon-optimal design per strategy (Utah)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Site selection: rank all thirteen Table-1 datacenter locations.
+
+Reproduces the paper's site-selection finding interactively: regions with
+steady wind (Iowa/MISO, Nebraska/SWPP) and hybrid wind+solar regions (Texas,
+Utah) have the shallowest supply valleys and reach high 24/7 coverage
+cheaply, while solar-only regions (NC, GA, TN, AL) are capped near ~50%
+without storage.
+
+For every site this script reports, at a normalized investment of 6x the
+site's average power (split by the local grid's resource mix):
+
+* the 24/7 coverage renewables alone achieve,
+* the battery hours needed for 100% coverage,
+* the carbon-optimal total footprint per MW under the combined strategy.
+
+Run:  python examples/site_selection.py          (~1 minute: 13 full optimizations)
+"""
+
+from repro import CarbonExplorer, SITE_ORDER, Strategy
+from repro.grid import RenewableInvestment
+from repro.reporting import format_table, percent
+
+
+def normalized_investment(explorer: CarbonExplorer) -> RenewableInvestment:
+    """6x-average-power investment split by the grid's available resources."""
+    total = 6.0 * explorer.avg_power_mw
+    solar_ok = explorer.context.supports_solar
+    wind_ok = explorer.context.supports_wind
+    if solar_ok and wind_ok:
+        return RenewableInvestment(solar_mw=total / 2, wind_mw=total / 2)
+    if wind_ok:
+        return RenewableInvestment(wind_mw=total)
+    return RenewableInvestment(solar_mw=total)
+
+
+def main() -> None:
+    rows = []
+    for state in SITE_ORDER:
+        explorer = CarbonExplorer(state)
+        investment = normalized_investment(explorer)
+        coverage = explorer.coverage(investment)
+        hours = explorer.battery_hours_for_full_coverage(
+            investment, max_hours_of_load=96.0
+        )
+        space = explorer.default_space(
+            n_renewable_steps=4,
+            battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
+            extra_capacity_fractions=(0.0, 0.5),
+        )
+        best = explorer.optimize(Strategy.RENEWABLES_BATTERY_CAS, space).best
+        rows.append(
+            (
+                state,
+                explorer.context.grid.authority.renewable_class.value,
+                percent(coverage),
+                "inf" if hours == float("inf") else f"{hours:.1f}",
+                f"{best.total_tons / explorer.avg_power_mw:,.0f}",
+                percent(best.coverage),
+                best.total_tons / explorer.avg_power_mw,
+            )
+        )
+
+    rows.sort(key=lambda r: r[-1])  # best (lowest footprint per MW) first
+    print(
+        format_table(
+            [
+                "site",
+                "region type",
+                "cov @6x renewables",
+                "battery h for 24/7",
+                "optimal tCO2/yr/MW",
+                "optimal coverage",
+            ],
+            [r[:-1] for r in rows],
+            title="Site ranking by carbon-optimal footprint (combined strategy)",
+        )
+    )
+    best_sites = ", ".join(r[0] for r in rows[:3])
+    print(f"\nBest sites in this simulated year: {best_sites}")
+    print("Paper's finding: wind (NE/IA) and hybrid (TX/UT) regions lead;")
+    print("solar-only regions (NC/GA/TN/AL) trail without storage.")
+
+
+if __name__ == "__main__":
+    main()

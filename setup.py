@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (`pip install -e .`) in environments
+whose setuptools lacks wheel support; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

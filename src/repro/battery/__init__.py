@@ -1,0 +1,49 @@
+"""Battery substrate: LFP chemistry, the C/L/C model, and hourly simulation."""
+
+from .chemistry import (
+    CALENDAR_LIFE_CAP_YEARS,
+    LFP,
+    LFP_CYCLE_LIFE_POINTS,
+    SODIUM_ION,
+    CellChemistry,
+)
+from .clc import Battery, BatterySpec
+from .degradation import END_OF_LIFE_FRACTION, DegradationModel
+from .dual_use import (
+    DualUseOutcome,
+    dual_use_spec,
+    reserve_for_ride_through,
+    simulate_dual_use,
+)
+from .peak_shaving import (
+    PeakShavingResult,
+    minimum_shavable_threshold,
+    simulate_peak_shaving,
+)
+from .simulator import (
+    BatterySimResult,
+    capacity_for_full_coverage,
+    simulate_battery,
+)
+
+__all__ = [
+    "CALENDAR_LIFE_CAP_YEARS",
+    "LFP",
+    "LFP_CYCLE_LIFE_POINTS",
+    "SODIUM_ION",
+    "CellChemistry",
+    "Battery",
+    "BatterySpec",
+    "END_OF_LIFE_FRACTION",
+    "DegradationModel",
+    "DualUseOutcome",
+    "dual_use_spec",
+    "reserve_for_ride_through",
+    "simulate_dual_use",
+    "PeakShavingResult",
+    "minimum_shavable_threshold",
+    "simulate_peak_shaving",
+    "BatterySimResult",
+    "capacity_for_full_coverage",
+    "simulate_battery",
+]

@@ -1,0 +1,203 @@
+"""The C/L/C lithium-ion storage model (Kazhamiaka et al., used in §4.2).
+
+The paper adopts the C/L/C model, which captures the characteristics that
+matter for system-level sizing while staying tractable:
+
+* **C**apacity — energy content limits, including a depth-of-discharge (DoD)
+  floor that reserves part of the capacity to extend lifespan;
+* **L**oss — separate charge and discharge efficiencies;
+* **C**-rate — applied power limited linearly in capacity (1C = full charge
+  or discharge in one hour, the paper's setting for hourly data).
+
+:class:`Battery` is a small mutable state machine: ``charge`` and
+``discharge`` each take an offered/requested power and a duration and return
+what was actually absorbed/delivered after all three constraint families are
+applied.  The hourly fleet simulation lives in
+:mod:`repro.battery.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .chemistry import LFP, CellChemistry
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """A sized battery installation.
+
+    Attributes
+    ----------
+    capacity_mwh:
+        Nameplate energy capacity.  Zero is allowed and means "no battery"
+        (every operation is a no-op), which lets sweeps include the
+        batteryless design point uniformly.
+    chemistry:
+        Cell chemistry providing efficiencies, C-rates, and cycle life.
+    depth_of_discharge:
+        Usable fraction of capacity (1.0 = the full pack; 0.8 reserves a 20%
+        floor, trading usable capacity for cycle life — the §5.2 study).
+    """
+
+    capacity_mwh: float
+    chemistry: CellChemistry = LFP
+    depth_of_discharge: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mwh < 0:
+            raise ValueError(f"capacity must be non-negative, got {self.capacity_mwh}")
+        if not 0.0 < self.depth_of_discharge <= 1.0:
+            raise ValueError(
+                f"depth_of_discharge must be in (0, 1], got {self.depth_of_discharge}"
+            )
+
+    @property
+    def floor_mwh(self) -> float:
+        """Minimum allowed energy content: ``(1 - DoD) * capacity``."""
+        return (1.0 - self.depth_of_discharge) * self.capacity_mwh
+
+    @property
+    def usable_mwh(self) -> float:
+        """Energy between the DoD floor and full: ``DoD * capacity``."""
+        return self.depth_of_discharge * self.capacity_mwh
+
+    @property
+    def max_charge_mw(self) -> float:
+        """C-rate limit on charging power."""
+        return self.chemistry.max_charge_c_rate * self.capacity_mwh
+
+    @property
+    def max_discharge_mw(self) -> float:
+        """C-rate limit on discharging power."""
+        return self.chemistry.max_discharge_c_rate * self.capacity_mwh
+
+    def lifetime_years(self, cycles_per_day: float = 1.0) -> float:
+        """Expected lifetime at this spec's DoD and a given duty cycle."""
+        return self.chemistry.lifetime_years(self.depth_of_discharge, cycles_per_day)
+
+
+class Battery:
+    """Mutable charge state over a :class:`BatterySpec` (the C/L/C dynamics).
+
+    The battery starts full (the paper's simulations begin with stored
+    carbon-free energy available; tests cover the empty-start variant via
+    ``initial_soc``).
+    """
+
+    def __init__(self, spec: BatterySpec, initial_soc: float = 1.0) -> None:
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
+        self.spec = spec
+        floor = spec.floor_mwh
+        self._energy_mwh = floor + initial_soc * (spec.capacity_mwh - floor)
+        self._charged_mwh = 0.0
+        self._discharged_mwh = 0.0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def energy_mwh(self) -> float:
+        """Current energy content."""
+        return self._energy_mwh
+
+    @property
+    def state_of_charge(self) -> float:
+        """Energy content as a fraction of nameplate capacity (0..1)."""
+        if self.spec.capacity_mwh == 0.0:
+            return 0.0
+        return self._energy_mwh / self.spec.capacity_mwh
+
+    @property
+    def headroom_mwh(self) -> float:
+        """Energy acceptable before hitting the full limit."""
+        return self.spec.capacity_mwh - self._energy_mwh
+
+    @property
+    def available_mwh(self) -> float:
+        """Stored energy above the DoD floor (pre-efficiency)."""
+        return self._energy_mwh - self.spec.floor_mwh
+
+    @property
+    def charged_mwh(self) -> float:
+        """Total energy absorbed so far, measured at the meter (pre-loss)."""
+        return self._charged_mwh
+
+    @property
+    def discharged_mwh(self) -> float:
+        """Total energy delivered so far (the cycle-counting basis)."""
+        return self._discharged_mwh
+
+    def equivalent_full_cycles(self) -> float:
+        """Discharged energy divided by usable capacity.
+
+        This is the standard equivalent-full-cycle count against which the
+        chemistry's cycle life is budgeted; zero-capacity batteries report
+        zero cycles.
+        """
+        usable = self.spec.usable_mwh
+        if usable == 0.0:
+            return 0.0
+        return self._discharged_mwh / usable
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def charge(self, offered_mw: float, duration_h: float = 1.0) -> float:
+        """Charge from ``offered_mw`` for ``duration_h``; return MW absorbed.
+
+        The absorbed power is the offer clipped by the C-rate limit and by
+        remaining headroom (after charge-efficiency losses, only
+        ``charge_efficiency`` of absorbed energy is stored).
+        """
+        if offered_mw < 0:
+            raise ValueError(f"offered power must be non-negative, got {offered_mw}")
+        if duration_h <= 0:
+            raise ValueError(f"duration must be positive, got {duration_h}")
+        if self.spec.capacity_mwh == 0.0 or offered_mw == 0.0:
+            return 0.0
+
+        eta = self.spec.chemistry.charge_efficiency
+        power = min(offered_mw, self.spec.max_charge_mw)
+        # Don't absorb more than the headroom can store after losses; the
+        # max() guards against headroom being a hair negative from rounding.
+        power = max(min(power, self.headroom_mwh / (eta * duration_h)), 0.0)
+        stored = power * duration_h * eta
+        self._energy_mwh += stored
+        self._charged_mwh += power * duration_h
+        return power
+
+    def discharge(self, requested_mw: float, duration_h: float = 1.0) -> float:
+        """Discharge to serve ``requested_mw``; return MW actually delivered.
+
+        Delivered power is the request clipped by the C-rate limit and by
+        the energy available above the DoD floor (drawing stored energy at
+        ``1 / discharge_efficiency`` per unit delivered).
+        """
+        if requested_mw < 0:
+            raise ValueError(f"requested power must be non-negative, got {requested_mw}")
+        if duration_h <= 0:
+            raise ValueError(f"duration must be positive, got {duration_h}")
+        if self.spec.capacity_mwh == 0.0 or requested_mw == 0.0:
+            return 0.0
+
+        eta = self.spec.chemistry.discharge_efficiency
+        power = min(requested_mw, self.spec.max_discharge_mw)
+        # Delivering `power` for `duration_h` drains power*duration/eta; the
+        # max() guards against availability being a hair negative from
+        # rounding at the DoD floor.
+        power = max(min(power, self.available_mwh * eta / duration_h), 0.0)
+        drained = power * duration_h / eta
+        self._energy_mwh -= drained
+        self._discharged_mwh += power * duration_h
+        return power
+
+    def reset(self, initial_soc: float = 1.0) -> None:
+        """Restore the initial state and zero the throughput counters."""
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
+        floor = self.spec.floor_mwh
+        self._energy_mwh = floor + initial_soc * (self.spec.capacity_mwh - floor)
+        self._charged_mwh = 0.0
+        self._discharged_mwh = 0.0

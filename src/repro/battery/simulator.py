@@ -1,0 +1,177 @@
+"""Hourly battery operation against a renewable surplus/deficit profile.
+
+§4.2: "Batteries will be charged when there is excess renewable supply ...
+Batteries will be discharged to power the datacenter when there is a lack of
+renewable supply."  This module runs that greedy policy hour by hour over a
+year, honouring the C/L/C constraints, and reports the resulting grid
+imports, residual surplus, and the charge-level trace behind Figure 16.
+
+The inner loop runs on plain floats (not :class:`HourlySeries` ops) because
+design-space sweeps call it thousands of times per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries import Histogram, HourlySeries, histogram
+from .clc import Battery, BatterySpec
+
+
+@dataclass(frozen=True)
+class BatterySimResult:
+    """Outcome of one year of greedy battery operation.
+
+    Attributes
+    ----------
+    spec:
+        The battery that was simulated.
+    grid_import:
+        Hourly power (MW) still drawn from the grid after discharging.
+    surplus:
+        Hourly renewable surplus (MW) remaining after charging (energy the
+        datacenter's investment produced but could not use or store).
+    charge_level:
+        Hourly energy content (MWh) at the *end* of each hour.
+    charged_mwh:
+        Total energy absorbed over the year (at the meter, pre-loss).
+    discharged_mwh:
+        Total energy delivered over the year.
+    """
+
+    spec: BatterySpec
+    grid_import: HourlySeries
+    surplus: HourlySeries
+    charge_level: HourlySeries
+    charged_mwh: float
+    discharged_mwh: float
+
+    def equivalent_full_cycles(self) -> float:
+        """Equivalent full cycles accumulated over the year."""
+        usable = self.spec.usable_mwh
+        if usable == 0.0:
+            return 0.0
+        return self.discharged_mwh / usable
+
+    def cycles_per_day(self) -> float:
+        """Average equivalent cycles per day — the lifetime duty cycle."""
+        return self.equivalent_full_cycles() / self.charge_level.calendar.n_days
+
+    def state_of_charge(self) -> HourlySeries:
+        """Charge level normalized to nameplate capacity (0..1)."""
+        if self.spec.capacity_mwh == 0.0:
+            return HourlySeries.zeros(self.charge_level.calendar, name="soc")
+        return (self.charge_level / self.spec.capacity_mwh).with_name("soc")
+
+    def charge_level_histogram(self, n_bins: int = 10) -> Histogram:
+        """Distribution of hourly state of charge — Figure 16.
+
+        The paper observes that under the carbon-optimal configuration
+        "batteries are often fully charged or fully discharged", i.e. the
+        histogram is U-shaped with mass at both ends.
+        """
+        if self.spec.capacity_mwh == 0.0:
+            raise ValueError("charge-level histogram undefined for a zero-capacity battery")
+        return histogram(self.state_of_charge().values, n_bins=n_bins)
+
+
+def simulate_battery(
+    demand: HourlySeries,
+    supply: HourlySeries,
+    spec: BatterySpec,
+    initial_soc: float = 1.0,
+) -> BatterySimResult:
+    """Run the greedy charge-on-surplus / discharge-on-deficit policy.
+
+    For every hour: if renewable ``supply`` exceeds datacenter ``demand``,
+    the surplus is offered to the battery (C-rate and headroom limits apply,
+    leftovers are reported as ``surplus``); if supply falls short, the
+    battery serves as much of the deficit as the C-rate, DoD floor, and
+    efficiency allow, and the remainder is imported from the grid.
+
+    Parameters
+    ----------
+    demand, supply:
+        Aligned hourly power traces in MW.
+    spec:
+        Battery to operate.  A zero-capacity spec degenerates to the
+        renewables-only case (grid import = positive part of the deficit).
+    initial_soc:
+        Starting state of charge within the DoD-usable band.
+    """
+    if demand.calendar != supply.calendar:
+        raise ValueError("demand and supply must share a calendar")
+    if demand.min() < 0 or supply.min() < 0:
+        raise ValueError("demand and supply must be non-negative")
+
+    calendar = demand.calendar
+    battery = Battery(spec, initial_soc=initial_soc)
+
+    demand_values = demand.values
+    supply_values = supply.values
+    n_hours = calendar.n_hours
+    grid_import = np.zeros(n_hours)
+    surplus = np.zeros(n_hours)
+    charge_level = np.zeros(n_hours)
+
+    for hour in range(n_hours):
+        gap = supply_values[hour] - demand_values[hour]
+        if gap >= 0.0:
+            absorbed = battery.charge(gap)
+            surplus[hour] = gap - absorbed
+        else:
+            delivered = battery.discharge(-gap)
+            grid_import[hour] = -gap - delivered
+        charge_level[hour] = battery.energy_mwh
+
+    return BatterySimResult(
+        spec=spec,
+        grid_import=HourlySeries(grid_import, calendar, name="grid import"),
+        surplus=HourlySeries(surplus, calendar, name="surplus"),
+        charge_level=HourlySeries(charge_level, calendar, name="charge level"),
+        charged_mwh=battery.charged_mwh,
+        discharged_mwh=battery.discharged_mwh,
+    )
+
+
+def capacity_for_full_coverage(
+    demand: HourlySeries,
+    supply: HourlySeries,
+    max_hours_of_load: float = 48.0,
+    tolerance_mwh: float = 1.0,
+) -> float:
+    """Smallest battery capacity (MWh) achieving zero grid import, if any.
+
+    Binary-searches capacity between 0 and ``max_hours_of_load`` times the
+    average demand (the paper reports capacities in "computational hours").
+    Returns ``float('inf')`` when even the largest battery cannot reach 24/7
+    coverage — e.g. when the year's total renewable supply is simply less
+    than total demand, which no storage can fix.
+
+    Used by the Figure 9 reproduction ("How much battery needs to be
+    deployed for 24/7 renewable energy?").
+    """
+    if max_hours_of_load <= 0:
+        raise ValueError(f"max_hours_of_load must be positive, got {max_hours_of_load}")
+    if tolerance_mwh <= 0:
+        raise ValueError(f"tolerance_mwh must be positive, got {tolerance_mwh}")
+
+    def deficit_with(capacity_mwh: float) -> float:
+        result = simulate_battery(demand, supply, BatterySpec(capacity_mwh))
+        return result.grid_import.total()
+
+    if deficit_with(0.0) == 0.0:
+        return 0.0
+    high = max_hours_of_load * demand.mean()
+    if deficit_with(high) > 0.0:
+        return float("inf")
+    low = 0.0
+    while high - low > tolerance_mwh:
+        mid = (low + high) / 2.0
+        if deficit_with(mid) > 0.0:
+            low = mid
+        else:
+            high = mid
+    return high

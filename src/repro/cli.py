@@ -1,0 +1,366 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Wraps the library's main analyses for shell use:
+
+* ``coverage``   — 24/7 coverage of an investment at a site (Fig. 7)
+* ``battery``    — battery hours needed for 100% coverage (Fig. 9)
+* ``schedule``   — greedy CAS benefit at a site (Figs. 11/12)
+* ``optimize``   — carbon-optimal design per strategy (Fig. 15)
+* ``rank``       — rank all thirteen sites by optimal footprint
+* ``scenarios``  — grid-mix / Net-Zero / 24-7 intensity summary (Fig. 6)
+* ``gap``        — annual vs monthly vs hourly matching (§3.2)
+* ``export-grid``   — write a balancing authority's year as EIA-style CSV
+* ``export-demand`` — write a site's demand trace as CSV
+
+Every command prints a plain-text table and exits 0 on success; argument
+errors exit 2 (argparse) and domain errors exit 1 with a message on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .battery import BatterySpec
+from .carbon import SupplyScenario, matching_gap
+from .core import CarbonExplorer, Strategy
+from .datacenter import SITE_ORDER
+from .grid import RenewableInvestment, generate_grid_dataset
+from .io import write_grid_csv, write_trace_csv
+from .reporting import format_table, percent
+
+_STRATEGY_BY_NAME = {
+    "renewables": Strategy.RENEWABLES_ONLY,
+    "battery": Strategy.RENEWABLES_BATTERY,
+    "cas": Strategy.RENEWABLES_CAS,
+    "all": Strategy.RENEWABLES_BATTERY_CAS,
+}
+
+
+def _explorer(args: argparse.Namespace) -> CarbonExplorer:
+    return CarbonExplorer(args.state, year=args.year, seed=args.seed)
+
+
+def _investment(args: argparse.Namespace, explorer: CarbonExplorer) -> RenewableInvestment:
+    if args.solar is None and args.wind is None:
+        return explorer.existing_investment()
+    return RenewableInvestment(solar_mw=args.solar or 0.0, wind_mw=args.wind or 0.0)
+
+
+def _add_site_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("state", choices=SITE_ORDER, help="Table-1 site code")
+    parser.add_argument("--year", type=int, default=2020, help="simulated year")
+    parser.add_argument("--seed", type=int, default=0, help="weather/demand seed")
+
+
+def _add_investment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--solar", type=float, default=None, help="solar MW (default: Meta's regional)"
+    )
+    parser.add_argument(
+        "--wind", type=float, default=None, help="wind MW (default: Meta's regional)"
+    )
+
+
+def cmd_coverage(args: argparse.Namespace) -> None:
+    explorer = _explorer(args)
+    investment = _investment(args, explorer)
+    coverage = explorer.coverage(investment)
+    print(
+        format_table(
+            ["site", "solar MW", "wind MW", "24/7 coverage"],
+            [
+                (
+                    args.state,
+                    f"{investment.solar_mw:.0f}",
+                    f"{investment.wind_mw:.0f}",
+                    percent(coverage),
+                )
+            ],
+        )
+    )
+
+
+def cmd_battery(args: argparse.Namespace) -> None:
+    explorer = _explorer(args)
+    investment = _investment(args, explorer)
+    hours = explorer.battery_hours_for_full_coverage(
+        investment, max_hours_of_load=args.max_hours
+    )
+    mwh = hours * explorer.avg_power_mw if hours != float("inf") else float("inf")
+    print(
+        format_table(
+            ["site", "battery for 24/7 (hours)", "battery for 24/7 (MWh)"],
+            [
+                (
+                    args.state,
+                    "unreachable" if hours == float("inf") else f"{hours:.1f}",
+                    "unreachable" if hours == float("inf") else f"{mwh:,.0f}",
+                )
+            ],
+        )
+    )
+
+
+def cmd_schedule(args: argparse.Namespace) -> None:
+    explorer = _explorer(args)
+    investment = _investment(args, explorer)
+    before = explorer.coverage(investment)
+    result = explorer.schedule(
+        investment,
+        capacity_mw=explorer.demand_power.max() * args.capacity_multiple,
+        flexible_ratio=args.fwr,
+    )
+    supply = explorer.renewable_supply(investment)
+    after = 1.0 - (
+        (result.shifted_demand - supply).positive_part().total()
+        / explorer.demand_power.total()
+    )
+    print(
+        format_table(
+            ["site", "FWR", "coverage before", "coverage after", "moved MWh", "extra capacity"],
+            [
+                (
+                    args.state,
+                    percent(args.fwr, 0),
+                    percent(before),
+                    percent(after),
+                    f"{result.moved_mwh:,.0f}",
+                    percent(result.additional_capacity_fraction()),
+                )
+            ],
+        )
+    )
+
+
+def cmd_optimize(args: argparse.Namespace) -> None:
+    explorer = _explorer(args)
+    space = explorer.default_space(
+        n_renewable_steps=args.renewable_steps,
+        battery_hours=tuple(args.battery_hours),
+        extra_capacity_fractions=tuple(args.extra_capacity),
+        flexible_ratio=args.fwr,
+    )
+    strategies = (
+        list(Strategy)
+        if args.strategy == "each"
+        else [_STRATEGY_BY_NAME[args.strategy]]
+    )
+    rows = []
+    for strategy in strategies:
+        best = explorer.optimize(strategy, space).best
+        rows.append(
+            (
+                strategy.value,
+                percent(best.coverage),
+                f"{best.operational_tons:,.0f}",
+                f"{best.embodied_tons:,.0f}",
+                f"{best.total_tons:,.0f}",
+                best.design.describe(),
+            )
+        )
+    print(
+        format_table(
+            ["strategy", "coverage", "op t/yr", "emb t/yr", "total t/yr", "design"],
+            rows,
+            title=f"Carbon-optimal designs, {args.state}",
+        )
+    )
+
+
+def cmd_rank(args: argparse.Namespace) -> None:
+    strategy = _STRATEGY_BY_NAME[args.strategy]
+    rows = []
+    for state in SITE_ORDER:
+        explorer = CarbonExplorer(state, year=args.year, seed=args.seed)
+        space = explorer.default_space(
+            n_renewable_steps=4,
+            battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
+            extra_capacity_fractions=(0.0, 0.5),
+        )
+        best = explorer.optimize(strategy, space).best
+        rows.append(
+            (
+                state,
+                explorer.context.grid.authority.renewable_class.value,
+                f"{best.total_tons / explorer.avg_power_mw:,.0f}",
+                percent(best.coverage),
+                best.total_tons / explorer.avg_power_mw,
+            )
+        )
+    rows.sort(key=lambda r: r[-1])
+    print(
+        format_table(
+            ["site", "region type", "tCO2/yr per MW", "coverage"],
+            [r[:-1] for r in rows],
+            title=f"Site ranking, strategy: {strategy.value}",
+        )
+    )
+
+
+def cmd_scenarios(args: argparse.Namespace) -> None:
+    explorer = _explorer(args)
+    investment = _investment(args, explorer)
+    battery = explorer.simulate_battery(
+        investment, BatterySpec(args.battery_hours_247 * explorer.avg_power_mw)
+    )
+    series = {
+        "grid mix": explorer.scenario_intensity(SupplyScenario.GRID_MIX, investment),
+        "net zero": explorer.scenario_intensity(SupplyScenario.NET_ZERO, investment),
+        "24/7": explorer.scenario_intensity(
+            SupplyScenario.CARBON_FREE_247, investment, residual_import=battery.grid_import
+        ),
+    }
+    rows = [
+        (name, f"{s.mean():.1f}", f"{s.max():.1f}")
+        for name, s in series.items()
+    ]
+    print(
+        format_table(
+            ["scenario", "mean gCO2/kWh", "max gCO2/kWh"],
+            rows,
+            title=f"Supply-scenario intensity, {args.state}",
+        )
+    )
+
+
+def cmd_gap(args: argparse.Namespace) -> None:
+    explorer = _explorer(args)
+    investment = _investment(args, explorer)
+    gap = matching_gap(explorer.demand_power, explorer.renewable_supply(investment))
+    print(
+        format_table(
+            ["matching granularity", "matched fraction"],
+            [
+                ("annual (Net Zero)", percent(gap.annual_fraction)),
+                ("monthly", percent(gap.monthly_fraction)),
+                ("hourly (24/7 CFE)", percent(gap.hourly_fraction)),
+            ],
+            title=f"REC matching gap, {args.state}",
+        )
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from .core.report import ReportOptions, site_report
+
+    options = ReportOptions(include_optimization=not args.quick)
+    print(site_report(args.state, options=options, year=args.year, seed=args.seed))
+
+
+def cmd_export_grid(args: argparse.Namespace) -> None:
+    grid = generate_grid_dataset(args.authority, year=args.year, seed=args.seed)
+    write_grid_csv(grid, args.output)
+    print(f"wrote {grid.calendar.n_hours} hourly rows for {args.authority} to {args.output}")
+
+
+def cmd_export_demand(args: argparse.Namespace) -> None:
+    explorer = _explorer(args)
+    write_trace_csv(explorer.demand_power, args.output)
+    print(
+        f"wrote {len(explorer.demand_power)} hourly rows for {args.state} to {args.output}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Carbon Explorer: carbon-aware datacenter design exploration",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p = subparsers.add_parser("coverage", help="24/7 coverage of an investment")
+    _add_site_arguments(p)
+    _add_investment_arguments(p)
+    p.set_defaults(handler=cmd_coverage)
+
+    p = subparsers.add_parser("battery", help="battery hours for 100%% coverage")
+    _add_site_arguments(p)
+    _add_investment_arguments(p)
+    p.add_argument("--max-hours", type=float, default=96.0, help="search ceiling")
+    p.set_defaults(handler=cmd_battery)
+
+    p = subparsers.add_parser("schedule", help="greedy CAS benefit")
+    _add_site_arguments(p)
+    _add_investment_arguments(p)
+    p.add_argument("--fwr", type=float, default=0.40, help="flexible workload ratio")
+    p.add_argument(
+        "--capacity-multiple", type=float, default=1.5, help="P_DC_MAX over peak"
+    )
+    p.set_defaults(handler=cmd_schedule)
+
+    p = subparsers.add_parser("optimize", help="carbon-optimal design search")
+    _add_site_arguments(p)
+    p.add_argument(
+        "--strategy",
+        choices=list(_STRATEGY_BY_NAME) + ["each"],
+        default="each",
+        help="solution portfolio ('each' = all four)",
+    )
+    p.add_argument("--fwr", type=float, default=0.40)
+    p.add_argument("--renewable-steps", type=int, default=4)
+    p.add_argument(
+        "--battery-hours", type=float, nargs="+", default=[0.0, 2.0, 5.0, 10.0, 16.0]
+    )
+    p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0, 0.5])
+    p.set_defaults(handler=cmd_optimize)
+
+    p = subparsers.add_parser("rank", help="rank all 13 sites")
+    p.add_argument("--strategy", choices=list(_STRATEGY_BY_NAME), default="all")
+    p.add_argument("--year", type=int, default=2020)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=cmd_rank)
+
+    p = subparsers.add_parser("scenarios", help="Fig. 6 intensity summary")
+    _add_site_arguments(p)
+    _add_investment_arguments(p)
+    p.add_argument(
+        "--battery-hours-247",
+        type=float,
+        default=10.0,
+        help="battery (hours of load) behind the 24/7 scenario",
+    )
+    p.set_defaults(handler=cmd_scenarios)
+
+    p = subparsers.add_parser("gap", help="annual vs hourly matching gap")
+    _add_site_arguments(p)
+    _add_investment_arguments(p)
+    p.set_defaults(handler=cmd_gap)
+
+    p = subparsers.add_parser("report", help="full site report (all analyses)")
+    _add_site_arguments(p)
+    p.add_argument(
+        "--quick", action="store_true", help="skip the exhaustive-search section"
+    )
+    p.set_defaults(handler=cmd_report)
+
+    p = subparsers.add_parser("export-grid", help="write EIA-style grid CSV")
+    p.add_argument("authority", help="balancing authority code, e.g. PACE")
+    p.add_argument("output", help="destination CSV path")
+    p.add_argument("--year", type=int, default=2020)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=cmd_export_grid)
+
+    p = subparsers.add_parser("export-demand", help="write a site demand CSV")
+    _add_site_arguments(p)
+    p.add_argument("output", help="destination CSV path")
+    p.set_defaults(handler=cmd_export_demand)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.handler(args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

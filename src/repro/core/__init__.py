@@ -1,0 +1,66 @@
+"""Core of the reproduction: coverage, design space, evaluation, optimizer."""
+
+from .coverage import (
+    coverage_from_grid_import,
+    coverage_percent,
+    hourly_coverage_fraction,
+    is_full_coverage,
+    renewable_coverage,
+)
+from .allocation import AllocationResult, AllocationStep, allocate_budget
+from .design import DesignPoint, DesignSpace, Strategy, default_design_space
+from .evaluate import (
+    DesignEvaluation,
+    SiteContext,
+    build_site_context,
+    evaluate_design,
+)
+from .explorer import CarbonExplorer
+from .optimizer import OptimizationResult, optimize, optimize_all_strategies
+from .pareto import dominates, frontier_tail_ratio, knee_point, pareto_frontier
+from .refine import RefinementResult, refine_optimize
+from .report import ReportOptions, site_report
+from .robustness import RobustnessReport, evaluate_across_years
+from .sensitivity import (
+    PAPER_COEFFICIENT_RANGES,
+    SensitivityRecord,
+    SensitivityReport,
+    sensitivity_analysis,
+)
+
+__all__ = [
+    "AllocationResult",
+    "AllocationStep",
+    "allocate_budget",
+    "coverage_from_grid_import",
+    "coverage_percent",
+    "hourly_coverage_fraction",
+    "is_full_coverage",
+    "renewable_coverage",
+    "DesignPoint",
+    "DesignSpace",
+    "Strategy",
+    "default_design_space",
+    "DesignEvaluation",
+    "SiteContext",
+    "build_site_context",
+    "evaluate_design",
+    "CarbonExplorer",
+    "OptimizationResult",
+    "optimize",
+    "optimize_all_strategies",
+    "RefinementResult",
+    "refine_optimize",
+    "ReportOptions",
+    "site_report",
+    "RobustnessReport",
+    "evaluate_across_years",
+    "PAPER_COEFFICIENT_RANGES",
+    "SensitivityRecord",
+    "SensitivityReport",
+    "sensitivity_analysis",
+    "dominates",
+    "frontier_tail_ratio",
+    "knee_point",
+    "pareto_frontier",
+]

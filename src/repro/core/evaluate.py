@@ -1,0 +1,243 @@
+"""End-to-end evaluation of a design point (the Fig. 13 pipeline).
+
+Given a datacenter site, one year of grid data, and a candidate design,
+this module runs the full Carbon Explorer pipeline: project renewable
+supply from the investment, operate the battery and/or the carbon-aware
+scheduler against the demand trace, and account both the operational carbon
+of residual grid imports and the annualized embodied carbon of every asset
+the design buys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from ..battery import simulate_battery
+from ..carbon import DEFAULT_EMBODIED_MODEL, EmbodiedCarbonModel, operational_carbon_tons
+from ..datacenter import (
+    DatacenterDemand,
+    UtilizationProfile,
+    get_site,
+    synthesize_demand,
+)
+from ..grid import GridDataset, generate_grid_dataset, scale_trace_to_capacity
+from ..scheduling import schedule_carbon_aware, simulate_combined
+from ..timeseries import DEFAULT_CALENDAR, HourlySeries, YearCalendar
+from .coverage import coverage_from_grid_import
+from .design import DesignPoint, Strategy
+
+
+@dataclass(frozen=True)
+class SiteContext:
+    """Everything fixed about a site while exploring designs.
+
+    Attributes
+    ----------
+    demand:
+        The site's synthesized demand (power trace + fleet model).
+    grid:
+        One year of (synthetic) grid data for the site's balancing authority.
+    grid_intensity:
+        The grid's hourly carbon intensity, cached because every design
+        evaluation reuses it.
+    embodied:
+        Embodied-carbon coefficients to charge against purchased assets.
+    """
+
+    demand: DatacenterDemand
+    grid: GridDataset
+    grid_intensity: HourlySeries
+    embodied: EmbodiedCarbonModel = DEFAULT_EMBODIED_MODEL
+
+    @property
+    def site_state(self) -> str:
+        """State code of the site under evaluation."""
+        return self.demand.site.state
+
+    @property
+    def supports_solar(self) -> bool:
+        """Whether the local grid generates any solar to invest in."""
+        return self.grid.solar.max() > 0.0
+
+    @property
+    def supports_wind(self) -> bool:
+        """Whether the local grid generates any wind to invest in."""
+        return self.grid.wind.max() > 0.0
+
+
+def build_site_context(
+    state: str,
+    year: int = DEFAULT_CALENDAR.year,
+    seed: int = 0,
+    profile: UtilizationProfile = UtilizationProfile(),
+    embodied: EmbodiedCarbonModel = DEFAULT_EMBODIED_MODEL,
+) -> SiteContext:
+    """Assemble the :class:`SiteContext` for a Table-1 site.
+
+    Deterministic in ``(state, year, seed, profile)``.
+    """
+    site = get_site(state)
+    calendar = YearCalendar(year)
+    demand = synthesize_demand(site, calendar, profile=profile, seed=seed)
+    grid = generate_grid_dataset(site.authority_code, year=year, seed=seed)
+    return SiteContext(
+        demand=demand,
+        grid=grid,
+        grid_intensity=grid.carbon_intensity_g_per_kwh(),
+        embodied=embodied,
+    )
+
+
+@dataclass(frozen=True)
+class DesignEvaluation:
+    """The carbon outcome of one design under one strategy.
+
+    Attributes
+    ----------
+    design:
+        The evaluated design (after strategy constraints were applied).
+    strategy:
+        The solution portfolio evaluated.
+    coverage:
+        Energy-weighted 24/7 renewable coverage achieved, in [0, 1].
+    operational_tons:
+        Annual operational carbon from residual grid imports, tCO2eq/yr.
+    renewables_embodied_tons:
+        Annualized embodied carbon of the solar/wind farms, tCO2eq/yr.
+    battery_embodied_tons:
+        Annualized embodied carbon of the battery, tCO2eq/yr.
+    servers_embodied_tons:
+        Annualized embodied carbon of extra servers, tCO2eq/yr.
+    grid_import_mwh:
+        Annual energy imported from the grid.
+    surplus_mwh:
+        Annual renewable energy the design could not use or store.
+    moved_mwh:
+        Annual energy the scheduler shifted across hours.
+    battery_cycles_per_day:
+        Observed battery duty cycle (0 without a battery).
+    """
+
+    design: DesignPoint
+    strategy: Strategy
+    coverage: float
+    operational_tons: float
+    renewables_embodied_tons: float
+    battery_embodied_tons: float
+    servers_embodied_tons: float
+    grid_import_mwh: float
+    surplus_mwh: float
+    moved_mwh: float
+    battery_cycles_per_day: float
+
+    @property
+    def embodied_tons(self) -> float:
+        """Total annualized embodied carbon, tCO2eq/yr."""
+        return (
+            self.renewables_embodied_tons
+            + self.battery_embodied_tons
+            + self.servers_embodied_tons
+        )
+
+    @property
+    def total_tons(self) -> float:
+        """Operational + embodied — the optimizer's objective, tCO2eq/yr."""
+        return self.operational_tons + self.embodied_tons
+
+    def tons_per_mw(self, avg_power_mw: float) -> float:
+        """Total carbon normalized by datacenter size (Fig. 15's y-axis)."""
+        if avg_power_mw <= 0:
+            raise ValueError(f"avg_power_mw must be positive, got {avg_power_mw}")
+        return self.total_tons / avg_power_mw
+
+
+def _extra_servers(context: SiteContext, extra_fraction: float) -> int:
+    """Physical extra servers a capacity fraction buys (rounded up)."""
+    if extra_fraction == 0.0:
+        return 0
+    return math.ceil(context.demand.fleet.n_servers * extra_fraction)
+
+
+def evaluate_design(
+    context: SiteContext,
+    design: DesignPoint,
+    strategy: Strategy,
+) -> DesignEvaluation:
+    """Run the full pipeline for one design under one strategy.
+
+    The design is first constrained to the strategy (a battery in a
+    renewables-only run is zeroed, etc.) so callers can sweep one grid
+    across all four strategies.
+    """
+    design = design.constrained_to(strategy)
+    demand_power = context.demand.power
+    calendar = demand_power.calendar
+
+    solar_trace = scale_trace_to_capacity(context.grid.solar, design.investment.solar_mw)
+    wind_trace = scale_trace_to_capacity(context.grid.wind, design.investment.wind_mw)
+    supply = (solar_trace + wind_trace).with_name("renewable supply")
+
+    capacity_mw = demand_power.max() * (1.0 + design.extra_capacity_fraction)
+    battery_spec = design.battery_spec()
+
+    moved_mwh = 0.0
+    battery_cycles_per_day = 0.0
+
+    if strategy is Strategy.RENEWABLES_ONLY:
+        grid_import = (demand_power - supply).positive_part()
+        surplus = (supply - demand_power).positive_part()
+    elif strategy is Strategy.RENEWABLES_BATTERY:
+        result = simulate_battery(demand_power, supply, battery_spec)
+        grid_import = result.grid_import
+        surplus = result.surplus
+        battery_cycles_per_day = result.cycles_per_day()
+    elif strategy is Strategy.RENEWABLES_CAS:
+        result = schedule_carbon_aware(
+            demand_power,
+            supply,
+            context.grid_intensity,
+            capacity_mw=capacity_mw,
+            flexible_ratio=design.flexible_ratio,
+        )
+        grid_import = (result.shifted_demand - supply).positive_part()
+        surplus = (supply - result.shifted_demand).positive_part()
+        moved_mwh = result.moved_mwh
+    elif strategy is Strategy.RENEWABLES_BATTERY_CAS:
+        result = simulate_combined(
+            demand_power,
+            supply,
+            battery_spec,
+            capacity_mw=capacity_mw,
+            flexible_ratio=design.flexible_ratio,
+        )
+        grid_import = result.grid_import
+        surplus = result.surplus
+        moved_mwh = result.deferred_mwh
+        battery_cycles_per_day = (
+            result.equivalent_full_cycles() / calendar.n_days
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise AssertionError(f"unhandled strategy {strategy}")
+
+    operational = operational_carbon_tons(grid_import, context.grid_intensity)
+    renewables_embodied = context.embodied.renewables_annual_tons(solar_trace, wind_trace)
+    battery_embodied = context.embodied.battery_annual_tons(
+        battery_spec, cycles_per_day=max(battery_cycles_per_day, 1e-3)
+    )
+    servers_embodied = context.embodied.servers_annual_tons(
+        _extra_servers(context, design.extra_capacity_fraction)
+    )
+
+    return DesignEvaluation(
+        design=design,
+        strategy=strategy,
+        coverage=coverage_from_grid_import(demand_power, grid_import),
+        operational_tons=operational,
+        renewables_embodied_tons=renewables_embodied,
+        battery_embodied_tons=battery_embodied,
+        servers_embodied_tons=servers_embodied,
+        grid_import_mwh=grid_import.total(),
+        surplus_mwh=surplus.total(),
+        moved_mwh=moved_mwh,
+        battery_cycles_per_day=battery_cycles_per_day,
+    )

@@ -1,0 +1,89 @@
+"""Exhaustive carbon minimization over the design space (paper §5, Fig. 13).
+
+    "Carbon Explorer exhaustively searches the design space to minimize the
+    sum of operational and embodied carbon. ... Finally, Carbon Explorer
+    outputs the carbon-optimal investments in renewable energy generation,
+    battery capacity, and server capacity."
+
+The optimizer evaluates every point of a :class:`DesignSpace` grid under a
+strategy and returns the minimizer along with every evaluation (the sweeps
+double as the raw data for the Pareto and Fig. 15 analyses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .design import DesignSpace, Strategy, default_design_space
+from .evaluate import DesignEvaluation, SiteContext, evaluate_design
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of one exhaustive sweep.
+
+    Attributes
+    ----------
+    strategy:
+        The solution portfolio the sweep was constrained to.
+    best:
+        The evaluation minimizing total (operational + embodied) carbon.
+    evaluations:
+        Every grid point evaluated, in grid order.
+    """
+
+    strategy: Strategy
+    best: DesignEvaluation
+    evaluations: Tuple[DesignEvaluation, ...]
+
+    @property
+    def n_evaluated(self) -> int:
+        """Number of designs the sweep evaluated."""
+        return len(self.evaluations)
+
+    def best_coverage(self) -> float:
+        """Coverage of the carbon-optimal design (a Fig. 15 annotation)."""
+        return self.best.coverage
+
+
+def optimize(
+    context: SiteContext,
+    space: DesignSpace,
+    strategy: Strategy,
+) -> OptimizationResult:
+    """Exhaustively evaluate ``space`` under ``strategy`` for one site.
+
+    Raises
+    ------
+    ValueError
+        If the constrained space is empty (it never is for a valid
+        :class:`DesignSpace`, which requires non-empty axes).
+    """
+    evaluations = []
+    for design in space.points(strategy):
+        evaluations.append(evaluate_design(context, design, strategy))
+    if not evaluations:
+        raise ValueError("design space produced no points")
+    best = min(evaluations, key=lambda e: e.total_tons)
+    return OptimizationResult(
+        strategy=strategy, best=best, evaluations=tuple(evaluations)
+    )
+
+
+def optimize_all_strategies(
+    context: SiteContext,
+    space: DesignSpace = None,
+) -> Dict[Strategy, OptimizationResult]:
+    """Run the exhaustive sweep for all four strategies of Fig. 15.
+
+    When ``space`` is omitted a :func:`default_design_space` is built from
+    the site's size and the local grid's available resources.
+    """
+    if space is None:
+        space = default_design_space(
+            avg_power_mw=context.demand.avg_power_mw,
+            supports_solar=context.supports_solar,
+            supports_wind=context.supports_wind,
+        )
+    return {strategy: optimize(context, space, strategy) for strategy in Strategy}

@@ -1,0 +1,150 @@
+"""One-shot comprehensive site report.
+
+Stitches the library's main analyses into a single text report for one
+datacenter site — the "give me everything about Utah" entry point used by
+``python -m repro report UT`` and handy in notebooks.  Sections follow the
+paper's narrative: demand and supply characterization (§3), solution sizing
+(§4), and carbon-optimal designs (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..carbon import SupplyScenario, matching_gap
+from ..reporting import format_table, percent
+from .design import Strategy
+from .explorer import CarbonExplorer
+
+
+@dataclass(frozen=True)
+class ReportOptions:
+    """Knobs for report depth (all defaults are quick-to-compute)."""
+
+    n_renewable_steps: int = 4
+    battery_hours: tuple = (0.0, 2.0, 5.0, 10.0, 16.0)
+    extra_capacity_fractions: tuple = (0.0, 0.5)
+    flexible_ratio: float = 0.40
+    include_optimization: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_renewable_steps < 2:
+            raise ValueError("n_renewable_steps must be >= 2")
+        if not 0.0 <= self.flexible_ratio <= 1.0:
+            raise ValueError("flexible_ratio must be in [0, 1]")
+
+
+def _characterization_section(explorer: CarbonExplorer) -> str:
+    demand = explorer.context.demand
+    grid = explorer.context.grid
+    rows = [
+        ("location", explorer.context.demand.site.location),
+        ("balancing authority", f"{grid.authority.code} ({grid.authority.renewable_class.value})"),
+        ("average facility power", f"{explorer.avg_power_mw:.1f} MW"),
+        ("diurnal utilization swing", f"{demand.diurnal_utilization_swing_points():.2f} points"),
+        ("diurnal power swing", percent(demand.diurnal_power_swing())),
+        ("grid renewable share", percent(grid.renewable_share())),
+        ("grid mean carbon intensity", f"{explorer.context.grid_intensity.mean():.0f} gCO2eq/kWh"),
+    ]
+    return format_table(["characteristic", "value"], rows, title="Site characterization (§3)")
+
+
+def _matching_section(explorer: CarbonExplorer) -> str:
+    investment = explorer.existing_investment()
+    gap = matching_gap(explorer.demand_power, explorer.renewable_supply(investment))
+    rows = [
+        ("existing investment", f"{investment.solar_mw:.0f} MW solar + {investment.wind_mw:.0f} MW wind"),
+        ("annual (Net Zero) matching", percent(gap.annual_fraction)),
+        ("monthly matching", percent(gap.monthly_fraction)),
+        ("hourly (24/7 CFE) matching", percent(gap.hourly_fraction)),
+        ("Net Zero overstatement", f"{gap.net_zero_overstatement * 100:.1f} points"),
+    ]
+    return format_table(["metric", "value"], rows, title="REC matching gap (§3.2)")
+
+
+def _sizing_section(explorer: CarbonExplorer, options: ReportOptions) -> str:
+    investment = explorer.existing_investment()
+    battery_hours = explorer.battery_hours_for_full_coverage(investment)
+    scenario_means = {
+        "grid mix": explorer.scenario_intensity(SupplyScenario.GRID_MIX).mean(),
+        "net zero": explorer.scenario_intensity(SupplyScenario.NET_ZERO).mean(),
+    }
+    result = explorer.schedule(
+        investment,
+        capacity_mw=explorer.demand_power.max() * 1.5,
+        flexible_ratio=options.flexible_ratio,
+    )
+    rows = [
+        ("coverage of existing investment", percent(explorer.coverage_of_existing_investment())),
+        (
+            "battery for 100% coverage",
+            "unreachable" if battery_hours == float("inf") else f"{battery_hours:.1f} h of load",
+        ),
+        ("CAS energy moved / year", f"{result.moved_mwh:,.0f} MWh"),
+        ("mean intensity, grid mix", f"{scenario_means['grid mix']:.0f} gCO2eq/kWh"),
+        ("mean intensity, net zero", f"{scenario_means['net zero']:.0f} gCO2eq/kWh"),
+    ]
+    return format_table(["solution sizing", "value"], rows, title="Solution sizing (§4)")
+
+
+def _optimization_section(explorer: CarbonExplorer, options: ReportOptions) -> str:
+    space = explorer.default_space(
+        n_renewable_steps=options.n_renewable_steps,
+        battery_hours=options.battery_hours,
+        extra_capacity_fractions=options.extra_capacity_fractions,
+        flexible_ratio=options.flexible_ratio,
+    )
+    rows = []
+    for strategy in Strategy:
+        best = explorer.optimize(strategy, space).best
+        rows.append(
+            (
+                strategy.value,
+                percent(best.coverage),
+                f"{best.operational_tons:,.0f}",
+                f"{best.embodied_tons:,.0f}",
+                f"{best.total_tons:,.0f}",
+                best.design.describe(),
+            )
+        )
+    return format_table(
+        ["strategy", "coverage", "op t/yr", "emb t/yr", "total t/yr", "design"],
+        rows,
+        title="Carbon-optimal designs (§5)",
+    )
+
+
+def site_report(
+    state: str,
+    options: Optional[ReportOptions] = None,
+    year: int = 2020,
+    seed: int = 0,
+) -> str:
+    """Build the full text report for one Table-1 site.
+
+    Parameters
+    ----------
+    state:
+        Site code (e.g. ``"UT"``).
+    options:
+        Report depth knobs; ``include_optimization=False`` skips the slow
+        exhaustive-search section.
+    """
+    if options is None:
+        options = ReportOptions()
+    explorer = CarbonExplorer(state, year=year, seed=seed)
+    header = (
+        f"CARBON EXPLORER SITE REPORT — {state} "
+        f"(simulated year {year}, seed {seed})"
+    )
+    sections = [
+        header,
+        "=" * len(header),
+        _characterization_section(explorer),
+        _matching_section(explorer),
+        _sizing_section(explorer, options),
+    ]
+    if options.include_optimization:
+        sections.append(_optimization_section(explorer, options))
+    return "\n\n".join(sections)

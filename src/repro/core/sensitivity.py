@@ -1,0 +1,129 @@
+"""Sensitivity of the carbon-optimal design to embodied-carbon coefficients.
+
+§6: "Carbon Explorer sets parameters based on the best publicly available
+data and these parameters can be tuned as better data becomes available."
+The paper quotes *ranges* for every embodied coefficient — wind 10-15 and
+solar 40-70 gCO2/kWh, batteries 74-134 kgCO2/kWh — so a responsible user
+should ask: does the optimal design change if the true coefficient sits at
+the other end of its range?
+
+This module answers with a one-at-a-time (OAT) study: each coefficient is
+pushed to its published low and high bound while the others stay at the
+paper's defaults, the optimizer re-runs, and the report records how much
+the optimal total carbon and the chosen design move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..carbon.embodied import (
+    BATTERY_EMBODIED_RANGE_KG_PER_KWH,
+    SOLAR_EMBODIED_RANGE_G_PER_KWH,
+    WIND_EMBODIED_RANGE_G_PER_KWH,
+)
+from .design import DesignPoint, DesignSpace, Strategy
+from .evaluate import SiteContext
+from .optimizer import OptimizationResult, optimize
+
+#: The published uncertainty range of each tunable coefficient (§5.1).
+PAPER_COEFFICIENT_RANGES: Dict[str, Tuple[float, float]] = {
+    "wind_g_per_kwh": WIND_EMBODIED_RANGE_G_PER_KWH,
+    "solar_g_per_kwh": SOLAR_EMBODIED_RANGE_G_PER_KWH,
+    "battery_kg_per_kwh": BATTERY_EMBODIED_RANGE_KG_PER_KWH,
+}
+
+
+@dataclass(frozen=True)
+class SensitivityRecord:
+    """Optimizer outcome with one coefficient pushed to one bound.
+
+    Attributes
+    ----------
+    coefficient:
+        Name of the perturbed :class:`EmbodiedCarbonModel` field.
+    value:
+        The value it was set to.
+    best_total_tons:
+        Total carbon of the re-optimized design.
+    best_design:
+        The re-optimized design itself.
+    design_changed:
+        Whether it differs from the baseline optimum.
+    """
+
+    coefficient: str
+    value: float
+    best_total_tons: float
+    best_design: DesignPoint
+    design_changed: bool
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Full OAT study around the paper's default coefficients."""
+
+    baseline: OptimizationResult
+    records: Tuple[SensitivityRecord, ...]
+
+    def max_total_swing(self) -> float:
+        """Largest relative change in optimal total carbon across the study."""
+        base = self.baseline.best.total_tons
+        if base == 0.0:
+            raise ValueError("baseline total carbon is zero; swing undefined")
+        return max(
+            abs(record.best_total_tons - base) / base for record in self.records
+        )
+
+    def robust_design(self) -> bool:
+        """``True`` if no coefficient bound changes the chosen design."""
+        return not any(record.design_changed for record in self.records)
+
+
+def sensitivity_analysis(
+    context: SiteContext,
+    space: DesignSpace,
+    strategy: Strategy,
+    ranges: Dict[str, Tuple[float, float]] = None,
+) -> SensitivityReport:
+    """Run the one-at-a-time coefficient study for one site and strategy.
+
+    Parameters
+    ----------
+    context:
+        Site under study (its embodied model provides the defaults).
+    space, strategy:
+        Passed through to :func:`repro.core.optimizer.optimize`.
+    ranges:
+        Coefficient name -> (low, high); defaults to the paper's ranges.
+    """
+    if ranges is None:
+        ranges = PAPER_COEFFICIENT_RANGES
+    if not ranges:
+        raise ValueError("ranges must not be empty")
+    base_model = context.embodied
+    for name in ranges:
+        if not hasattr(base_model, name):
+            raise ValueError(f"unknown embodied coefficient {name!r}")
+
+    baseline = optimize(context, space, strategy)
+    records = []
+    for name, (low, high) in ranges.items():
+        if low > high:
+            raise ValueError(f"{name}: low bound {low} exceeds high bound {high}")
+        for value in (low, high):
+            model = dataclasses.replace(base_model, **{name: value})
+            perturbed_context = dataclasses.replace(context, embodied=model)
+            result = optimize(perturbed_context, space, strategy)
+            records.append(
+                SensitivityRecord(
+                    coefficient=name,
+                    value=value,
+                    best_total_tons=result.best.total_tons,
+                    best_design=result.best.design,
+                    design_changed=result.best.design != baseline.best.design,
+                )
+            )
+    return SensitivityReport(baseline=baseline, records=tuple(records))

@@ -1,0 +1,170 @@
+"""Turbo Boost as an alternative to buying servers (paper §4.3 note).
+
+    "Note that, as an alternative to deploying more servers, datacenters
+    might Turbo Boost their current servers to increase compute throughput
+    without increasing capital costs and embodied carbon."
+
+Boosting clock frequency raises throughput roughly linearly but power
+super-linearly (dynamic power scales with frequency times voltage squared,
+and voltage rises with frequency).  So Turbo trades *operational* energy for
+the *embodied* carbon of extra machines — exactly the kind of trade-off
+Carbon Explorer exists to arbitrate.  :func:`compare_turbo_vs_servers` runs
+that comparison for a given extra-capacity requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..carbon.embodied import EmbodiedCarbonModel
+from .power_model import DatacenterPowerModel
+
+#: Exponent of power in frequency for the boosted region.  Dynamic power is
+#: ~f*V^2 with V roughly linear in f in the turbo range, giving ~f^3 for the
+#: dynamic part; whole-server wall power dilutes this toward ~2.5.
+DEFAULT_POWER_EXPONENT = 2.5
+
+#: How far past nominal frequency commodity servers can sustain all-core
+#: turbo (20% is typical of the DL360-class machines the paper models).
+MAX_BOOST = 1.35
+
+
+@dataclass(frozen=True)
+class TurboBoostModel:
+    """Frequency boosting of an existing fleet.
+
+    Attributes
+    ----------
+    boost:
+        Frequency (and throughput) multiplier, 1.0 = nominal.
+    power_exponent:
+        Exponent relating dynamic-power growth to the boost.
+    """
+
+    boost: float
+    power_exponent: float = DEFAULT_POWER_EXPONENT
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.boost <= MAX_BOOST:
+            raise ValueError(
+                f"boost must be in [1.0, {MAX_BOOST}], got {self.boost}"
+            )
+        if self.power_exponent < 1.0:
+            raise ValueError(
+                f"power_exponent must be >= 1 (superlinear power), "
+                f"got {self.power_exponent}"
+            )
+
+    @property
+    def extra_capacity_fraction(self) -> float:
+        """Throughput gained, as a fraction of nominal capacity."""
+        return self.boost - 1.0
+
+    @property
+    def dynamic_power_factor(self) -> float:
+        """Multiplier on per-server *dynamic* power while boosted."""
+        return self.boost**self.power_exponent
+
+    def energy_per_op_factor(self) -> float:
+        """Energy per unit of work relative to nominal (always >= 1)."""
+        return self.dynamic_power_factor / self.boost
+
+    @classmethod
+    def for_extra_capacity(
+        cls, extra_fraction: float, power_exponent: float = DEFAULT_POWER_EXPONENT
+    ) -> "TurboBoostModel":
+        """The boost level delivering a required extra-capacity fraction.
+
+        Raises if the requirement exceeds what turbo can deliver
+        (``MAX_BOOST - 1``) — beyond that, servers must be bought.
+        """
+        if extra_fraction < 0:
+            raise ValueError(f"extra_fraction must be non-negative, got {extra_fraction}")
+        boost = 1.0 + extra_fraction
+        if boost > MAX_BOOST:
+            raise ValueError(
+                f"turbo cannot deliver +{extra_fraction:.0%}; max is "
+                f"+{MAX_BOOST - 1.0:.0%}"
+            )
+        return cls(boost=boost, power_exponent=power_exponent)
+
+
+@dataclass(frozen=True)
+class CapacityComparison:
+    """Annual carbon cost of delivering extra capacity two ways.
+
+    Attributes
+    ----------
+    extra_fraction:
+        The capacity requirement compared.
+    turbo_operational_tons:
+        Extra operational carbon per year from boosted (less efficient)
+        execution of the surge work.
+    servers_embodied_tons:
+        Annualized embodied carbon of buying servers instead.
+    """
+
+    extra_fraction: float
+    turbo_operational_tons: float
+    servers_embodied_tons: float
+
+    @property
+    def turbo_wins(self) -> bool:
+        """``True`` when boosting is the lower-carbon option."""
+        return self.turbo_operational_tons < self.servers_embodied_tons
+
+
+def compare_turbo_vs_servers(
+    fleet: DatacenterPowerModel,
+    embodied: EmbodiedCarbonModel,
+    extra_fraction: float,
+    surge_hours_per_year: float,
+    grid_intensity_g_per_kwh: float,
+    power_exponent: float = DEFAULT_POWER_EXPONENT,
+) -> CapacityComparison:
+    """Which is greener for a given surge-capacity need: turbo or servers?
+
+    Parameters
+    ----------
+    fleet:
+        The existing fleet.
+    embodied:
+        Embodied model pricing the extra servers.
+    extra_fraction:
+        Required extra capacity (e.g. 0.2 = +20%).
+    surge_hours_per_year:
+        Hours per year the extra capacity actually runs (deferred-work
+        bursts, not the whole year).
+    grid_intensity_g_per_kwh:
+        Carbon intensity of the energy powering the surge.  Zero (surge
+        powered purely by surplus renewables) makes turbo free and always
+        preferable.
+    """
+    if surge_hours_per_year < 0:
+        raise ValueError(
+            f"surge_hours_per_year must be non-negative, got {surge_hours_per_year}"
+        )
+    if grid_intensity_g_per_kwh < 0:
+        raise ValueError("grid intensity must be non-negative")
+
+    turbo = TurboBoostModel.for_extra_capacity(extra_fraction, power_exponent)
+    # The surge work itself: extra_fraction of fleet IT dynamic power for
+    # surge_hours.  Run on new servers it costs that energy at nominal
+    # efficiency; run boosted it costs energy_per_op_factor times as much —
+    # and boosting also taxes the *base* work running on the same cores.
+    dynamic_mw = fleet.n_servers * fleet.server.dynamic_range_w / 1e6 * fleet.pue
+    surge_energy_mwh = dynamic_mw * extra_fraction * surge_hours_per_year
+    base_energy_mwh = dynamic_mw * 1.0 * surge_hours_per_year
+    penalty = turbo.energy_per_op_factor() - 1.0
+    extra_energy_mwh = (surge_energy_mwh + base_energy_mwh) * penalty
+    turbo_tons = extra_energy_mwh * 1000.0 * grid_intensity_g_per_kwh / 1e6
+
+    import math
+
+    n_extra = math.ceil(fleet.n_servers * extra_fraction)
+    server_tons = embodied.servers_annual_tons(n_extra)
+    return CapacityComparison(
+        extra_fraction=extra_fraction,
+        turbo_operational_tons=turbo_tons,
+        servers_embodied_tons=server_tons,
+    )

@@ -1,0 +1,28 @@
+"""Day-ahead forecasting and forecast-driven (online) scheduling."""
+
+from .metrics import (
+    forecast_skill,
+    mean_absolute_error,
+    normalized_mae,
+    root_mean_squared_error,
+)
+from .models import (
+    BlendedForecaster,
+    ClimatologyForecaster,
+    PersistenceForecaster,
+    forecast_series,
+)
+from .online import OnlineScheduleResult, schedule_with_forecast
+
+__all__ = [
+    "forecast_skill",
+    "mean_absolute_error",
+    "normalized_mae",
+    "root_mean_squared_error",
+    "BlendedForecaster",
+    "ClimatologyForecaster",
+    "PersistenceForecaster",
+    "forecast_series",
+    "OnlineScheduleResult",
+    "schedule_with_forecast",
+]

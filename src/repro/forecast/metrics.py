@@ -1,0 +1,51 @@
+"""Forecast accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(actual, forecast) -> tuple:
+    a = np.asarray(actual, dtype=float)
+    f = np.asarray(forecast, dtype=float)
+    if a.shape != f.shape:
+        raise ValueError(f"shape mismatch: actual {a.shape} vs forecast {f.shape}")
+    if a.size == 0:
+        raise ValueError("cannot score empty forecasts")
+    return a, f
+
+
+def mean_absolute_error(actual, forecast) -> float:
+    """Mean of |actual - forecast|."""
+    a, f = _pair(actual, forecast)
+    return float(np.abs(a - f).mean())
+
+
+def root_mean_squared_error(actual, forecast) -> float:
+    """Root of mean squared error."""
+    a, f = _pair(actual, forecast)
+    return float(np.sqrt(((a - f) ** 2).mean()))
+
+
+def normalized_mae(actual, forecast) -> float:
+    """MAE divided by the mean actual — comparable across trace scales.
+
+    Raises when the actual signal has zero mean (nothing to normalize by).
+    """
+    a, f = _pair(actual, forecast)
+    mean = a.mean()
+    if mean == 0.0:
+        raise ValueError("normalized MAE undefined for a zero-mean actual")
+    return float(np.abs(a - f).mean() / mean)
+
+
+def forecast_skill(actual, forecast, reference) -> float:
+    """Skill score vs a reference forecast: ``1 - MAE/MAE_ref``.
+
+    Positive = better than the reference; 1.0 = perfect; negative = worse.
+    """
+    mae = mean_absolute_error(actual, forecast)
+    mae_ref = mean_absolute_error(actual, reference)
+    if mae_ref == 0.0:
+        raise ValueError("reference forecast is perfect; skill undefined")
+    return 1.0 - mae / mae_ref

@@ -1,0 +1,116 @@
+"""Day-ahead forecasters for renewable supply and grid carbon intensity.
+
+The paper's scheduling analysis is offline — the scheduler sees the whole
+year (§6: "We perform offline analyses ... A future implementation would
+benefit from prior schedulers", citing time-series forecasting work).  This
+module supplies that future implementation's missing piece: simple,
+dependency-free day-ahead forecasters that see only history, so the online
+scheduler in :mod:`repro.forecast.online` can be compared against the
+paper's oracle.
+
+All forecasters implement one method::
+
+    forecast_day(history, day_of_year) -> 24 hourly values
+
+where ``history`` contains actual values for all hours before that day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries import HOURS_PER_DAY
+
+__all__ = [
+    "PersistenceForecaster",
+    "ClimatologyForecaster",
+    "BlendedForecaster",
+    "forecast_series",
+]
+
+
+def _check_inputs(history: np.ndarray, day_of_year: int) -> None:
+    if day_of_year < 0:
+        raise ValueError(f"day_of_year must be non-negative, got {day_of_year}")
+    if history.shape[0] < day_of_year * HOURS_PER_DAY:
+        raise ValueError(
+            f"history has {history.shape[0]} hours, fewer than the "
+            f"{day_of_year * HOURS_PER_DAY} preceding day {day_of_year}"
+        )
+
+
+@dataclass(frozen=True)
+class PersistenceForecaster:
+    """Tomorrow looks like today: repeat the most recent full day.
+
+    The canonical naive baseline for strongly diurnal signals.  For day 0
+    (no history) it predicts zeros — the scheduler then behaves
+    conservatively on the first day.
+    """
+
+    def forecast_day(self, history: np.ndarray, day_of_year: int) -> np.ndarray:
+        _check_inputs(history, day_of_year)
+        if day_of_year == 0:
+            return np.zeros(HOURS_PER_DAY)
+        start = (day_of_year - 1) * HOURS_PER_DAY
+        return history[start : start + HOURS_PER_DAY].copy()
+
+
+@dataclass(frozen=True)
+class ClimatologyForecaster:
+    """Tomorrow looks like the average day so far.
+
+    Averages each hour-of-day over all completed days; smooth but blind to
+    synoptic weather (a windy spell looks like an average one).
+    """
+
+    def forecast_day(self, history: np.ndarray, day_of_year: int) -> np.ndarray:
+        _check_inputs(history, day_of_year)
+        if day_of_year == 0:
+            return np.zeros(HOURS_PER_DAY)
+        days = history[: day_of_year * HOURS_PER_DAY].reshape(day_of_year, HOURS_PER_DAY)
+        return days.mean(axis=0)
+
+
+@dataclass(frozen=True)
+class BlendedForecaster:
+    """Convex blend of persistence and climatology.
+
+    ``weight`` leans toward persistence (1.0 = pure persistence).  Around
+    0.6-0.7 is a strong day-ahead baseline for wind, which persists on
+    synoptic time scales but reverts to climatology beyond them.
+    """
+
+    weight: float = 0.65
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight <= 1.0:
+            raise ValueError(f"weight must be in [0, 1], got {self.weight}")
+
+    def forecast_day(self, history: np.ndarray, day_of_year: int) -> np.ndarray:
+        persistence = PersistenceForecaster().forecast_day(history, day_of_year)
+        climatology = ClimatologyForecaster().forecast_day(history, day_of_year)
+        return self.weight * persistence + (1.0 - self.weight) * climatology
+
+
+def forecast_series(forecaster, actual: "np.ndarray") -> np.ndarray:
+    """Roll a forecaster across a whole year of actuals.
+
+    Returns the concatenated day-ahead forecasts (same length as
+    ``actual``); each day's forecast sees only strictly earlier actual
+    hours.  Used for computing year-level forecast-accuracy metrics.
+    """
+    values = np.asarray(actual, dtype=float)
+    if values.ndim != 1 or values.shape[0] % HOURS_PER_DAY != 0:
+        raise ValueError(
+            f"actual must be a whole number of days of hourly values, got shape {values.shape}"
+        )
+    n_days = values.shape[0] // HOURS_PER_DAY
+    out = np.empty_like(values)
+    for day in range(n_days):
+        out[day * HOURS_PER_DAY : (day + 1) * HOURS_PER_DAY] = forecaster.forecast_day(
+            values, day
+        )
+    return out

@@ -1,0 +1,125 @@
+"""Forecast-driven (online) carbon-aware scheduling.
+
+The paper's greedy scheduler is an oracle: it plans each day against the
+day's *actual* renewable supply and carbon intensity.  A deployed scheduler
+only has forecasts.  This module re-runs the same per-day greedy plan
+against day-ahead forecasts and then *executes* the plan against reality,
+quantifying how much of the oracle's benefit survives imperfect prediction
+(the ``bench_forecast.py`` ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..scheduling.greedy import _schedule_one_day
+from ..timeseries import HourlySeries
+from .models import forecast_series
+
+
+@dataclass(frozen=True)
+class OnlineScheduleResult:
+    """Outcome of forecast-driven scheduling over a year.
+
+    Attributes
+    ----------
+    shifted_demand:
+        Demand after executing the forecast-planned shifts, MW.
+    realized_deficit_mwh:
+        Unmet-by-renewables energy against *actual* supply.
+    oracle_deficit_mwh:
+        What the paper's oracle scheduler achieves on the same inputs.
+    baseline_deficit_mwh:
+        Deficit with no scheduling at all.
+    moved_mwh:
+        Energy the forecast-driven plan moved.
+    """
+
+    shifted_demand: HourlySeries
+    realized_deficit_mwh: float
+    oracle_deficit_mwh: float
+    baseline_deficit_mwh: float
+    moved_mwh: float
+
+    def regret(self) -> float:
+        """Benefit lost to forecast error, as a fraction of the oracle's gain.
+
+        0.0 = the forecast scheduler matched the oracle; 1.0 = it achieved
+        nothing over the unscheduled baseline; >1 = it actively hurt.
+        """
+        oracle_gain = self.baseline_deficit_mwh - self.oracle_deficit_mwh
+        if oracle_gain <= 0.0:
+            raise ValueError("oracle gains nothing here; regret undefined")
+        realized_gain = self.baseline_deficit_mwh - self.realized_deficit_mwh
+        return 1.0 - realized_gain / oracle_gain
+
+
+def schedule_with_forecast(
+    demand: HourlySeries,
+    actual_supply: HourlySeries,
+    actual_intensity: HourlySeries,
+    forecaster,
+    capacity_mw: float,
+    flexible_ratio: float,
+) -> OnlineScheduleResult:
+    """Plan each day with day-ahead forecasts, execute against reality.
+
+    The *plan* (which hours shed load, which hours absorb it) is computed by
+    the same greedy routine the paper uses, but fed forecast supply and
+    forecast intensity; the resulting shifted demand is then scored against
+    actual supply.
+
+    Parameters mirror :func:`repro.scheduling.schedule_carbon_aware` plus
+    the ``forecaster`` (see :mod:`repro.forecast.models`).
+    """
+    if demand.calendar != actual_supply.calendar or demand.calendar != actual_intensity.calendar:
+        raise ValueError("demand, supply, and intensity must share a calendar")
+    if not 0.0 <= flexible_ratio <= 1.0:
+        raise ValueError(f"flexible_ratio must be in [0, 1], got {flexible_ratio}")
+    if capacity_mw < demand.max():
+        raise ValueError(
+            f"capacity {capacity_mw} MW below demand peak {demand.max():.3f} MW"
+        )
+
+    calendar = demand.calendar
+    supply_forecast = forecast_series(forecaster, actual_supply.values)
+    intensity_forecast = forecast_series(forecaster, actual_intensity.values)
+
+    shifted = demand.values.copy()
+    moved = 0.0
+    if flexible_ratio > 0.0:
+        for day, day_slice in enumerate(calendar.iter_days()):
+            moved += _schedule_one_day(
+                shifted[day_slice],
+                supply_forecast[day_slice],
+                intensity_forecast[day_slice],
+                capacity_mw,
+                flexible_ratio,
+            )
+    shifted_series = HourlySeries(shifted, calendar, name="forecast-shifted demand")
+
+    realized = float(
+        np.clip(shifted - actual_supply.values, 0.0, None).sum()
+    )
+    baseline = float(
+        np.clip(demand.values - actual_supply.values, 0.0, None).sum()
+    )
+
+    from ..scheduling import schedule_carbon_aware
+
+    oracle = schedule_carbon_aware(
+        demand, actual_supply, actual_intensity, capacity_mw, flexible_ratio
+    )
+    oracle_deficit = float(
+        np.clip(oracle.shifted_demand.values - actual_supply.values, 0.0, None).sum()
+    )
+
+    return OnlineScheduleResult(
+        shifted_demand=shifted_series,
+        realized_deficit_mwh=realized,
+        oracle_deficit_mwh=oracle_deficit,
+        baseline_deficit_mwh=baseline,
+        moved_mwh=moved,
+    )

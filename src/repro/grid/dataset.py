@@ -1,0 +1,229 @@
+"""Grid datasets: hourly generation by fuel, dispatch, and carbon intensity.
+
+A :class:`GridDataset` is this library's stand-in for one year of EIA Hourly
+Grid Monitor data for one balancing authority: an hourly generation trace per
+fuel type, the system demand it serves, and derived quantities — hourly grid
+carbon intensity (used by the carbon-aware scheduler and the operational
+footprint model) and renewable curtailment (used by the Figure 4
+reproduction).
+
+Dispatch follows a simple merit order: wind and solar are taken as produced
+(zero marginal cost), nuclear runs flat, hydro follows its seasonal shape,
+and the fossil residual splits between gas and coal.  When carbon-free
+supply exceeds demand, the surplus wind and solar are curtailed
+proportionally, mirroring how real ISOs shed renewables first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..timeseries import DEFAULT_CALENDAR, HourlySeries, YearCalendar
+from .authorities import BalancingAuthority, get_authority
+from .sources import CARBON_INTENSITY_G_PER_KWH, EnergySource
+from .synthetic import (
+    hydro_generation,
+    seed_for,
+    solar_generation,
+    system_demand,
+    wind_generation,
+)
+
+
+@dataclass(frozen=True)
+class GridDataset:
+    """One year of hourly grid operating data for a balancing authority.
+
+    Attributes
+    ----------
+    authority:
+        The balancing authority the data describes.
+    generation:
+        Delivered (post-curtailment) hourly generation per fuel, MW.
+    demand:
+        Hourly system demand, MW.
+    curtailed:
+        Hourly curtailed renewable energy, MW (generation shed when
+        carbon-free supply exceeded demand).
+    """
+
+    authority: BalancingAuthority
+    generation: Mapping[EnergySource, HourlySeries]
+    demand: HourlySeries
+    curtailed: HourlySeries
+
+    def __post_init__(self) -> None:
+        calendar = self.demand.calendar
+        for source, series in self.generation.items():
+            if series.calendar != calendar:
+                raise ValueError(f"generation[{source}] is on a different calendar")
+            if series.min() < 0:
+                raise ValueError(f"generation[{source}] has negative values")
+        if self.curtailed.calendar != calendar:
+            raise ValueError("curtailed series is on a different calendar")
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def calendar(self) -> YearCalendar:
+        """Calendar all series in this dataset are aligned to."""
+        return self.demand.calendar
+
+    def source(self, source: EnergySource) -> HourlySeries:
+        """Hourly delivered generation for one fuel (zeros if absent)."""
+        series = self.generation.get(source)
+        if series is None:
+            return HourlySeries.zeros(self.calendar, name=source.value)
+        return series
+
+    @property
+    def wind(self) -> HourlySeries:
+        """Hourly delivered wind generation, MW."""
+        return self.source(EnergySource.WIND)
+
+    @property
+    def solar(self) -> HourlySeries:
+        """Hourly delivered solar generation, MW."""
+        return self.source(EnergySource.SOLAR)
+
+    def renewables(self) -> HourlySeries:
+        """Hourly wind + solar generation, MW."""
+        return (self.wind + self.solar).with_name("renewables")
+
+    def total_generation(self) -> HourlySeries:
+        """Hourly generation summed over all fuels, MW."""
+        total = HourlySeries.zeros(self.calendar)
+        for series in self.generation.values():
+            total = total + series
+        return total.with_name("total generation")
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    def renewable_share(self) -> float:
+        """Wind + solar fraction of total annual generation."""
+        total = self.total_generation().total()
+        if total == 0.0:
+            raise ValueError("dataset has no generation")
+        return self.renewables().total() / total
+
+    def carbon_intensity_g_per_kwh(self) -> HourlySeries:
+        """Hourly carbon intensity of the grid's delivered mix, gCO2eq/kWh.
+
+        This is the intensity a consumer without PPAs experiences (the
+        "Grid Mix" series of Figure 6) and the cost applied to every kWh a
+        datacenter draws from the grid when its own renewables fall short.
+        """
+        total = np.zeros(self.calendar.n_hours)
+        weighted = np.zeros(self.calendar.n_hours)
+        for source, series in self.generation.items():
+            total += series.values
+            weighted += series.values * CARBON_INTENSITY_G_PER_KWH[source]
+        if np.any(total <= 0.0):
+            raise ValueError("grid has hours with zero total generation")
+        return HourlySeries(weighted / total, self.calendar, name="grid intensity")
+
+    def curtailment_fraction(self) -> float:
+        """Curtailed renewable energy as a fraction of potential renewable
+        generation (delivered + curtailed) — the y-axis of Figure 4."""
+        potential = self.renewables().total() + self.curtailed.total()
+        if potential == 0.0:
+            return 0.0
+        return self.curtailed.total() / potential
+
+
+def dispatch(
+    authority: BalancingAuthority,
+    wind: HourlySeries,
+    solar: HourlySeries,
+    demand: HourlySeries,
+    hydro: HourlySeries,
+) -> GridDataset:
+    """Assemble a full grid mix by merit-order dispatch.
+
+    Wind, solar, hydro, and flat nuclear serve demand first; oversupply
+    curtails wind and solar proportionally; any remaining residual is filled
+    by gas and coal in the authority's ``coal_share`` proportions plus a
+    small "other" (biofuel etc.) contribution.
+    """
+    calendar = demand.calendar
+    nuclear = HourlySeries.constant(
+        authority.avg_demand_mw * authority.dispatch.nuclear_fraction,
+        calendar,
+        name="nuclear",
+    )
+    other = HourlySeries.constant(
+        authority.avg_demand_mw * authority.dispatch.other_fraction,
+        calendar,
+        name="other",
+    )
+
+    renewable = wind.values + solar.values
+    must_run = nuclear.values + hydro.values + other.values
+    headroom = np.clip(demand.values - must_run, 0.0, None)
+
+    # Curtail wind and solar proportionally when they exceed the headroom
+    # left after must-run generation.
+    delivered_renewable = np.minimum(renewable, headroom)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        keep = np.where(renewable > 0.0, delivered_renewable / renewable, 1.0)
+    wind_delivered = wind.values * keep
+    solar_delivered = solar.values * keep
+    curtailed = renewable - delivered_renewable
+
+    residual = np.clip(demand.values - must_run - delivered_renewable, 0.0, None)
+    coal_share = authority.dispatch.coal_share
+    generation: Dict[EnergySource, HourlySeries] = {
+        EnergySource.WIND: HourlySeries(wind_delivered, calendar, name="wind"),
+        EnergySource.SOLAR: HourlySeries(solar_delivered, calendar, name="solar"),
+        EnergySource.NUCLEAR: nuclear,
+        EnergySource.WATER: hydro,
+        EnergySource.OTHER: other,
+        EnergySource.NATURAL_GAS: HourlySeries(
+            residual * (1.0 - coal_share), calendar, name="natural_gas"
+        ),
+        EnergySource.COAL: HourlySeries(residual * coal_share, calendar, name="coal"),
+    }
+    return GridDataset(
+        authority=authority,
+        generation=generation,
+        demand=demand,
+        curtailed=HourlySeries(curtailed, calendar, name="curtailed"),
+    )
+
+
+@lru_cache(maxsize=64)
+def generate_grid_dataset(
+    authority_code: str,
+    year: int = DEFAULT_CALENDAR.year,
+    seed: int = 0,
+) -> GridDataset:
+    """Synthesize one year of grid data for a balancing authority.
+
+    Deterministic in ``(authority_code, year, seed)``; results are cached
+    because design-space sweeps re-read the same region's data thousands of
+    times.
+
+    Parameters
+    ----------
+    authority_code:
+        EIA code, e.g. ``"BPAT"`` — see :data:`repro.grid.BALANCING_AUTHORITIES`.
+    year:
+        Calendar year to simulate (defaults to the paper's 2020).
+    seed:
+        Base seed; combined with the code and year so each region draws
+        independent weather.
+    """
+    authority = get_authority(authority_code)
+    calendar = YearCalendar(year)
+    rng = np.random.default_rng(seed_for(authority_code, year, seed))
+    wind = wind_generation(authority.wind, calendar, rng)
+    solar = solar_generation(authority.solar, calendar, rng)
+    demand = system_demand(authority, calendar, rng)
+    hydro = hydro_generation(authority, calendar)
+    return dispatch(authority, wind, solar, demand, hydro)

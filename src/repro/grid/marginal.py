@@ -1,0 +1,87 @@
+"""Average vs *marginal* grid carbon intensity.
+
+The paper (and this library's default pipeline) ranks hours by the grid's
+**average** carbon intensity — total emissions over total generation.  But
+when a datacenter shifts a megawatt, the generator that actually ramps in
+response is the *marginal* one: the last unit in the dispatch stack, almost
+always a fossil plant.  Carbon-aware-scheduling literature (e.g. the
+Radovanovic et al. work the paper cites) debates which signal schedulers
+should follow; this module computes the marginal signal for our dispatch
+model so the two can be compared head-to-head (``bench_marginal.py``).
+
+In the merit-order dispatch of :mod:`repro.grid.dataset`, the marginal unit
+is:
+
+* a **curtailed renewable** when curtailment is active (marginal intensity
+  ~0: extra load would simply absorb shed wind/solar);
+* otherwise a **fossil unit** whenever any fossil is running — gas while
+  the residual sits in the fleet's gas tranche, coal once the residual
+  climbs into the coal tranche (within-fossil merit order; a constant
+  fossil blend would carry no hour-to-hour ranking information and make
+  the signal useless to a scheduler);
+* otherwise the cheapest dispatchable must-run unit (hydro, treated as the
+  flexible carbon-free margin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeseries import HourlySeries
+from .dataset import GridDataset
+from .sources import CARBON_INTENSITY_G_PER_KWH, EnergySource
+
+#: Below this fossil output (MW) the fossil fleet is considered off and the
+#: margin falls to the carbon-free flexible unit.
+_FOSSIL_ON_THRESHOLD_MW = 1e-6
+
+
+def marginal_intensity_g_per_kwh(grid: GridDataset) -> HourlySeries:
+    """Hourly *marginal* carbon intensity of a grid year, gCO2eq/kWh.
+
+    See the module docstring for the three-way rule.  Within the fossil
+    fleet, gas is assumed to dispatch before coal: the margin is gas while
+    the hour's fossil residual is below the fleet's gas tranche
+    (``(1 - coal_share)`` of the year's peak fossil output) and coal above
+    it.
+    """
+    gas_marginal = CARBON_INTENSITY_G_PER_KWH[EnergySource.NATURAL_GAS]
+    coal_marginal = CARBON_INTENSITY_G_PER_KWH[EnergySource.COAL]
+    hydro_marginal = CARBON_INTENSITY_G_PER_KWH[EnergySource.WATER]
+
+    fossil = (
+        grid.source(EnergySource.NATURAL_GAS).values
+        + grid.source(EnergySource.COAL).values
+        + grid.source(EnergySource.OIL).values
+    )
+    curtailing = grid.curtailed.values > 1e-9
+    fossil_on = fossil > _FOSSIL_ON_THRESHOLD_MW
+
+    coal_share = grid.authority.dispatch.coal_share
+    gas_tranche_mw = (1.0 - coal_share) * fossil.max()
+    fossil_marginal = np.where(fossil <= gas_tranche_mw, gas_marginal, coal_marginal)
+
+    values = np.where(
+        curtailing,
+        0.0,  # extra load absorbs curtailed renewables
+        np.where(fossil_on, fossil_marginal, hydro_marginal),
+    )
+    return HourlySeries(values, grid.calendar, name="marginal intensity")
+
+
+def signal_divergence_hours(grid: GridDataset) -> int:
+    """Hours where average and marginal signals rank differently enough to
+    matter: the average intensity is below its daily median while the
+    marginal intensity is at the fossil level (or vice versa).
+
+    A large count warns that a scheduler tuned on the average signal may
+    shift work into hours that look clean on average but still ramp coal.
+    """
+    average = grid.carbon_intensity_g_per_kwh().values
+    marginal = marginal_intensity_g_per_kwh(grid).values
+    n_days = grid.calendar.n_days
+    avg_days = average.reshape(n_days, 24)
+    mar_days = marginal.reshape(n_days, 24)
+    avg_below = avg_days < np.median(avg_days, axis=1, keepdims=True)
+    mar_below = mar_days < np.median(mar_days, axis=1, keepdims=True)
+    return int(np.count_nonzero(avg_below != mar_below))

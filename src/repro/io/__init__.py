@@ -1,0 +1,25 @@
+"""CSV interchange: EIA-style grid exports and plain hourly trace files."""
+
+from .eia_csv import (
+    CURTAILED_COLUMN,
+    DEMAND_COLUMN,
+    FUEL_COLUMNS,
+    TIMESTAMP_COLUMN,
+    GridCsvError,
+    read_grid_csv,
+    write_grid_csv,
+)
+from .traces import TraceCsvError, read_trace_csv, write_trace_csv
+
+__all__ = [
+    "CURTAILED_COLUMN",
+    "DEMAND_COLUMN",
+    "FUEL_COLUMNS",
+    "TIMESTAMP_COLUMN",
+    "GridCsvError",
+    "read_grid_csv",
+    "write_grid_csv",
+    "TraceCsvError",
+    "read_trace_csv",
+    "write_trace_csv",
+]

@@ -1,0 +1,53 @@
+"""Carbon-aware scheduling: greedy CAS, capacity planning, combined heuristic."""
+
+from .capacity import (
+    MAX_CAPACITY_MULTIPLE,
+    additional_capacity_for_full_coverage,
+    capacity_sweep,
+    deficit_after_scheduling,
+    servers_for_extra_capacity,
+)
+from .combined import CombinedResult, simulate_combined
+from .geographic import (
+    FleetSite,
+    MigrationResult,
+    fleet_sites_from_states,
+    migrate_load,
+)
+from .greedy import ScheduleResult, schedule_carbon_aware
+from .optimal import (
+    OptimalScheduleResult,
+    greedy_optimality_gap,
+    schedule_optimal,
+)
+from .tiered import (
+    NO_SLO_DEADLINE_HOURS,
+    TierPolicy,
+    TieredResult,
+    policies_from_figure10,
+    simulate_tiered,
+)
+
+__all__ = [
+    "MAX_CAPACITY_MULTIPLE",
+    "additional_capacity_for_full_coverage",
+    "capacity_sweep",
+    "deficit_after_scheduling",
+    "servers_for_extra_capacity",
+    "CombinedResult",
+    "FleetSite",
+    "MigrationResult",
+    "fleet_sites_from_states",
+    "migrate_load",
+    "simulate_combined",
+    "ScheduleResult",
+    "schedule_carbon_aware",
+    "OptimalScheduleResult",
+    "greedy_optimality_gap",
+    "schedule_optimal",
+    "NO_SLO_DEADLINE_HOURS",
+    "TierPolicy",
+    "TieredResult",
+    "policies_from_figure10",
+    "simulate_tiered",
+]

@@ -1,0 +1,228 @@
+"""Geographic load migration across a datacenter fleet (extension).
+
+The paper's §6 cites load migration between datacenters as a complementary
+lever to temporal shifting ("Mitigating curtailment and carbon emissions
+through load migration between data centers", Zheng et al.).  Carbon
+Explorer's released version schedules each site in isolation; this module
+adds the fleet view: in every hour, flexible load moves from sites whose
+renewables fall short to sites with surplus renewable supply and server
+headroom, paying a configurable energy overhead for moving the work (data
+egress, state transfer, cache warm-up).
+
+The policy is greedy and hour-local: donors are served worst-deficit-first,
+receivers best-surplus-first — consistent with the paper's greedy temporal
+scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..timeseries import HourlySeries
+
+_EPSILON_MW = 1e-9
+
+
+@dataclass(frozen=True)
+class FleetSite:
+    """One datacenter in a geographically distributed fleet.
+
+    Attributes
+    ----------
+    name:
+        Site label (e.g. the Table-1 state code).
+    demand:
+        Hourly power demand, MW.
+    supply:
+        Hourly renewable supply from the site's investments, MW.
+    capacity_mw:
+        Maximum power the site may draw (``P_DC_MAX``); bounds how much
+        migrated load it can absorb.
+    """
+
+    name: str
+    demand: HourlySeries
+    supply: HourlySeries
+    capacity_mw: float
+
+    def __post_init__(self) -> None:
+        if self.demand.calendar != self.supply.calendar:
+            raise ValueError(f"{self.name}: demand and supply on different calendars")
+        if self.capacity_mw < self.demand.max():
+            raise ValueError(
+                f"{self.name}: capacity {self.capacity_mw} MW below demand peak "
+                f"{self.demand.max():.3f} MW"
+            )
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """Outcome of one year of fleet-wide load migration.
+
+    Attributes
+    ----------
+    shifted_demand:
+        Per-site hourly demand after migration, MW.
+    migrated_mwh:
+        Energy's worth of work moved between sites over the year (measured
+        at the donor).
+    overhead_mwh:
+        Extra energy consumed by migration itself (receivers run migrated
+        work at ``1 + overhead``).
+    deficit_before_mwh / deficit_after_mwh:
+        Fleet-total unmet-by-renewables energy without/with migration.
+    """
+
+    shifted_demand: Mapping[str, HourlySeries]
+    migrated_mwh: float
+    overhead_mwh: float
+    deficit_before_mwh: float
+    deficit_after_mwh: float
+
+    def deficit_reduction(self) -> float:
+        """Fraction of the fleet deficit removed by migration."""
+        if self.deficit_before_mwh == 0.0:
+            return 0.0
+        return 1.0 - self.deficit_after_mwh / self.deficit_before_mwh
+
+
+def migrate_load(
+    sites: Sequence[FleetSite],
+    flexible_ratio: float,
+    migration_overhead: float = 0.02,
+) -> MigrationResult:
+    """Greedy hour-by-hour load migration across a fleet.
+
+    Per hour: every site with a renewable deficit may donate up to
+    ``flexible_ratio`` of its original demand; every site with a renewable
+    surplus may absorb work up to ``min(surplus, capacity headroom)``.
+    Donors are processed worst-deficit-first; each donor fills receivers in
+    descending-surplus order.  Migrated work consumes
+    ``(1 + migration_overhead)`` times its energy at the receiver.
+
+    Parameters
+    ----------
+    sites:
+        At least two fleet sites on the same calendar.
+    flexible_ratio:
+        Fraction of each hour's load that may migrate (the FWR analogue).
+    migration_overhead:
+        Relative energy cost of moving work (0.02 = 2%).
+    """
+    if len(sites) < 2:
+        raise ValueError("fleet migration needs at least two sites")
+    if not 0.0 <= flexible_ratio <= 1.0:
+        raise ValueError(f"flexible_ratio must be in [0, 1], got {flexible_ratio}")
+    if migration_overhead < 0.0:
+        raise ValueError(
+            f"migration_overhead must be non-negative, got {migration_overhead}"
+        )
+    names = [site.name for site in sites]
+    if len(set(names)) != len(names):
+        raise ValueError(f"site names must be unique, got {names}")
+    calendar = sites[0].demand.calendar
+    for site in sites[1:]:
+        if site.demand.calendar != calendar:
+            raise ValueError("all sites must share one calendar")
+
+    n_sites = len(sites)
+    n_hours = calendar.n_hours
+    demand = np.stack([site.demand.values for site in sites])
+    supply = np.stack([site.supply.values for site in sites])
+    capacity = np.array([site.capacity_mw for site in sites])
+
+    shifted = demand.copy()
+    migrated_total = 0.0
+    overhead_total = 0.0
+    cost_factor = 1.0 + migration_overhead
+
+    for hour in range(n_hours):
+        gap = supply[:, hour] - shifted[:, hour]
+        donors = [i for i in range(n_sites) if gap[i] < -_EPSILON_MW]
+        receivers = [i for i in range(n_sites) if gap[i] > _EPSILON_MW]
+        if not donors or not receivers:
+            continue
+        donors.sort(key=lambda i: gap[i])            # worst deficit first
+        receivers.sort(key=lambda i: -gap[i])        # biggest surplus first
+        movable = demand[:, hour] * flexible_ratio   # budget from original load
+
+        for donor in donors:
+            deficit = shifted[donor, hour] - supply[donor, hour]
+            budget = min(deficit, movable[donor])
+            if budget <= _EPSILON_MW:
+                continue
+            for receiver in receivers:
+                if budget <= _EPSILON_MW:
+                    break
+                surplus = supply[receiver, hour] - shifted[receiver, hour]
+                headroom = capacity[receiver] - shifted[receiver, hour]
+                # The receiver runs migrated work at cost_factor; size the
+                # donated amount so the *expanded* work fits both limits.
+                absorbable = min(surplus, headroom) / cost_factor
+                amount = min(budget, absorbable)
+                if amount <= _EPSILON_MW:
+                    continue
+                shifted[donor, hour] -= amount
+                shifted[receiver, hour] += amount * cost_factor
+                migrated_total += amount
+                overhead_total += amount * (cost_factor - 1.0)
+                budget -= amount
+
+    deficit_before = float(np.clip(demand - supply, 0.0, None).sum())
+    deficit_after = float(np.clip(shifted - supply, 0.0, None).sum())
+    shifted_map: Dict[str, HourlySeries] = {
+        site.name: HourlySeries(shifted[i], calendar, name=f"{site.name} shifted")
+        for i, site in enumerate(sites)
+    }
+    return MigrationResult(
+        shifted_demand=shifted_map,
+        migrated_mwh=migrated_total,
+        overhead_mwh=overhead_total,
+        deficit_before_mwh=deficit_before,
+        deficit_after_mwh=deficit_after,
+    )
+
+
+def fleet_sites_from_states(
+    states: Sequence[str],
+    investment_multiple: float = 6.0,
+    capacity_multiple: float = 1.5,
+    year: int = 2020,
+    seed: int = 0,
+) -> Tuple[FleetSite, ...]:
+    """Build a migration fleet from Table-1 site codes.
+
+    Each site gets a renewable investment of ``investment_multiple`` times
+    its average power (split across the local grid's available resources)
+    and a capacity cap of ``capacity_multiple`` times its demand peak.
+    """
+    from ..core.evaluate import build_site_context
+    from ..grid import RenewableInvestment, projected_supply
+
+    if investment_multiple < 0:
+        raise ValueError("investment_multiple must be non-negative")
+    if capacity_multiple < 1.0:
+        raise ValueError("capacity_multiple must be >= 1")
+
+    sites = []
+    for state in states:
+        context = build_site_context(state, year=year, seed=seed)
+        total = investment_multiple * context.demand.avg_power_mw
+        if context.supports_solar and context.supports_wind:
+            investment = RenewableInvestment(solar_mw=total / 2, wind_mw=total / 2)
+        elif context.supports_wind:
+            investment = RenewableInvestment(wind_mw=total)
+        else:
+            investment = RenewableInvestment(solar_mw=total)
+        sites.append(
+            FleetSite(
+                name=state,
+                demand=context.demand.power,
+                supply=projected_supply(context.grid, investment),
+                capacity_mw=context.demand.power.max() * capacity_multiple,
+            )
+        )
+    return tuple(sites)

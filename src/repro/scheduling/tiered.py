@@ -1,0 +1,238 @@
+"""Tier-aware scheduling extension (composing Fig. 10 with the scheduler).
+
+The paper's greedy algorithm treats all flexible work as one pool with one
+deadline.  Real fleets are tiered: Fig. 10 splits data-processing work into
++/-1 h, +/-2 h, +/-4 h, daily, and no-SLO tiers.  This extension runs the
+same battery-first forward pass as :mod:`repro.scheduling.combined` but with
+one deferral queue per tier, each with its own deadline window, so tighter
+tiers get force-executed sooner and contribute less shifting range.
+
+This module is an *extension* of the paper (its §6 notes a future
+implementation "would benefit from prior schedulers"); the benchmark
+``bench_ablations.py`` compares it against the single-pool model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..battery import Battery, BatterySpec
+from ..datacenter.workloads import WORKLOAD_TIERS, WorkloadTier
+from ..timeseries import HourlySeries
+
+_EPSILON_MWH = 1e-9
+
+#: Deadline assumed for "No SLO" work: a week keeps it finite so energy is
+#: conserved within the simulated year.
+NO_SLO_DEADLINE_HOURS = 168
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """Shiftable share and deadline window for one workload tier.
+
+    Attributes
+    ----------
+    name:
+        Label for reporting.
+    ratio:
+        Fraction of each hour's total load in this tier that may defer.
+    deadline_hours:
+        Hours after submission by which deferred work must run.
+    """
+
+    name: str
+    ratio: float
+    deadline_hours: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ValueError(f"{self.name}: ratio must be in [0, 1], got {self.ratio}")
+        if self.deadline_hours < 1:
+            raise ValueError(
+                f"{self.name}: deadline_hours must be >= 1, got {self.deadline_hours}"
+            )
+
+
+def policies_from_figure10(
+    fleet_fraction: float = 0.075,
+    tiers: Sequence[WorkloadTier] = WORKLOAD_TIERS,
+) -> Tuple[TierPolicy, ...]:
+    """Build tier policies from the Fig. 10 breakdown.
+
+    Each tier's shiftable ratio is its share of data-processing work times
+    the data-processing share of the fleet; its deadline is its SLO window
+    (the "Daily" tier gets 24 h, "No SLO" gets a week).
+    """
+    if not 0.0 <= fleet_fraction <= 1.0:
+        raise ValueError(f"fleet_fraction must be in [0, 1], got {fleet_fraction}")
+    policies = []
+    for tier in tiers:
+        deadline = (
+            tier.slo_window_hours
+            if tier.slo_window_hours is not None
+            else NO_SLO_DEADLINE_HOURS
+        )
+        policies.append(
+            TierPolicy(
+                name=tier.name,
+                ratio=fleet_fraction * tier.share,
+                deadline_hours=deadline,
+            )
+        )
+    return tuple(policies)
+
+
+@dataclass(frozen=True)
+class TieredResult:
+    """Outcome of tier-aware combined scheduling.
+
+    Mirrors :class:`repro.scheduling.combined.CombinedResult` with per-tier
+    deferral accounting.
+    """
+
+    shifted_demand: HourlySeries
+    grid_import: HourlySeries
+    surplus: HourlySeries
+    charge_level: HourlySeries
+    battery_spec: BatterySpec
+    capacity_mw: float
+    deferred_mwh_by_tier: Tuple[float, ...]
+    late_mwh: float
+    unserved_mwh: float
+    charged_mwh: float
+    discharged_mwh: float
+
+    @property
+    def deferred_mwh(self) -> float:
+        """Total energy deferred across all tiers."""
+        return sum(self.deferred_mwh_by_tier)
+
+
+def simulate_tiered(
+    demand: HourlySeries,
+    supply: HourlySeries,
+    battery: BatterySpec,
+    capacity_mw: float,
+    policies: Sequence[TierPolicy],
+    initial_soc: float = 1.0,
+) -> TieredResult:
+    """Battery-first forward pass with one deferral queue per tier.
+
+    On a deficit the battery discharges first; the residual defers across
+    tiers in *loosest-deadline-first* order (daily work absorbs shifts
+    before +/-1 h work, minimizing SLO pressure).  On a surplus, queued work
+    runs in *tightest-deadline-first* order before the battery charges.
+    """
+    if demand.calendar != supply.calendar:
+        raise ValueError("demand and supply must share a calendar")
+    if capacity_mw < demand.max():
+        raise ValueError(
+            f"capacity {capacity_mw} MW below demand peak {demand.max():.3f} MW"
+        )
+    if not policies:
+        raise ValueError("need at least one tier policy")
+    if sum(p.ratio for p in policies) > 1.0 + 1e-12:
+        raise ValueError("tier ratios sum above 1: more deferrable than exists")
+
+    calendar = demand.calendar
+    n_hours = calendar.n_hours
+    demand_values = demand.values
+    supply_values = supply.values
+
+    pack = Battery(battery, initial_soc=initial_soc)
+    n_tiers = len(policies)
+    queues = [deque() for _ in range(n_tiers)]
+    queued_totals = [0.0] * n_tiers
+    deferred_totals = [0.0] * n_tiers
+    late_total = 0.0
+
+    # Deficit-side deferral order: loosest deadline first.
+    defer_order = sorted(range(n_tiers), key=lambda i: -policies[i].deadline_hours)
+    # Surplus-side execution order: tightest deadline first.
+    run_order = sorted(range(n_tiers), key=lambda i: policies[i].deadline_hours)
+
+    shifted = np.zeros(n_hours)
+    grid_import = np.zeros(n_hours)
+    surplus_out = np.zeros(n_hours)
+    charge_level = np.zeros(n_hours)
+
+    def run_tier(tier: int, budget_mwh: float, now: int, overdue_only: bool) -> float:
+        nonlocal late_total
+        queue = queues[tier]
+        executed = 0.0
+        while queue and budget_mwh - executed > _EPSILON_MWH:
+            deadline, amount = queue[0]
+            if overdue_only and deadline > now:
+                break
+            take = min(amount, budget_mwh - executed)
+            executed += take
+            queued_totals[tier] -= take
+            if deadline < now:
+                late_total += take
+            if take >= amount - _EPSILON_MWH:
+                queue.popleft()
+            else:
+                queue[0] = (deadline, amount - take)
+        return executed
+
+    for hour in range(n_hours):
+        load = demand_values[hour]
+
+        # Deadlines first, tightest tiers first.
+        for tier in run_order:
+            headroom = capacity_mw - load
+            if headroom <= _EPSILON_MWH:
+                break
+            if queued_totals[tier] > _EPSILON_MWH:
+                load += run_tier(tier, headroom, hour, overdue_only=True)
+
+        gap = supply_values[hour] - load
+        if gap > 0.0:
+            for tier in run_order:
+                budget = min(gap, capacity_mw - load)
+                if budget <= _EPSILON_MWH:
+                    break
+                if queued_totals[tier] > _EPSILON_MWH:
+                    ran = run_tier(tier, budget, hour, overdue_only=False)
+                    load += ran
+                    gap = max(gap - ran, 0.0)
+            absorbed = pack.charge(gap)
+            surplus_out[hour] = gap - absorbed
+        else:
+            deficit = -gap
+            delivered = pack.discharge(deficit)
+            deficit -= delivered
+            for tier in defer_order:
+                if deficit <= _EPSILON_MWH:
+                    break
+                policy = policies[tier]
+                deferred = min(deficit, policy.ratio * demand_values[hour])
+                if deferred > _EPSILON_MWH:
+                    load -= deferred
+                    deficit -= deferred
+                    queues[tier].append((hour + policy.deadline_hours, deferred))
+                    queued_totals[tier] += deferred
+                    deferred_totals[tier] += deferred
+            grid_import[hour] = max(deficit, 0.0)
+
+        shifted[hour] = load
+        charge_level[hour] = pack.energy_mwh
+
+    return TieredResult(
+        shifted_demand=HourlySeries(shifted, calendar, name="shifted demand"),
+        grid_import=HourlySeries(grid_import, calendar, name="grid import"),
+        surplus=HourlySeries(surplus_out, calendar, name="surplus"),
+        charge_level=HourlySeries(charge_level, calendar, name="charge level"),
+        battery_spec=battery,
+        capacity_mw=capacity_mw,
+        deferred_mwh_by_tier=tuple(deferred_totals),
+        late_mwh=late_total,
+        unserved_mwh=sum(queued_totals),
+        charged_mwh=pack.charged_mwh,
+        discharged_mwh=pack.discharged_mwh,
+    )

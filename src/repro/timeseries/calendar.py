@@ -1,0 +1,180 @@
+"""Hourly calendar arithmetic for year-long simulation traces.
+
+Carbon Explorer operates on hourly time series spanning a full calendar year
+(the paper uses EIA grid data for 2020).  This module provides a small,
+dependency-free calendar that maps a flat hour index (``0 .. n_hours - 1``)
+onto day-of-year, hour-of-day, month, and weekday, without ever touching the
+wall clock.  All simulations in the library share one :class:`YearCalendar`
+so that demand, supply, and scheduling traces stay aligned.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+HOURS_PER_DAY = 24
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+MONTH_NAMES = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+WEEKDAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+def is_leap_year(year: int) -> bool:
+    """Return ``True`` if ``year`` is a Gregorian leap year."""
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def days_in_year(year: int) -> int:
+    """Number of days in ``year`` (365 or 366)."""
+    return 366 if is_leap_year(year) else 365
+
+
+def days_in_month(year: int, month: int) -> int:
+    """Number of days in ``month`` (1-based) of ``year``."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be in 1..12, got {month}")
+    if month == 2 and is_leap_year(year):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]
+
+
+@dataclass(frozen=True)
+class YearCalendar:
+    """A calendar over one full year at hourly resolution.
+
+    Parameters
+    ----------
+    year:
+        Gregorian year the trace covers.  The paper's datasets are for 2020;
+        that is also this library's default elsewhere.
+
+    Examples
+    --------
+    >>> cal = YearCalendar(2020)
+    >>> cal.n_hours
+    8784
+    >>> cal.hour_of_day(25)
+    1
+    >>> cal.day_of_year(25)
+    1
+    """
+
+    year: int
+    _month_start_day: Tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.year < 1:
+            raise ValueError(f"year must be positive, got {self.year}")
+        starts: List[int] = []
+        acc = 0
+        for month in range(1, 13):
+            starts.append(acc)
+            acc += days_in_month(self.year, month)
+        object.__setattr__(self, "_month_start_day", tuple(starts))
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_days(self) -> int:
+        """Number of days in the year."""
+        return days_in_year(self.year)
+
+    @property
+    def n_hours(self) -> int:
+        """Number of hours in the year (8760 or 8784)."""
+        return self.n_days * HOURS_PER_DAY
+
+    # ------------------------------------------------------------------
+    # Index decomposition
+    # ------------------------------------------------------------------
+    def _check_hour(self, hour: int) -> None:
+        if not 0 <= hour < self.n_hours:
+            raise IndexError(
+                f"hour index {hour} out of range for year {self.year} "
+                f"(0..{self.n_hours - 1})"
+            )
+
+    def hour_of_day(self, hour: int) -> int:
+        """Hour of day (0-23) for flat hour index ``hour``."""
+        self._check_hour(hour)
+        return hour % HOURS_PER_DAY
+
+    def day_of_year(self, hour: int) -> int:
+        """Zero-based day of year for flat hour index ``hour``."""
+        self._check_hour(hour)
+        return hour // HOURS_PER_DAY
+
+    def month_of(self, hour: int) -> int:
+        """Month (1-12) containing flat hour index ``hour``."""
+        day = self.day_of_year(hour)
+        month = 12
+        for m in range(12):
+            if day < self._month_start_day[m]:
+                month = m
+                break
+        return month
+
+    def weekday(self, hour: int) -> int:
+        """Weekday (0=Monday .. 6=Sunday) of the day containing ``hour``."""
+        day = self.day_of_year(hour)
+        jan1 = _dt.date(self.year, 1, 1).weekday()
+        return (jan1 + day) % 7
+
+    def is_weekend(self, hour: int) -> bool:
+        """``True`` if ``hour`` falls on a Saturday or Sunday."""
+        return self.weekday(hour) >= 5
+
+    def date_of(self, hour: int) -> _dt.date:
+        """Calendar date containing flat hour index ``hour``."""
+        day = self.day_of_year(hour)
+        return _dt.date(self.year, 1, 1) + _dt.timedelta(days=day)
+
+    def label(self, hour: int) -> str:
+        """Human-readable timestamp label, e.g. ``'Mar 05 14:00'``."""
+        date = self.date_of(hour)
+        return f"{MONTH_NAMES[date.month - 1]} {date.day:02d} {self.hour_of_day(hour):02d}:00"
+
+    # ------------------------------------------------------------------
+    # Range helpers
+    # ------------------------------------------------------------------
+    def day_slice(self, day: int) -> slice:
+        """Slice of flat hour indices covering zero-based day ``day``."""
+        if not 0 <= day < self.n_days:
+            raise IndexError(f"day {day} out of range (0..{self.n_days - 1})")
+        start = day * HOURS_PER_DAY
+        return slice(start, start + HOURS_PER_DAY)
+
+    def month_slice(self, month: int) -> slice:
+        """Slice of flat hour indices covering ``month`` (1-based)."""
+        if not 1 <= month <= 12:
+            raise ValueError(f"month must be in 1..12, got {month}")
+        start_day = self._month_start_day[month - 1]
+        n_days = days_in_month(self.year, month)
+        return slice(start_day * HOURS_PER_DAY, (start_day + n_days) * HOURS_PER_DAY)
+
+    def iter_days(self) -> Iterator[slice]:
+        """Iterate over one hour-index slice per day of the year."""
+        for day in range(self.n_days):
+            yield self.day_slice(day)
+
+    def week_slice(self, start_day: int, n_days: int = 7) -> slice:
+        """Slice of hour indices for a window of ``n_days`` starting at ``start_day``."""
+        if n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {n_days}")
+        if not 0 <= start_day < self.n_days:
+            raise IndexError(f"start_day {start_day} out of range")
+        end_day = min(start_day + n_days, self.n_days)
+        return slice(start_day * HOURS_PER_DAY, end_day * HOURS_PER_DAY)
+
+
+#: The calendar used throughout the library unless a caller overrides it.
+#: 2020 matches the paper's EIA dataset year.
+DEFAULT_CALENDAR = YearCalendar(2020)

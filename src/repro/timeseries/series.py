@@ -1,0 +1,308 @@
+"""The :class:`HourlySeries` container — the library's universal trace type.
+
+Every quantity Carbon Explorer manipulates — datacenter power demand,
+renewable supply, grid carbon intensity, battery charge level — is an hourly
+time series over one calendar year.  ``HourlySeries`` wraps a numpy vector
+with the :class:`~repro.timeseries.calendar.YearCalendar` it is aligned to,
+and offers calendar-aware aggregation plus elementwise arithmetic that
+enforces alignment.  Arithmetic between series from different calendars is an
+error, which catches a whole class of silent misalignment bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Union
+
+import numpy as np
+
+from .calendar import HOURS_PER_DAY, DEFAULT_CALENDAR, YearCalendar
+
+Number = Union[int, float]
+_Operand = Union["HourlySeries", Number]
+
+
+class HourlySeries:
+    """An immutable hourly time series aligned to a :class:`YearCalendar`.
+
+    Parameters
+    ----------
+    values:
+        Sequence of ``calendar.n_hours`` floats.
+    calendar:
+        Calendar the values are aligned to; defaults to 2020.
+    name:
+        Optional human-readable label carried through arithmetic.
+    """
+
+    __slots__ = ("_values", "_calendar", "name")
+
+    def __init__(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        calendar: YearCalendar = DEFAULT_CALENDAR,
+        name: str = "",
+    ) -> None:
+        array = np.asarray(values, dtype=float)
+        if array.ndim != 1:
+            raise ValueError(f"values must be one-dimensional, got shape {array.shape}")
+        if array.shape[0] != calendar.n_hours:
+            raise ValueError(
+                f"series length {array.shape[0]} does not match calendar year "
+                f"{calendar.year} ({calendar.n_hours} hours)"
+            )
+        if not np.all(np.isfinite(array)):
+            raise ValueError("series values must be finite (no NaN/inf)")
+        array = array.copy()
+        array.setflags(write=False)
+        self._values = array
+        self._calendar = calendar
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(
+        cls,
+        value: float,
+        calendar: YearCalendar = DEFAULT_CALENDAR,
+        name: str = "",
+    ) -> "HourlySeries":
+        """A series holding ``value`` in every hour."""
+        return cls(np.full(calendar.n_hours, float(value)), calendar, name)
+
+    @classmethod
+    def zeros(
+        cls, calendar: YearCalendar = DEFAULT_CALENDAR, name: str = ""
+    ) -> "HourlySeries":
+        """An all-zero series."""
+        return cls.constant(0.0, calendar, name)
+
+    @classmethod
+    def from_daily_profile(
+        cls,
+        profile: Sequence[float],
+        calendar: YearCalendar = DEFAULT_CALENDAR,
+        name: str = "",
+    ) -> "HourlySeries":
+        """Tile a 24-value daily profile across the whole year."""
+        prof = np.asarray(profile, dtype=float)
+        if prof.shape != (HOURS_PER_DAY,):
+            raise ValueError(f"profile must have 24 values, got shape {prof.shape}")
+        return cls(np.tile(prof, calendar.n_days), calendar, name)
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying (read-only) numpy vector."""
+        return self._values
+
+    @property
+    def calendar(self) -> YearCalendar:
+        """The calendar this series is aligned to."""
+        return self._calendar
+
+    def __len__(self) -> int:
+        return self._values.shape[0]
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"HourlySeries({self._calendar.year},{label} mean={self.mean():.3f}, "
+            f"min={self.min():.3f}, max={self.max():.3f})"
+        )
+
+    def with_name(self, name: str) -> "HourlySeries":
+        """Copy of this series carrying a new label."""
+        return HourlySeries(self._values, self._calendar, name)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: _Operand) -> np.ndarray:
+        if isinstance(other, HourlySeries):
+            if other._calendar != self._calendar:
+                raise ValueError(
+                    "cannot combine series on different calendars: "
+                    f"{self._calendar.year} vs {other._calendar.year}"
+                )
+            return other._values
+        return np.asarray(float(other))
+
+    def _binary(self, other: _Operand, op: Callable) -> "HourlySeries":
+        return HourlySeries(op(self._values, self._coerce(other)), self._calendar, self.name)
+
+    def __add__(self, other: _Operand) -> "HourlySeries":
+        return self._binary(other, np.add)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Operand) -> "HourlySeries":
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other: _Operand) -> "HourlySeries":
+        return HourlySeries(self._coerce(other) - self._values, self._calendar, self.name)
+
+    def __mul__(self, other: _Operand) -> "HourlySeries":
+        return self._binary(other, np.multiply)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Operand) -> "HourlySeries":
+        divisor = self._coerce(other)
+        if np.any(divisor == 0.0):
+            raise ZeroDivisionError("division by zero in HourlySeries")
+        return HourlySeries(self._values / divisor, self._calendar, self.name)
+
+    def __neg__(self) -> "HourlySeries":
+        return HourlySeries(-self._values, self._calendar, self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HourlySeries)
+            and self._calendar == other._calendar
+            and np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash for immutables
+        return hash((self._calendar, self._values.tobytes()))
+
+    def clip(self, lower: float = None, upper: float = None) -> "HourlySeries":
+        """Elementwise clamp to ``[lower, upper]`` (either bound optional)."""
+        return HourlySeries(
+            np.clip(self._values, lower, upper), self._calendar, self.name
+        )
+
+    def positive_part(self) -> "HourlySeries":
+        """``max(x, 0)`` per hour — e.g. the unmet-demand part of a deficit."""
+        return self.clip(lower=0.0)
+
+    def minimum(self, other: _Operand) -> "HourlySeries":
+        """Elementwise minimum with a scalar or aligned series."""
+        return self._binary(other, np.minimum)
+
+    def maximum(self, other: _Operand) -> "HourlySeries":
+        """Elementwise maximum with a scalar or aligned series."""
+        return self._binary(other, np.maximum)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def total(self) -> float:
+        """Sum over all hours (e.g. MWh for an MW power series)."""
+        return float(self._values.sum())
+
+    def mean(self) -> float:
+        """Average hourly value."""
+        return float(self._values.mean())
+
+    def min(self) -> float:
+        """Minimum hourly value."""
+        return float(self._values.min())
+
+    def max(self) -> float:
+        """Maximum hourly value."""
+        return float(self._values.max())
+
+    def std(self) -> float:
+        """Population standard deviation of hourly values."""
+        return float(self._values.std())
+
+    def argmax(self) -> int:
+        """Flat hour index of the maximum value."""
+        return int(self._values.argmax())
+
+    def argmin(self) -> int:
+        """Flat hour index of the minimum value."""
+        return int(self._values.argmin())
+
+    # ------------------------------------------------------------------
+    # Calendar-aware views
+    # ------------------------------------------------------------------
+    def day(self, day: int) -> np.ndarray:
+        """The 24 values of zero-based day ``day``."""
+        return self._values[self._calendar.day_slice(day)]
+
+    def daily_totals(self) -> np.ndarray:
+        """Vector of per-day sums (length ``n_days``)."""
+        return self._values.reshape(self._calendar.n_days, HOURS_PER_DAY).sum(axis=1)
+
+    def daily_means(self) -> np.ndarray:
+        """Vector of per-day means (length ``n_days``)."""
+        return self._values.reshape(self._calendar.n_days, HOURS_PER_DAY).mean(axis=1)
+
+    def average_day_profile(self) -> np.ndarray:
+        """Mean value for each hour-of-day across the year (24 values).
+
+        This is the "Yearly Average" day of the paper's Figure 5.
+        """
+        return self._values.reshape(self._calendar.n_days, HOURS_PER_DAY).mean(axis=0)
+
+    def as_average_day(self) -> "HourlySeries":
+        """A series replacing every day with the yearly-average day profile.
+
+        Used to reproduce the "average-day fallacy" analysis of Figure 8: design
+        decisions made against this flattened series are overly optimistic.
+        """
+        return HourlySeries(
+            np.tile(self.average_day_profile(), self._calendar.n_days),
+            self._calendar,
+            f"{self.name} (avg day)" if self.name else "avg day",
+        )
+
+    def window(self, start_day: int, n_days: int) -> np.ndarray:
+        """Values for a window of ``n_days`` starting at zero-based ``start_day``."""
+        return self._values[self._calendar.week_slice(start_day, n_days)]
+
+    def monthly_totals(self) -> np.ndarray:
+        """Vector of per-month sums (length 12)."""
+        return np.array(
+            [self._values[self._calendar.month_slice(m)].sum() for m in range(1, 13)]
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "HourlySeries":
+        """Apply a vectorized function to the values, keeping alignment."""
+        return HourlySeries(fn(self._values), self._calendar, self.name)
+
+    def replace_days(
+        self, day_values: Iterable, days: Iterable[int]
+    ) -> "HourlySeries":
+        """Copy of the series with the listed days' 24-hour blocks replaced."""
+        out = self._values.copy()
+        for day, block in zip(days, day_values):
+            block = np.asarray(block, dtype=float)
+            if block.shape != (HOURS_PER_DAY,):
+                raise ValueError(
+                    f"replacement for day {day} must have 24 values, got {block.shape}"
+                )
+            out[self._calendar.day_slice(day)] = block
+        return HourlySeries(out, self._calendar, self.name)
+
+    def scale_to_peak(self, peak: float) -> "HourlySeries":
+        """Linearly rescale so the maximum equals ``peak``.
+
+        This is exactly the paper's renewable-investment projection rule
+        (§4.1): "It takes the maximum generated solar and wind power throughout
+        the year as the maximum capacity of the local grid. Then, the hourly
+        generation data is linearly scaled to the desired renewable investment
+        capacity."
+        """
+        if peak < 0:
+            raise ValueError(f"peak must be non-negative, got {peak}")
+        current = self.max()
+        if current == 0.0:
+            if peak == 0.0:
+                return self
+            raise ValueError("cannot scale an all-zero series to a positive peak")
+        return HourlySeries(self._values * (peak / current), self._calendar, self.name)

@@ -1,0 +1,89 @@
+"""Tests for LFP chemistry parameters and cycle-life interpolation."""
+
+import pytest
+
+from repro.battery import CALENDAR_LIFE_CAP_YEARS, LFP, CellChemistry
+
+
+class TestLfpAnchors:
+    """§5.1/§5.2 quote these exact anchor points."""
+
+    def test_3000_cycles_at_full_dod(self):
+        assert LFP.cycle_life(1.0) == pytest.approx(3000.0)
+
+    def test_4500_cycles_at_80_percent(self):
+        assert LFP.cycle_life(0.80) == pytest.approx(4500.0)
+
+    def test_10000_cycles_at_60_percent(self):
+        assert LFP.cycle_life(0.60) == pytest.approx(10000.0)
+
+    def test_interpolation_is_monotone_decreasing(self):
+        previous = float("inf")
+        for dod in (0.60, 0.70, 0.80, 0.90, 1.00):
+            cycles = LFP.cycle_life(dod)
+            assert cycles < previous
+            previous = cycles
+
+    def test_dod_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LFP.cycle_life(0.0)
+        with pytest.raises(ValueError):
+            LFP.cycle_life(1.1)
+
+    def test_round_trip_efficiency(self):
+        assert LFP.round_trip_efficiency == pytest.approx(0.97 * 0.97)
+
+    def test_one_c_rates(self):
+        """The paper assumes a 1C rate (full charge/discharge in an hour)."""
+        assert LFP.max_charge_c_rate == 1.0
+        assert LFP.max_discharge_c_rate == 1.0
+
+
+class TestLifetime:
+    def test_80_percent_dod_extends_cycles_by_50_percent(self):
+        """§5.2: 'The lower DoD of 80% increases ... cycles by 50%'."""
+        assert LFP.cycle_life(0.80) / LFP.cycle_life(1.00) == pytest.approx(1.5)
+
+    def test_lifetime_years_at_one_cycle_per_day(self):
+        assert LFP.lifetime_years(1.0) == pytest.approx(3000 / 365, rel=1e-6)
+
+    def test_60_percent_dod_hits_calendar_cap(self):
+        """§5.2: 10,000 cycles at 60% DoD would imply a 27-year lifespan;
+        calendar aging caps it there."""
+        assert LFP.lifetime_years(0.60, cycles_per_day=1.0) == CALENDAR_LIFE_CAP_YEARS
+
+    def test_gentler_duty_cycle_longer_life(self):
+        assert LFP.lifetime_years(1.0, cycles_per_day=0.5) > LFP.lifetime_years(
+            1.0, cycles_per_day=1.0
+        )
+
+    def test_invalid_duty_rejected(self):
+        with pytest.raises(ValueError):
+            LFP.lifetime_years(1.0, cycles_per_day=0.0)
+
+
+class TestValidation:
+    def _points(self):
+        return ((0.5, 8000.0), (1.0, 3000.0))
+
+    def test_efficiencies_validated(self):
+        with pytest.raises(ValueError):
+            CellChemistry("x", 0.0, 0.9, 1.0, 1.0, self._points())
+        with pytest.raises(ValueError):
+            CellChemistry("x", 0.9, 1.5, 1.0, 1.0, self._points())
+
+    def test_c_rates_validated(self):
+        with pytest.raises(ValueError):
+            CellChemistry("x", 0.9, 0.9, 0.0, 1.0, self._points())
+
+    def test_anchor_ordering_validated(self):
+        with pytest.raises(ValueError):
+            CellChemistry("x", 0.9, 0.9, 1.0, 1.0, ((1.0, 3000.0), (0.5, 8000.0)))
+
+    def test_needs_two_anchors(self):
+        with pytest.raises(ValueError):
+            CellChemistry("x", 0.9, 0.9, 1.0, 1.0, ((1.0, 3000.0),))
+
+    def test_anchor_values_validated(self):
+        with pytest.raises(ValueError):
+            CellChemistry("x", 0.9, 0.9, 1.0, 1.0, ((0.5, -1.0), (1.0, 3000.0)))

@@ -1,0 +1,56 @@
+"""Tests for the sodium-ion chemistry alternative (§4.2's emerging tech)."""
+
+import pytest
+
+from repro.battery import LFP, SODIUM_ION, BatterySpec, simulate_battery
+from repro.carbon import DEFAULT_EMBODIED_MODEL
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries
+
+
+class TestChemistryParameters:
+    def test_lower_round_trip_than_lfp(self):
+        assert SODIUM_ION.round_trip_efficiency < LFP.round_trip_efficiency
+
+    def test_shorter_cycle_life_than_lfp(self):
+        for dod in (0.6, 0.8, 1.0):
+            assert SODIUM_ION.cycle_life(dod) < LFP.cycle_life(dod)
+
+    def test_carries_own_embodied_coefficient(self):
+        assert SODIUM_ION.embodied_kg_per_kwh == 65.0
+        assert LFP.embodied_kg_per_kwh is None
+
+
+class TestEmbodiedOverride:
+    def test_na_ion_cheaper_to_manufacture(self):
+        lfp_pack = BatterySpec(10.0, chemistry=LFP)
+        na_pack = BatterySpec(10.0, chemistry=SODIUM_ION)
+        assert DEFAULT_EMBODIED_MODEL.battery_total_tons(
+            na_pack
+        ) < DEFAULT_EMBODIED_MODEL.battery_total_tons(lfp_pack)
+
+    def test_na_ion_total_footprint_value(self):
+        pack = BatterySpec(1.0, chemistry=SODIUM_ION)
+        assert DEFAULT_EMBODIED_MODEL.battery_total_tons(pack) == pytest.approx(65.0)
+
+    def test_annual_tradeoff_is_real(self):
+        """Per year the cheaper manufacture fights the shorter cycle life;
+        both effects must be present in the annualized figure."""
+        lfp_pack = BatterySpec(1.0, chemistry=LFP)
+        na_pack = BatterySpec(1.0, chemistry=SODIUM_ION)
+        lfp_annual = DEFAULT_EMBODIED_MODEL.battery_annual_tons(lfp_pack, 1.0)
+        na_annual = DEFAULT_EMBODIED_MODEL.battery_annual_tons(na_pack, 1.0)
+        # 65/ (2500/365) vs 104 / (3000/365)
+        assert na_annual == pytest.approx(65.0 / (2500 / 365), rel=1e-6)
+        assert lfp_annual == pytest.approx(104.0 / (3000 / 365), rel=1e-6)
+
+
+class TestOperationalBehaviour:
+    def test_na_ion_imports_more_from_round_trip_losses(self, flat_demand):
+        supply = HourlySeries.from_daily_profile(
+            [0.0] * 12 + [25.0] * 12, DEFAULT_CALENDAR
+        )
+        lfp = simulate_battery(flat_demand, supply, BatterySpec(200.0, chemistry=LFP))
+        na = simulate_battery(
+            flat_demand, supply, BatterySpec(200.0, chemistry=SODIUM_ION)
+        )
+        assert na.grid_import.total() >= lfp.grid_import.total()

@@ -1,0 +1,116 @@
+"""Tests for the embodied-carbon models (§5.1 coefficients)."""
+
+import pytest
+
+from repro.battery import BatterySpec
+from repro.carbon import (
+    BATTERY_EMBODIED_KG_PER_KWH,
+    BATTERY_EMBODIED_RANGE_KG_PER_KWH,
+    DEFAULT_EMBODIED_MODEL,
+    EmbodiedCarbonModel,
+)
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries
+
+
+class TestCoefficients:
+    def test_default_battery_footprint_inside_paper_range(self):
+        low, high = BATTERY_EMBODIED_RANGE_KG_PER_KWH
+        assert low <= BATTERY_EMBODIED_KG_PER_KWH <= high
+
+    def test_battery_breakdown_sums(self):
+        from repro.carbon import (
+            BATTERY_CELL_PRODUCTION_KG_PER_KWH,
+            BATTERY_MATERIALS_KG_PER_KWH,
+            BATTERY_RECYCLING_KG_PER_KWH,
+        )
+
+        assert BATTERY_EMBODIED_KG_PER_KWH == (
+            BATTERY_MATERIALS_KG_PER_KWH
+            + BATTERY_CELL_PRODUCTION_KG_PER_KWH
+            + BATTERY_RECYCLING_KG_PER_KWH
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EmbodiedCarbonModel(wind_g_per_kwh=0.0)
+        with pytest.raises(ValueError):
+            EmbodiedCarbonModel(construction_multiplier=0.9)
+
+
+class TestRenewables:
+    def test_known_generation(self):
+        """1000 MWh of solar at 41 g/kWh = 41 tCO2."""
+        calendar = DEFAULT_CALENDAR
+        solar = HourlySeries.constant(1000.0 / calendar.n_hours, calendar)
+        zero = HourlySeries.zeros(calendar)
+        tons = DEFAULT_EMBODIED_MODEL.renewables_annual_tons(solar, zero)
+        assert tons == pytest.approx(41.0, rel=1e-6)
+
+    def test_wind_cheaper_than_solar_per_kwh(self):
+        calendar = DEFAULT_CALENDAR
+        energy = HourlySeries.constant(1.0, calendar)
+        zero = HourlySeries.zeros(calendar)
+        solar_tons = DEFAULT_EMBODIED_MODEL.renewables_annual_tons(energy, zero)
+        wind_tons = DEFAULT_EMBODIED_MODEL.renewables_annual_tons(zero, energy)
+        assert wind_tons < solar_tons
+
+    def test_zero_generation_zero_carbon(self):
+        zero = HourlySeries.zeros(DEFAULT_CALENDAR)
+        assert DEFAULT_EMBODIED_MODEL.renewables_annual_tons(zero, zero) == 0.0
+
+
+class TestBattery:
+    def test_total_footprint(self):
+        """A 1 MWh pack at 104 kg/kWh = 104 tons."""
+        spec = BatterySpec(1.0)
+        assert DEFAULT_EMBODIED_MODEL.battery_total_tons(spec) == pytest.approx(104.0)
+
+    def test_annual_amortizes_over_lifetime(self):
+        spec = BatterySpec(1.0)  # 100% DoD -> 3000 cycles -> ~8.2 yr at 1/day
+        annual = DEFAULT_EMBODIED_MODEL.battery_annual_tons(spec, cycles_per_day=1.0)
+        assert annual == pytest.approx(104.0 / (3000 / 365), rel=1e-6)
+
+    def test_heavier_duty_costs_more_per_year(self):
+        spec = BatterySpec(1.0)
+        gentle = DEFAULT_EMBODIED_MODEL.battery_annual_tons(spec, cycles_per_day=0.5)
+        hard = DEFAULT_EMBODIED_MODEL.battery_annual_tons(spec, cycles_per_day=2.0)
+        assert hard > gentle
+
+    def test_zero_capacity_is_free(self):
+        assert DEFAULT_EMBODIED_MODEL.battery_annual_tons(BatterySpec(0.0)) == 0.0
+
+    def test_idle_battery_still_ages(self):
+        """Zero observed cycles must not produce an infinite lifetime."""
+        annual = DEFAULT_EMBODIED_MODEL.battery_annual_tons(
+            BatterySpec(1.0), cycles_per_day=0.0
+        )
+        assert annual > 0.0
+
+    def test_lower_dod_shorter_per_year_if_cycles_equal(self):
+        """At equal duty, 80% DoD lives 50% longer, so costs less per year."""
+        full = DEFAULT_EMBODIED_MODEL.battery_annual_tons(
+            BatterySpec(1.0, depth_of_discharge=1.0), cycles_per_day=1.0
+        )
+        shallow = DEFAULT_EMBODIED_MODEL.battery_annual_tons(
+            BatterySpec(1.0, depth_of_discharge=0.8), cycles_per_day=1.0
+        )
+        assert shallow == pytest.approx(full / 1.5, rel=1e-6)
+
+
+class TestServers:
+    def test_single_server_with_construction_surcharge(self):
+        """744.5 kg x 1.16 = 0.8636 tons."""
+        tons = DEFAULT_EMBODIED_MODEL.server_total_tons(1)
+        assert tons == pytest.approx(0.7445 * 1.16, rel=1e-6)
+
+    def test_annual_amortizes_over_five_years(self):
+        assert DEFAULT_EMBODIED_MODEL.servers_annual_tons(
+            100
+        ) == pytest.approx(DEFAULT_EMBODIED_MODEL.server_total_tons(100) / 5.0)
+
+    def test_zero_servers_free(self):
+        assert DEFAULT_EMBODIED_MODEL.servers_annual_tons(0) == 0.0
+
+    def test_negative_servers_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_EMBODIED_MODEL.server_total_tons(-1)

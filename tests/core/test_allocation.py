@@ -1,0 +1,69 @@
+"""Tests for fleet-wide renewable budget allocation."""
+
+import pytest
+
+from repro.core.allocation import allocate_budget
+
+
+@pytest.fixture(scope="module")
+def small_allocation():
+    return allocate_budget(("UT", "NC"), total_budget_mw=200.0, increment_mw=50.0)
+
+
+class TestAllocation:
+    def test_budget_conserved(self, small_allocation):
+        allocated = sum(small_allocation.allocations.values())
+        assert allocated <= small_allocation.total_budget_mw + 1e-9
+        spent = sum(step.increment_mw for step in small_allocation.steps)
+        assert spent == pytest.approx(allocated)
+
+    def test_allocation_saves_carbon(self, small_allocation):
+        assert small_allocation.final_tons < small_allocation.baseline_tons
+        assert small_allocation.savings_tons() > 0.0
+
+    def test_marginal_value_non_increasing_per_site(self, small_allocation):
+        """Within one site, later increments buy less (diminishing returns)."""
+        by_site = {}
+        for step in small_allocation.steps:
+            by_site.setdefault(step.state, []).append(step.marginal_tons_per_mw)
+        for state, marginals in by_site.items():
+            for earlier, later in zip(marginals, marginals[1:]):
+                assert later <= earlier + 1e-9, state
+
+    def test_greedy_picks_best_first(self, small_allocation):
+        """The first increment must carry the highest marginal value of
+        the whole trace."""
+        marginals = [s.marginal_tons_per_mw for s in small_allocation.steps]
+        assert marginals[0] == max(marginals)
+
+    def test_unproductive_budget_left_unspent(self):
+        """With a huge budget, allocation stops when embodied cost exceeds
+        operational savings."""
+        result = allocate_budget(("UT",), total_budget_mw=100_000.0, increment_mw=500.0)
+        assert sum(result.allocations.values()) < result.total_budget_mw
+
+    def test_single_site(self):
+        result = allocate_budget(("UT",), total_budget_mw=100.0, increment_mw=50.0)
+        assert set(result.allocations) == {"UT"}
+
+    def test_deterministic(self, small_allocation):
+        again = allocate_budget(("UT", "NC"), total_budget_mw=200.0, increment_mw=50.0)
+        assert again.allocations == small_allocation.allocations
+
+
+class TestValidation:
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_budget((), 100.0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_budget(("UT", "UT"), 100.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_budget(("UT",), -1.0)
+
+    def test_bad_increment_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_budget(("UT",), 100.0, increment_mw=0.0)

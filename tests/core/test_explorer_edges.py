@@ -1,0 +1,66 @@
+"""Edge-case tests for the CarbonExplorer facade in constrained regions."""
+
+import pytest
+
+from repro import CarbonExplorer, Strategy
+from repro.grid import RenewableInvestment
+
+
+@pytest.fixture(scope="module")
+def nc():
+    return CarbonExplorer("NC")
+
+
+class TestSolarOnlyRegion:
+    def test_default_space_collapses_wind(self, nc):
+        space = nc.default_space()
+        assert space.wind_mw == (0.0,)
+        assert len(space.solar_mw) > 1
+
+    def test_wind_investment_rejected(self, nc):
+        with pytest.raises(ValueError):
+            nc.coverage(RenewableInvestment(wind_mw=100.0))
+
+    def test_battery_unreachable_returns_inf(self, nc):
+        """A small solar investment can never cover nights within a small
+        search ceiling."""
+        hours = nc.battery_hours_for_full_coverage(
+            RenewableInvestment(solar_mw=20.0), max_hours_of_load=8.0
+        )
+        assert hours == float("inf")
+
+    def test_optimizer_stays_within_solar_axis(self, nc):
+        space = nc.default_space(
+            n_renewable_steps=2,
+            battery_hours=(0.0, 5.0),
+            extra_capacity_fractions=(0.0,),
+        )
+        result = nc.optimize(Strategy.RENEWABLES_BATTERY, space)
+        for evaluation in result.evaluations:
+            assert evaluation.design.investment.wind_mw == 0.0
+
+
+class TestFacadeConsistency:
+    def test_evaluate_matches_optimize_best(self, nc):
+        """Re-evaluating the optimizer's winning design must reproduce its
+        numbers exactly (determinism across the facade)."""
+        space = nc.default_space(
+            n_renewable_steps=2,
+            battery_hours=(0.0, 5.0),
+            extra_capacity_fractions=(0.0,),
+        )
+        result = nc.optimize(Strategy.RENEWABLES_BATTERY, space)
+        again = nc.evaluate(result.best.design, Strategy.RENEWABLES_BATTERY)
+        assert again.total_tons == pytest.approx(result.best.total_tons)
+        assert again.coverage == pytest.approx(result.best.coverage)
+
+    def test_supply_linearity_through_facade(self, nc):
+        small = nc.renewable_supply(RenewableInvestment(solar_mw=50.0))
+        large = nc.renewable_supply(RenewableInvestment(solar_mw=150.0))
+        assert large.total() == pytest.approx(3.0 * small.total())
+
+    def test_existing_investment_round_trip(self, nc):
+        inv = nc.existing_investment()
+        assert inv.solar_mw == 410.0  # Table 1, NC row
+        assert inv.wind_mw == 0.0
+        assert 0.0 < nc.coverage(inv) < 0.6  # solar-only ceiling

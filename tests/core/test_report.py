@@ -1,0 +1,62 @@
+"""Tests for the comprehensive site report."""
+
+import pytest
+
+from repro.core.report import ReportOptions, site_report
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return site_report("UT", options=ReportOptions(include_optimization=False))
+
+
+class TestSiteReport:
+    def test_header_names_site_and_year(self, quick_report):
+        assert "UT" in quick_report
+        assert "2020" in quick_report
+
+    def test_characterization_present(self, quick_report):
+        assert "Site characterization" in quick_report
+        assert "PACE" in quick_report
+        assert "balancing authority" in quick_report
+
+    def test_matching_gap_present(self, quick_report):
+        assert "REC matching gap" in quick_report
+        assert "Net Zero overstatement" in quick_report
+
+    def test_sizing_present(self, quick_report):
+        assert "Solution sizing" in quick_report
+        assert "battery for 100% coverage" in quick_report
+
+    def test_quick_mode_skips_optimization(self, quick_report):
+        assert "Carbon-optimal designs" not in quick_report
+
+    def test_full_report_has_all_strategies(self):
+        options = ReportOptions(
+            n_renewable_steps=2,
+            battery_hours=(0.0, 5.0),
+            extra_capacity_fractions=(0.0,),
+        )
+        report = site_report("UT", options=options)
+        assert "Carbon-optimal designs" in report
+        assert "renewables + battery + CAS" in report
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            ReportOptions(n_renewable_steps=1)
+        with pytest.raises(ValueError):
+            ReportOptions(flexible_ratio=1.5)
+
+    def test_deterministic(self, quick_report):
+        again = site_report("UT", options=ReportOptions(include_optimization=False))
+        assert again == quick_report
+
+
+class TestReportCli:
+    def test_report_command_quick(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "UT", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CARBON EXPLORER SITE REPORT" in out
+        assert "Carbon-optimal designs" not in out

@@ -1,0 +1,85 @@
+"""Tests for the embodied-coefficient sensitivity study."""
+
+import pytest
+
+from repro.core import DesignSpace, Strategy, build_site_context
+from repro.core.sensitivity import (
+    PAPER_COEFFICIENT_RANGES,
+    sensitivity_analysis,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_site_context("UT")
+
+
+@pytest.fixture(scope="module")
+def small_space(context):
+    avg = context.demand.avg_power_mw
+    return DesignSpace(
+        solar_mw=(0.0, 4 * avg, 8 * avg),
+        wind_mw=(0.0, 4 * avg, 8 * avg),
+        battery_mwh=(0.0, 5 * avg),
+    )
+
+
+@pytest.fixture(scope="module")
+def report(context, small_space):
+    return sensitivity_analysis(context, small_space, Strategy.RENEWABLES_BATTERY)
+
+
+class TestPaperRanges:
+    def test_ranges_match_section_5_1(self):
+        assert PAPER_COEFFICIENT_RANGES["wind_g_per_kwh"] == (10.0, 15.0)
+        assert PAPER_COEFFICIENT_RANGES["solar_g_per_kwh"] == (40.0, 70.0)
+        assert PAPER_COEFFICIENT_RANGES["battery_kg_per_kwh"] == (74.0, 134.0)
+
+
+class TestReport:
+    def test_two_records_per_coefficient(self, report):
+        assert len(report.records) == 2 * len(PAPER_COEFFICIENT_RANGES)
+
+    def test_lower_coefficients_never_raise_total(self, report):
+        """Setting a coefficient to its low bound can only help (the
+        optimizer can keep the baseline design at lower embodied cost)."""
+        base = report.baseline.best.total_tons
+        for record in report.records:
+            name = record.coefficient
+            low, high = PAPER_COEFFICIENT_RANGES[name]
+            if record.value == low:
+                assert record.best_total_tons <= base + 1e-6
+            if record.value == high:
+                assert record.best_total_tons >= base - 1e-6
+
+    def test_swing_is_bounded(self, report):
+        """Embodied coefficients move totals, but not catastrophically —
+        the optimizer re-balances the design."""
+        assert 0.0 <= report.max_total_swing() < 0.5
+
+    def test_robust_design_flag_consistent(self, report):
+        changed = any(r.design_changed for r in report.records)
+        assert report.robust_design() == (not changed)
+
+
+class TestValidation:
+    def test_unknown_coefficient_rejected(self, context, small_space):
+        with pytest.raises(ValueError, match="unknown"):
+            sensitivity_analysis(
+                context, small_space, Strategy.RENEWABLES_ONLY, ranges={"nope": (0, 1)}
+            )
+
+    def test_inverted_range_rejected(self, context, small_space):
+        with pytest.raises(ValueError, match="exceeds"):
+            sensitivity_analysis(
+                context,
+                small_space,
+                Strategy.RENEWABLES_ONLY,
+                ranges={"wind_g_per_kwh": (15.0, 10.0)},
+            )
+
+    def test_empty_ranges_rejected(self, context, small_space):
+        with pytest.raises(ValueError, match="empty"):
+            sensitivity_analysis(
+                context, small_space, Strategy.RENEWABLES_ONLY, ranges={}
+            )

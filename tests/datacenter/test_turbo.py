@@ -1,0 +1,106 @@
+"""Tests for the Turbo Boost capacity alternative (§4.3)."""
+
+import pytest
+
+from repro.carbon import DEFAULT_EMBODIED_MODEL
+from repro.datacenter import DatacenterPowerModel
+from repro.datacenter.turbo import (
+    MAX_BOOST,
+    CapacityComparison,
+    TurboBoostModel,
+    compare_turbo_vs_servers,
+)
+
+
+class TestTurboModel:
+    def test_nominal_is_identity(self):
+        turbo = TurboBoostModel(boost=1.0)
+        assert turbo.extra_capacity_fraction == 0.0
+        assert turbo.dynamic_power_factor == 1.0
+        assert turbo.energy_per_op_factor() == 1.0
+
+    def test_power_grows_superlinearly(self):
+        turbo = TurboBoostModel(boost=1.2)
+        assert turbo.dynamic_power_factor > 1.2
+        assert turbo.energy_per_op_factor() > 1.0
+
+    def test_higher_boost_less_efficient(self):
+        low = TurboBoostModel(boost=1.1)
+        high = TurboBoostModel(boost=1.3)
+        assert high.energy_per_op_factor() > low.energy_per_op_factor()
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            TurboBoostModel(boost=0.9)
+        with pytest.raises(ValueError):
+            TurboBoostModel(boost=MAX_BOOST + 0.01)
+        with pytest.raises(ValueError):
+            TurboBoostModel(boost=1.1, power_exponent=0.5)
+
+    def test_for_extra_capacity(self):
+        turbo = TurboBoostModel.for_extra_capacity(0.2)
+        assert turbo.boost == pytest.approx(1.2)
+
+    def test_for_extra_capacity_beyond_turbo_rejected(self):
+        with pytest.raises(ValueError, match="cannot deliver"):
+            TurboBoostModel.for_extra_capacity(0.5)
+
+
+class TestComparison:
+    @pytest.fixture()
+    def fleet(self):
+        return DatacenterPowerModel(n_servers=50_000)
+
+    def test_free_energy_makes_turbo_win(self, fleet):
+        comparison = compare_turbo_vs_servers(
+            fleet,
+            DEFAULT_EMBODIED_MODEL,
+            extra_fraction=0.2,
+            surge_hours_per_year=1000.0,
+            grid_intensity_g_per_kwh=0.0,
+        )
+        assert comparison.turbo_operational_tons == 0.0
+        assert comparison.turbo_wins
+
+    def test_dirty_energy_and_heavy_use_favor_servers(self, fleet):
+        comparison = compare_turbo_vs_servers(
+            fleet,
+            DEFAULT_EMBODIED_MODEL,
+            extra_fraction=0.2,
+            surge_hours_per_year=6000.0,
+            grid_intensity_g_per_kwh=700.0,
+        )
+        assert not comparison.turbo_wins
+
+    def test_crossover_exists_in_surge_hours(self, fleet):
+        """Few surge hours -> turbo; many -> servers.  There must be a
+        crossover between the extremes at moderate intensity."""
+        def winner(hours):
+            return compare_turbo_vs_servers(
+                fleet,
+                DEFAULT_EMBODIED_MODEL,
+                extra_fraction=0.2,
+                surge_hours_per_year=hours,
+                grid_intensity_g_per_kwh=400.0,
+            ).turbo_wins
+
+        assert winner(50.0)
+        assert not winner(8000.0)
+
+    def test_turbo_cost_scales_with_hours(self, fleet):
+        low = compare_turbo_vs_servers(
+            fleet, DEFAULT_EMBODIED_MODEL, 0.2, 100.0, 400.0
+        )
+        high = compare_turbo_vs_servers(
+            fleet, DEFAULT_EMBODIED_MODEL, 0.2, 1000.0, 400.0
+        )
+        assert high.turbo_operational_tons == pytest.approx(
+            10.0 * low.turbo_operational_tons
+        )
+        assert high.servers_embodied_tons == low.servers_embodied_tons
+
+    def test_validation(self, fleet):
+        with pytest.raises(ValueError):
+            compare_turbo_vs_servers(fleet, DEFAULT_EMBODIED_MODEL, 0.2, -1.0, 400.0)
+        with pytest.raises(ValueError):
+            compare_turbo_vs_servers(fleet, DEFAULT_EMBODIED_MODEL, 0.2, 100.0, -1.0)

@@ -1,0 +1,74 @@
+"""Tests for forecast accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    forecast_skill,
+    mean_absolute_error,
+    normalized_mae,
+    root_mean_squared_error,
+)
+
+
+class TestErrors:
+    def test_perfect_forecast(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        assert mean_absolute_error(actual, actual) == 0.0
+        assert root_mean_squared_error(actual, actual) == 0.0
+
+    def test_known_mae(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, -1.0]) == 1.0
+
+    def test_rmse_penalizes_outliers_more(self):
+        actual = np.zeros(4)
+        spread = np.array([1.0, 1.0, 1.0, 1.0])
+        spike = np.array([0.0, 0.0, 0.0, 2.0])
+        assert mean_absolute_error(actual, spread) > mean_absolute_error(actual, spike)
+        assert root_mean_squared_error(actual, spike) == root_mean_squared_error(
+            actual, spread
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+
+class TestNormalizedMae:
+    def test_scale_invariance(self):
+        actual = np.array([10.0, 20.0])
+        forecast = np.array([12.0, 18.0])
+        small = normalized_mae(actual, forecast)
+        large = normalized_mae(actual * 100, forecast * 100)
+        assert small == pytest.approx(large)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mae([0.0, 0.0], [1.0, 1.0])
+
+
+class TestSkill:
+    def test_perfect_forecast_has_skill_one(self):
+        actual = np.array([1.0, 2.0])
+        reference = np.array([0.0, 0.0])
+        assert forecast_skill(actual, actual, reference) == 1.0
+
+    def test_matching_reference_has_zero_skill(self):
+        actual = np.array([1.0, 2.0])
+        reference = np.array([0.0, 0.0])
+        assert forecast_skill(actual, reference, reference) == 0.0
+
+    def test_worse_than_reference_is_negative(self):
+        actual = np.array([1.0, 1.0])
+        good = np.array([0.9, 0.9])
+        bad = np.array([0.0, 0.0])
+        assert forecast_skill(actual, bad, good) < 0.0
+
+    def test_perfect_reference_rejected(self):
+        actual = np.array([1.0, 2.0])
+        with pytest.raises(ValueError):
+            forecast_skill(actual, actual * 0.5, actual)

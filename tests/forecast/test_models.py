@@ -1,0 +1,108 @@
+"""Tests for the day-ahead forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    BlendedForecaster,
+    ClimatologyForecaster,
+    PersistenceForecaster,
+    forecast_series,
+)
+from repro.grid import generate_grid_dataset
+from repro.timeseries import HOURS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def wind_actual():
+    return generate_grid_dataset("PACE").wind.values
+
+
+class TestPersistence:
+    def test_repeats_previous_day(self, wind_actual):
+        forecast = PersistenceForecaster().forecast_day(wind_actual, 5)
+        assert np.array_equal(forecast, wind_actual[4 * 24 : 5 * 24])
+
+    def test_day_zero_is_zeros(self, wind_actual):
+        assert np.all(PersistenceForecaster().forecast_day(wind_actual, 0) == 0.0)
+
+    def test_insufficient_history_rejected(self):
+        with pytest.raises(ValueError):
+            PersistenceForecaster().forecast_day(np.zeros(24), 2)
+
+    def test_negative_day_rejected(self, wind_actual):
+        with pytest.raises(ValueError):
+            PersistenceForecaster().forecast_day(wind_actual, -1)
+
+
+class TestClimatology:
+    def test_averages_history(self):
+        history = np.concatenate([np.full(24, 2.0), np.full(24, 4.0)])
+        forecast = ClimatologyForecaster().forecast_day(history, 2)
+        assert np.allclose(forecast, 3.0)
+
+    def test_sees_only_past(self, wind_actual):
+        """Forecast for day d must not change if the future is altered."""
+        mutated = wind_actual.copy()
+        mutated[200 * 24 :] = 0.0
+        a = ClimatologyForecaster().forecast_day(wind_actual, 100)
+        b = ClimatologyForecaster().forecast_day(mutated, 100)
+        assert np.array_equal(a, b)
+
+    def test_day_zero_is_zeros(self, wind_actual):
+        assert np.all(ClimatologyForecaster().forecast_day(wind_actual, 0) == 0.0)
+
+
+class TestBlended:
+    def test_pure_weights_match_components(self, wind_actual):
+        day = 50
+        persistence = PersistenceForecaster().forecast_day(wind_actual, day)
+        climatology = ClimatologyForecaster().forecast_day(wind_actual, day)
+        assert np.allclose(
+            BlendedForecaster(weight=1.0).forecast_day(wind_actual, day), persistence
+        )
+        assert np.allclose(
+            BlendedForecaster(weight=0.0).forecast_day(wind_actual, day), climatology
+        )
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            BlendedForecaster(weight=1.5)
+
+    def test_blend_is_convex(self, wind_actual):
+        day = 50
+        blend = BlendedForecaster(weight=0.5).forecast_day(wind_actual, day)
+        persistence = PersistenceForecaster().forecast_day(wind_actual, day)
+        climatology = ClimatologyForecaster().forecast_day(wind_actual, day)
+        lo = np.minimum(persistence, climatology)
+        hi = np.maximum(persistence, climatology)
+        assert np.all(blend >= lo - 1e-12)
+        assert np.all(blend <= hi + 1e-12)
+
+
+class TestForecastSeries:
+    def test_shape(self, wind_actual):
+        forecast = forecast_series(PersistenceForecaster(), wind_actual)
+        assert forecast.shape == wind_actual.shape
+
+    def test_causality(self, wind_actual):
+        """Changing the future cannot change earlier forecasts."""
+        mutated = wind_actual.copy()
+        mutated[-24:] = 1e6
+        a = forecast_series(PersistenceForecaster(), wind_actual)
+        b = forecast_series(PersistenceForecaster(), mutated)
+        assert np.array_equal(a[:-24], b[:-24])
+
+    def test_rejects_partial_days(self):
+        with pytest.raises(ValueError):
+            forecast_series(PersistenceForecaster(), np.zeros(100))
+
+    def test_persistence_beats_zero_forecast_on_wind(self, wind_actual):
+        """Persistence must have skill over a trivial zero forecast."""
+        from repro.forecast import mean_absolute_error
+
+        persistence = forecast_series(PersistenceForecaster(), wind_actual)
+        zeros = np.zeros_like(wind_actual)
+        assert mean_absolute_error(wind_actual, persistence) < mean_absolute_error(
+            wind_actual, zeros
+        )

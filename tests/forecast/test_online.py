@@ -1,0 +1,98 @@
+"""Tests for forecast-driven online scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    BlendedForecaster,
+    PersistenceForecaster,
+    schedule_with_forecast,
+)
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries
+
+N = DEFAULT_CALENDAR.n_hours
+
+
+@pytest.fixture()
+def day_night_supply():
+    return HourlySeries.from_daily_profile(
+        [0.0] * 8 + [25.0] * 8 + [0.0] * 8, DEFAULT_CALENDAR
+    )
+
+
+@pytest.fixture()
+def intensity(day_night_supply):
+    values = np.where(day_night_supply.values > 0.0, 50.0, 600.0)
+    return HourlySeries(values, DEFAULT_CALENDAR)
+
+
+class TestOnlineScheduling:
+    def test_deterministic_supply_matches_oracle(
+        self, flat_demand, day_night_supply, intensity
+    ):
+        """On a perfectly repeating supply, persistence forecasting is exact
+        from day 1, so the online scheduler nearly matches the oracle."""
+        result = schedule_with_forecast(
+            flat_demand,
+            day_night_supply,
+            intensity,
+            PersistenceForecaster(),
+            capacity_mw=50.0,
+            flexible_ratio=0.4,
+        )
+        # Only day 0 (zero forecast) is lost.
+        assert result.regret() < 0.01
+
+    def test_energy_conserved(self, flat_demand, day_night_supply, intensity):
+        result = schedule_with_forecast(
+            flat_demand,
+            day_night_supply,
+            intensity,
+            PersistenceForecaster(),
+            capacity_mw=50.0,
+            flexible_ratio=0.4,
+        )
+        assert result.shifted_demand.total() == pytest.approx(flat_demand.total())
+
+    def test_realized_between_oracle_and_baseline_for_noisy_supply(self, flat_demand):
+        """With noisy supply, forecast scheduling should land between doing
+        nothing and the oracle (persistence still carries signal)."""
+        rng = np.random.default_rng(11)
+        base = np.tile([0.0] * 8 + [25.0] * 8 + [0.0] * 8, DEFAULT_CALENDAR.n_days)
+        noise = rng.uniform(0.6, 1.4, N)
+        supply = HourlySeries(base * noise, DEFAULT_CALENDAR)
+        intensity = HourlySeries(
+            np.where(base > 0, 50.0, 600.0), DEFAULT_CALENDAR
+        )
+        result = schedule_with_forecast(
+            flat_demand,
+            supply,
+            intensity,
+            BlendedForecaster(),
+            capacity_mw=50.0,
+            flexible_ratio=0.4,
+        )
+        assert result.oracle_deficit_mwh <= result.realized_deficit_mwh + 1e-6
+        assert result.realized_deficit_mwh < result.baseline_deficit_mwh
+        assert 0.0 <= result.regret() < 1.0
+
+    def test_validation(self, flat_demand, day_night_supply, intensity):
+        with pytest.raises(ValueError):
+            schedule_with_forecast(
+                flat_demand, day_night_supply, intensity,
+                PersistenceForecaster(), capacity_mw=5.0, flexible_ratio=0.4,
+            )
+        with pytest.raises(ValueError):
+            schedule_with_forecast(
+                flat_demand, day_night_supply, intensity,
+                PersistenceForecaster(), capacity_mw=50.0, flexible_ratio=1.5,
+            )
+
+    def test_regret_undefined_when_oracle_gains_nothing(self, flat_demand, intensity):
+        abundant = HourlySeries.constant(50.0, DEFAULT_CALENDAR)
+        result = schedule_with_forecast(
+            flat_demand, abundant, intensity,
+            PersistenceForecaster(), capacity_mw=50.0, flexible_ratio=0.4,
+        )
+        with pytest.raises(ValueError):
+            result.regret()

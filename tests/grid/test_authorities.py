@@ -1,0 +1,85 @@
+"""Unit tests for the balancing-authority registry."""
+
+import pytest
+
+from repro.grid import (
+    BALANCING_AUTHORITIES,
+    TABLE1_AUTHORITY_CODES,
+    RenewableClass,
+    authorities_by_class,
+    get_authority,
+)
+
+
+class TestRegistry:
+    def test_table1_has_ten_authorities(self):
+        assert len(TABLE1_AUTHORITY_CODES) == 10
+
+    def test_ciso_present_for_motivating_figures(self):
+        assert "CISO" in BALANCING_AUTHORITIES
+        assert "CISO" not in TABLE1_AUTHORITY_CODES
+
+    def test_lookup_known(self):
+        assert get_authority("BPAT").code == "BPAT"
+
+    def test_lookup_unknown_names_known_codes(self):
+        with pytest.raises(KeyError, match="BPAT"):
+            get_authority("NOPE")
+
+    def test_all_table1_codes_resolve(self):
+        for code in TABLE1_AUTHORITY_CODES:
+            assert get_authority(code).code == code
+
+
+class TestPaperClassification:
+    """§3.2: three wind (BPAT, MISO, SWPP), three solar (DUK, SOCO, TVA),
+    four hybrid (ERCO, PACE, PJM, PNM)."""
+
+    def test_wind_regions(self):
+        codes = {a.code for a in authorities_by_class(RenewableClass.WIND)}
+        assert codes == {"BPAT", "MISO", "SWPP"}
+
+    def test_solar_regions(self):
+        codes = {a.code for a in authorities_by_class(RenewableClass.SOLAR)}
+        assert codes == {"DUK", "SOCO", "TVA"}
+
+    def test_hybrid_regions(self):
+        codes = {a.code for a in authorities_by_class(RenewableClass.HYBRID)}
+        assert codes == {"ERCO", "PACE", "PJM", "PNM"}
+
+
+class TestProfileSanity:
+    def test_solar_only_regions_have_zero_wind_capacity(self):
+        for code in ("DUK", "SOCO", "TVA"):
+            assert get_authority(code).wind.capacity_mw == 0.0
+
+    def test_wind_regions_dominated_by_wind(self):
+        for code in ("BPAT", "MISO", "SWPP"):
+            authority = get_authority(code)
+            assert authority.wind.capacity_mw > authority.solar.capacity_mw * 5
+
+    def test_hybrids_have_both(self):
+        for code in ("ERCO", "PACE", "PJM", "PNM"):
+            authority = get_authority(code)
+            assert authority.wind.capacity_mw > 0
+            assert authority.solar.capacity_mw > 0
+
+    def test_bpat_is_the_volatile_worst_case(self):
+        """Oregon's deep-valley behaviour needs the highest calm bias."""
+        bpat = get_authority("BPAT")
+        for code in ("MISO", "SWPP", "ERCO", "PACE", "PNM"):
+            assert bpat.wind.calm_bias > get_authority(code).wind.calm_bias
+            assert bpat.wind.volatility > get_authority(code).wind.volatility
+
+    def test_renewable_capacity_property(self):
+        pace = get_authority("PACE")
+        assert pace.renewable_capacity_mw == pytest.approx(
+            pace.wind.capacity_mw + pace.solar.capacity_mw
+        )
+
+    def test_dispatch_fractions_sane(self):
+        for authority in BALANCING_AUTHORITIES.values():
+            dispatch = authority.dispatch
+            assert 0.0 <= dispatch.nuclear_fraction <= 0.6
+            assert 0.0 <= dispatch.hydro_fraction <= 0.6
+            assert 0.0 <= dispatch.coal_share <= 1.0

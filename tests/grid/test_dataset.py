@@ -1,0 +1,86 @@
+"""Tests for grid datasets, dispatch, and hourly carbon intensity."""
+
+import numpy as np
+import pytest
+
+from repro.grid import EnergySource, generate_grid_dataset
+
+
+class TestGeneration:
+    def test_deterministic_and_cached(self):
+        a = generate_grid_dataset("PACE")
+        b = generate_grid_dataset("PACE")
+        assert a is b  # lru_cache
+        c = generate_grid_dataset("PACE", seed=1)
+        assert c is not a
+
+    def test_all_sources_non_negative(self, pace_grid):
+        for source, series in pace_grid.generation.items():
+            assert series.min() >= 0.0, source
+
+    def test_unknown_authority_rejected(self):
+        with pytest.raises(KeyError):
+            generate_grid_dataset("NOPE")
+
+
+class TestDispatchBalance:
+    def test_generation_meets_demand(self, pace_grid):
+        """Dispatch must serve demand in every hour (within rounding)."""
+        total = pace_grid.total_generation()
+        assert np.all(total.values >= pace_grid.demand.values - 1e-6)
+
+    def test_fossil_fills_residual_only(self, pace_grid):
+        """Gas+coal should never exceed demand minus must-run minimums."""
+        fossil = (
+            pace_grid.source(EnergySource.NATURAL_GAS)
+            + pace_grid.source(EnergySource.COAL)
+        )
+        assert np.all(fossil.values <= pace_grid.demand.values + 1e-6)
+
+    def test_coal_gas_split_matches_profile(self, pace_grid):
+        coal = pace_grid.source(EnergySource.COAL).total()
+        gas = pace_grid.source(EnergySource.NATURAL_GAS).total()
+        share = pace_grid.authority.dispatch.coal_share
+        assert coal / (coal + gas) == pytest.approx(share, abs=1e-9)
+
+    def test_curtailed_is_non_negative(self, pace_grid):
+        assert pace_grid.curtailed.min() >= 0.0
+
+    def test_renewables_property(self, pace_grid):
+        combined = pace_grid.renewables()
+        assert np.allclose(
+            combined.values, pace_grid.wind.values + pace_grid.solar.values
+        )
+
+
+class TestCarbonIntensity:
+    def test_bounded_by_source_extremes(self, pace_grid):
+        intensity = pace_grid.carbon_intensity_g_per_kwh()
+        assert intensity.min() >= 11.0
+        assert intensity.max() <= 820.0
+
+    def test_cleaner_when_renewables_peak(self, pace_grid):
+        """Hours of top-decile renewable share must be cleaner than
+        bottom-decile hours."""
+        intensity = pace_grid.carbon_intensity_g_per_kwh().values
+        share = pace_grid.renewables().values / pace_grid.total_generation().values
+        top = intensity[share >= np.quantile(share, 0.9)].mean()
+        bottom = intensity[share <= np.quantile(share, 0.1)].mean()
+        assert top < bottom
+
+    def test_renewable_share_in_unit_interval(self, pace_grid):
+        assert 0.0 < pace_grid.renewable_share() < 1.0
+
+    def test_solar_only_region_has_zero_wind(self, duk_grid):
+        assert duk_grid.wind.total() == 0.0
+        assert duk_grid.solar.total() > 0.0
+
+    def test_wind_region_dominated_by_wind(self, bpat_grid):
+        assert bpat_grid.wind.total() > 10 * bpat_grid.solar.total()
+
+    def test_curtailment_fraction_bounded(self, pace_grid):
+        assert 0.0 <= pace_grid.curtailment_fraction() < 0.5
+
+    def test_source_accessor_returns_zeros_for_missing(self, pace_grid):
+        oil = pace_grid.source(EnergySource.OIL)
+        assert oil.total() == 0.0

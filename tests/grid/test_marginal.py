@@ -1,0 +1,65 @@
+"""Tests for the marginal carbon-intensity signal."""
+
+import numpy as np
+import pytest
+
+from repro.grid import generate_grid_dataset
+from repro.grid.marginal import marginal_intensity_g_per_kwh, signal_divergence_hours
+from repro.grid.sources import CARBON_INTENSITY_G_PER_KWH, EnergySource
+
+
+class TestMarginalIntensity:
+    def test_zero_during_curtailment(self):
+        ciso = generate_grid_dataset("CISO")
+        marginal = marginal_intensity_g_per_kwh(ciso)
+        curtailing = ciso.curtailed.values > 1e-9
+        assert curtailing.any()
+        assert np.all(marginal.values[curtailing] == 0.0)
+
+    def test_gas_or_coal_when_fossil_runs(self, pace_grid):
+        """The fossil margin is either the gas or the coal unit."""
+        marginal = marginal_intensity_g_per_kwh(pace_grid)
+        fossil = (
+            pace_grid.source(EnergySource.NATURAL_GAS).values
+            + pace_grid.source(EnergySource.COAL).values
+        )
+        running = (fossil > 1e-6) & (pace_grid.curtailed.values <= 1e-9)
+        gas = CARBON_INTENSITY_G_PER_KWH[EnergySource.NATURAL_GAS]
+        coal = CARBON_INTENSITY_G_PER_KWH[EnergySource.COAL]
+        values = marginal.values[running]
+        assert np.all(np.isin(values, (gas, coal)))
+
+    def test_coal_marginal_only_at_high_residual(self, pace_grid):
+        """Coal sits on the margin only when the fossil residual is deep in
+        the stack (monotone in residual)."""
+        marginal = marginal_intensity_g_per_kwh(pace_grid).values
+        fossil = (
+            pace_grid.source(EnergySource.NATURAL_GAS).values
+            + pace_grid.source(EnergySource.COAL).values
+        )
+        coal = CARBON_INTENSITY_G_PER_KWH[EnergySource.COAL]
+        coal_hours = marginal == coal
+        gas = CARBON_INTENSITY_G_PER_KWH[EnergySource.NATURAL_GAS]
+        gas_hours = marginal == gas
+        assert coal_hours.any() and gas_hours.any()
+        assert fossil[coal_hours].min() >= fossil[gas_hours].max() - 1e-6
+
+    def test_marginal_exceeds_average_when_fossil_runs(self, pace_grid):
+        """A fossil margin is dirtier than the clean-diluted average."""
+        marginal = marginal_intensity_g_per_kwh(pace_grid).values
+        average = pace_grid.carbon_intensity_g_per_kwh().values
+        fossil = (
+            pace_grid.source(EnergySource.NATURAL_GAS).values
+            + pace_grid.source(EnergySource.COAL).values
+        )
+        running = (fossil > 1e-6) & (pace_grid.curtailed.values <= 1e-9)
+        assert np.all(marginal[running] >= average[running] - 1e-9)
+
+    def test_bounded_by_source_extremes(self, bpat_grid):
+        marginal = marginal_intensity_g_per_kwh(bpat_grid)
+        assert marginal.min() >= 0.0
+        assert marginal.max() <= 820.0
+
+    def test_divergence_hours_counted(self, pace_grid):
+        divergence = signal_divergence_hours(pace_grid)
+        assert 0 <= divergence <= pace_grid.calendar.n_hours

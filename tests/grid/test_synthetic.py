@@ -1,0 +1,163 @@
+"""Tests for the synthetic generators — including the shape facts the
+paper's conclusions rest on (DESIGN.md calibration targets)."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    get_authority,
+    hydro_generation,
+    seed_for,
+    solar_generation,
+    system_demand,
+    wind_generation,
+)
+from repro.grid.authorities import SolarProfile, WindProfile
+from repro.timeseries import (
+    DEFAULT_CALENDAR,
+    best_days_ratio,
+    coefficient_of_variation,
+    worst_days_ratio,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestSolarGeneration:
+    def test_zero_capacity_is_all_zero(self, rng):
+        profile = SolarProfile(capacity_mw=0.0, latitude_deg=40.0)
+        assert solar_generation(profile, DEFAULT_CALENDAR, rng).total() == 0.0
+
+    def test_never_exceeds_capacity(self, rng):
+        profile = SolarProfile(capacity_mw=100.0, latitude_deg=40.0)
+        s = solar_generation(profile, DEFAULT_CALENDAR, rng)
+        assert s.max() <= 100.0
+        assert s.min() >= 0.0
+
+    def test_zero_at_night(self, rng):
+        """Solar must be exactly zero around local midnight all year."""
+        profile = SolarProfile(capacity_mw=100.0, latitude_deg=40.0)
+        s = solar_generation(profile, DEFAULT_CALENDAR, rng)
+        values = s.values.reshape(DEFAULT_CALENDAR.n_days, 24)
+        assert np.all(values[:, 0] == 0.0)
+        assert np.all(values[:, 23] == 0.0)
+
+    def test_peaks_near_noon(self, rng):
+        profile = SolarProfile(capacity_mw=100.0, latitude_deg=40.0)
+        s = solar_generation(profile, DEFAULT_CALENDAR, rng)
+        peak_hour = int(np.argmax(s.average_day_profile()))
+        assert peak_hour in (11, 12)
+
+    def test_summer_beats_winter(self, rng):
+        """Northern-hemisphere insolation is higher in June than December."""
+        profile = SolarProfile(capacity_mw=100.0, latitude_deg=40.0)
+        s = solar_generation(profile, DEFAULT_CALENDAR, rng)
+        monthly = s.monthly_totals()
+        assert monthly[5] > monthly[11] * 1.5
+
+    def test_deterministic_in_seed(self):
+        profile = SolarProfile(capacity_mw=100.0, latitude_deg=40.0)
+        a = solar_generation(profile, DEFAULT_CALENDAR, np.random.default_rng(1))
+        b = solar_generation(profile, DEFAULT_CALENDAR, np.random.default_rng(1))
+        assert a == b
+
+    def test_higher_clearness_more_energy(self):
+        clear = SolarProfile(capacity_mw=100.0, latitude_deg=40.0, mean_clearness=0.85)
+        cloudy = SolarProfile(capacity_mw=100.0, latitude_deg=40.0, mean_clearness=0.45)
+        e_clear = solar_generation(clear, DEFAULT_CALENDAR, np.random.default_rng(2)).total()
+        e_cloudy = solar_generation(cloudy, DEFAULT_CALENDAR, np.random.default_rng(2)).total()
+        assert e_clear > e_cloudy * 1.5
+
+
+class TestWindGeneration:
+    def test_zero_capacity_is_all_zero(self, rng):
+        profile = WindProfile(capacity_mw=0.0)
+        assert wind_generation(profile, DEFAULT_CALENDAR, rng).total() == 0.0
+
+    def test_bounded_by_capacity(self, rng):
+        profile = WindProfile(capacity_mw=500.0)
+        s = wind_generation(profile, DEFAULT_CALENDAR, rng)
+        assert 0.0 <= s.min() and s.max() <= 500.0
+
+    def test_mean_capacity_factor_calibrated(self, rng):
+        profile = WindProfile(capacity_mw=1000.0, mean_capacity_factor=0.35)
+        s = wind_generation(profile, DEFAULT_CALENDAR, rng)
+        assert s.mean() / 1000.0 == pytest.approx(0.35, rel=0.05)
+
+    def test_deterministic_in_seed(self):
+        profile = WindProfile(capacity_mw=100.0)
+        a = wind_generation(profile, DEFAULT_CALENDAR, np.random.default_rng(3))
+        b = wind_generation(profile, DEFAULT_CALENDAR, np.random.default_rng(3))
+        assert a == b
+
+    def test_invalid_synoptic_hours(self, rng):
+        profile = WindProfile(capacity_mw=100.0, synoptic_hours=0.5)
+        with pytest.raises(ValueError):
+            wind_generation(profile, DEFAULT_CALENDAR, rng)
+
+    def test_calm_bias_creates_near_zero_days(self):
+        """BPAT-style profiles must have days with almost no wind (§3.2)."""
+        bpat = get_authority("BPAT").wind
+        s = wind_generation(bpat, DEFAULT_CALENDAR, np.random.default_rng(4))
+        daily = s.daily_totals() / (bpat.capacity_mw * 24)
+        assert (daily < 0.02).sum() >= 3  # several near-dead days
+
+    def test_volatility_orders_day_to_day_spread(self):
+        """BPAT (volatile) must have wider daily spread than SWPP (steady)."""
+        bpat = wind_generation(get_authority("BPAT").wind, DEFAULT_CALENDAR, np.random.default_rng(5))
+        swpp = wind_generation(get_authority("SWPP").wind, DEFAULT_CALENDAR, np.random.default_rng(5))
+        assert coefficient_of_variation(bpat.daily_totals()) > coefficient_of_variation(
+            swpp.daily_totals()
+        )
+
+    def test_bpat_best_ten_days_ratio(self):
+        """§3.2: BPAT's best ten days offer roughly 2.5x the average."""
+        bpat = get_authority("BPAT").wind
+        s = wind_generation(bpat, DEFAULT_CALENDAR, np.random.default_rng(6))
+        ratio = best_days_ratio(s, n_days=10)
+        assert 1.8 < ratio < 3.5
+
+    def test_bpat_worst_days_are_deep_valleys(self):
+        bpat = get_authority("BPAT").wind
+        s = wind_generation(bpat, DEFAULT_CALENDAR, np.random.default_rng(6))
+        assert worst_days_ratio(s, n_days=10) < 0.15
+
+
+class TestSystemDemand:
+    def test_positive_and_near_average(self, rng):
+        authority = get_authority("PACE")
+        demand = system_demand(authority, DEFAULT_CALENDAR, rng)
+        assert demand.min() > 0.0
+        assert demand.mean() == pytest.approx(authority.avg_demand_mw, rel=0.05)
+
+    def test_weekend_dip(self, rng):
+        authority = get_authority("PACE")
+        demand = system_demand(authority, DEFAULT_CALENDAR, rng)
+        weekday_mask = np.array(
+            [DEFAULT_CALENDAR.weekday(h) < 5 for h in range(0, DEFAULT_CALENDAR.n_hours, 24)]
+        )
+        daily = demand.daily_means()
+        assert daily[weekday_mask].mean() > daily[~weekday_mask].mean()
+
+
+class TestHydroAndSeeds:
+    def test_hydro_zero_when_fraction_zero(self):
+        authority = get_authority("PNM")  # hydro_fraction == 0
+        assert hydro_generation(authority, DEFAULT_CALENDAR).total() == 0.0
+
+    def test_hydro_seasonal_peak_in_spring(self):
+        authority = get_authority("BPAT")
+        hydro = hydro_generation(authority, DEFAULT_CALENDAR)
+        monthly = hydro.monthly_totals()
+        assert monthly[4] > monthly[0]  # May beats January
+
+    def test_seed_for_is_stable(self):
+        assert seed_for("BPAT", 2020) == seed_for("BPAT", 2020)
+
+    def test_seed_for_differs_by_region_and_year(self):
+        assert seed_for("BPAT", 2020) != seed_for("PACE", 2020)
+        assert seed_for("BPAT", 2020) != seed_for("BPAT", 2021)
+        assert seed_for("BPAT", 2020, 0) != seed_for("BPAT", 2020, 1)

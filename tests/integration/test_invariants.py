@@ -1,0 +1,195 @@
+"""Cross-module invariants, property-tested over random configurations.
+
+Each property here spans at least two subsystems and must hold for *any*
+valid input — the kind of whole-pipeline guarantee unit tests cannot give.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery import BatterySpec, simulate_battery
+from repro.carbon import operational_carbon_tons
+from repro.core import (
+    DesignPoint,
+    Strategy,
+    build_site_context,
+    coverage_from_grid_import,
+    evaluate_design,
+    renewable_coverage,
+)
+from repro.grid import RenewableInvestment, projected_supply
+from repro.scheduling import schedule_carbon_aware, simulate_combined
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries
+
+pytestmark = pytest.mark.integration
+
+N = DEFAULT_CALENDAR.n_hours
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_site_context("UT")
+
+
+def random_supply(seed: int) -> HourlySeries:
+    rng = np.random.default_rng(seed)
+    base = np.tile([0.0] * 6 + [1.0] * 12 + [0.0] * 6, DEFAULT_CALENDAR.n_days)
+    scale = rng.uniform(5.0, 30.0)
+    noise = rng.uniform(0.3, 1.7, N)
+    return HourlySeries(base * scale * noise + rng.uniform(0, 5.0, N), DEFAULT_CALENDAR)
+
+
+class TestBatteryInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        capacity=st.floats(min_value=0.0, max_value=500.0),
+        dod=st.floats(min_value=0.3, max_value=1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_battery_never_hurts_coverage(self, flat_demand, seed, capacity, dod):
+        """Adding any battery can only reduce grid imports."""
+        supply = random_supply(seed)
+        without = simulate_battery(flat_demand, supply, BatterySpec(0.0))
+        with_pack = simulate_battery(
+            flat_demand, supply, BatterySpec(capacity, depth_of_discharge=dod)
+        )
+        assert with_pack.grid_import.total() <= without.grid_import.total() + 1e-6
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        small=st.floats(min_value=0.0, max_value=100.0),
+        extra=st.floats(min_value=0.0, max_value=200.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bigger_battery_never_imports_more(self, flat_demand, seed, small, extra):
+        supply = random_supply(seed)
+        small_result = simulate_battery(flat_demand, supply, BatterySpec(small))
+        large_result = simulate_battery(flat_demand, supply, BatterySpec(small + extra))
+        assert large_result.grid_import.total() <= small_result.grid_import.total() + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_energy_balance_closes(self, flat_demand, seed):
+        """supply_used + battery_delivered + grid = demand, summed."""
+        supply = random_supply(seed)
+        result = simulate_battery(flat_demand, supply, BatterySpec(50.0), initial_soc=0.0)
+        supply_used = np.minimum(supply.values, flat_demand.values).sum()
+        delivered = result.discharged_mwh
+        total = supply_used + delivered + result.grid_import.total()
+        assert total == pytest.approx(flat_demand.total(), rel=1e-9)
+
+
+class TestSchedulerInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        ratio=st.floats(min_value=0.0, max_value=1.0),
+        headroom=st.floats(min_value=1.0, max_value=3.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_scheduling_never_increases_deficit(self, flat_demand, seed, ratio, headroom):
+        supply = random_supply(seed)
+        intensity = HourlySeries(
+            np.where(supply.values > flat_demand.values, 50.0, 600.0), DEFAULT_CALENDAR
+        )
+        result = schedule_carbon_aware(
+            flat_demand, supply, intensity, flat_demand.max() * headroom, ratio
+        )
+        before = (flat_demand - supply).positive_part().total()
+        after = (result.shifted_demand - supply).positive_part().total()
+        assert after <= before + 1e-6
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        ratio=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_scheduling_conserves_energy(self, flat_demand, seed, ratio):
+        supply = random_supply(seed)
+        intensity = HourlySeries(
+            np.where(supply.values > flat_demand.values, 50.0, 600.0), DEFAULT_CALENDAR
+        )
+        result = schedule_carbon_aware(
+            flat_demand, supply, intensity, flat_demand.max() * 2.0, ratio
+        )
+        assert result.shifted_demand.total() == pytest.approx(
+            flat_demand.total(), rel=1e-12
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_combined_never_worse_than_battery_alone(self, flat_demand, seed):
+        supply = random_supply(seed)
+        spec = BatterySpec(40.0)
+        battery_only = simulate_combined(
+            flat_demand, supply, spec, flat_demand.max() * 2.0, flexible_ratio=0.0
+        )
+        combined = simulate_combined(
+            flat_demand, supply, spec, flat_demand.max() * 2.0, flexible_ratio=0.4
+        )
+        assert combined.grid_import.total() <= battery_only.grid_import.total() + 1e-6
+
+
+class TestAccountingInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_coverage_definitions_agree_without_storage(self, flat_demand, seed):
+        supply = random_supply(seed)
+        direct = renewable_coverage(flat_demand, supply)
+        via_import = coverage_from_grid_import(
+            flat_demand, (flat_demand - supply).positive_part()
+        )
+        assert direct == pytest.approx(via_import, abs=1e-12)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_operational_carbon_linear_in_imports(self, flat_demand, seed, scale):
+        supply = random_supply(seed)
+        imports = (flat_demand - supply).positive_part()
+        intensity = HourlySeries.constant(500.0, DEFAULT_CALENDAR)
+        base = operational_carbon_tons(imports, intensity)
+        scaled = operational_carbon_tons(imports * scale, intensity)
+        assert scaled == pytest.approx(base * scale, rel=1e-9)
+
+
+class TestEvaluationInvariants:
+    @given(
+        solar=st.floats(min_value=0.0, max_value=300.0),
+        wind=st.floats(min_value=0.0, max_value=300.0),
+        battery=st.floats(min_value=0.0, max_value=300.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_evaluation_outputs_well_formed(self, context, solar, wind, battery):
+        design = DesignPoint(
+            investment=RenewableInvestment(solar_mw=solar, wind_mw=wind),
+            battery_mwh=battery,
+        )
+        evaluation = evaluate_design(context, design, Strategy.RENEWABLES_BATTERY)
+        assert 0.0 <= evaluation.coverage <= 1.0
+        assert evaluation.operational_tons >= 0.0
+        assert evaluation.embodied_tons >= 0.0
+        assert evaluation.grid_import_mwh >= 0.0
+        assert evaluation.surplus_mwh >= 0.0
+        assert evaluation.total_tons == pytest.approx(
+            evaluation.operational_tons + evaluation.embodied_tons
+        )
+
+    @given(battery=st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=8, deadline=None)
+    def test_more_battery_more_coverage_at_fixed_investment(self, context, battery):
+        investment = RenewableInvestment(solar_mw=80.0, wind_mw=80.0)
+        small = evaluate_design(
+            context,
+            DesignPoint(investment=investment, battery_mwh=battery),
+            Strategy.RENEWABLES_BATTERY,
+        )
+        large = evaluate_design(
+            context,
+            DesignPoint(investment=investment, battery_mwh=battery + 50.0),
+            Strategy.RENEWABLES_BATTERY,
+        )
+        assert large.coverage >= small.coverage - 1e-9

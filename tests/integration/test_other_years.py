@@ -1,0 +1,79 @@
+"""The full pipeline must work for non-leap years and alternate seeds.
+
+The paper's data is 2020 (a leap year, 8784 hours); nothing in the library
+should bake that in.  These tests run the whole stack on 2021 (8760 hours)
+and on alternate weather seeds.
+"""
+
+import pytest
+
+from repro import CarbonExplorer, Strategy
+from repro.battery import BatterySpec
+from repro.grid import RenewableInvestment, generate_grid_dataset
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def explorer_2021():
+    return CarbonExplorer("UT", year=2021)
+
+
+class TestNonLeapYear:
+    def test_calendar_length(self, explorer_2021):
+        assert len(explorer_2021.demand_power) == 8760
+
+    def test_grid_dataset_aligned(self):
+        grid = generate_grid_dataset("PACE", year=2021)
+        assert grid.calendar.n_hours == 8760
+        assert len(grid.carbon_intensity_g_per_kwh()) == 8760
+
+    def test_coverage_pipeline(self, explorer_2021):
+        coverage = explorer_2021.coverage(RenewableInvestment(solar_mw=100, wind_mw=50))
+        assert 0.0 < coverage < 1.0
+
+    def test_battery_pipeline(self, explorer_2021):
+        result = explorer_2021.simulate_battery(
+            RenewableInvestment(solar_mw=100, wind_mw=50), BatterySpec(50.0)
+        )
+        assert len(result.charge_level) == 8760
+
+    def test_scheduling_pipeline(self, explorer_2021):
+        result = explorer_2021.schedule(
+            RenewableInvestment(solar_mw=100, wind_mw=50),
+            capacity_mw=explorer_2021.demand_power.max() * 1.5,
+            flexible_ratio=0.4,
+        )
+        assert result.shifted_demand.total() == pytest.approx(
+            explorer_2021.demand_power.total()
+        )
+
+    def test_optimization_pipeline(self, explorer_2021):
+        space = explorer_2021.default_space(
+            n_renewable_steps=2,
+            battery_hours=(0.0, 5.0),
+            extra_capacity_fractions=(0.0,),
+        )
+        result = explorer_2021.optimize(Strategy.RENEWABLES_BATTERY, space)
+        assert 0.0 <= result.best.coverage <= 1.0
+
+    def test_years_produce_different_weather(self):
+        a = generate_grid_dataset("PACE", year=2020)
+        b = generate_grid_dataset("PACE", year=2021)
+        # Different lengths already, but also different draws per hour.
+        assert a.wind[0:100].tolist() != b.wind[0:100].tolist()
+
+
+class TestAlternateSeeds:
+    def test_seed_changes_weather_not_structure(self):
+        base = CarbonExplorer("UT", seed=0)
+        alt = CarbonExplorer("UT", seed=7)
+        assert base.avg_power_mw == pytest.approx(alt.avg_power_mw, rel=0.05)
+        assert base.demand_power != alt.demand_power
+        inv = RenewableInvestment(solar_mw=100, wind_mw=50)
+        assert base.coverage(inv) != alt.coverage(inv)
+
+    def test_cross_year_series_cannot_mix(self, explorer_2021):
+        base = CarbonExplorer("UT", year=2020)
+        with pytest.raises(ValueError):
+            base.demand_power + explorer_2021.demand_power

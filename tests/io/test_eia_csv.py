@@ -1,0 +1,102 @@
+"""Round-trip and validation tests for the EIA-style grid CSV layer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.grid import EnergySource, generate_grid_dataset
+from repro.io import GridCsvError, read_grid_csv, write_grid_csv
+
+
+@pytest.fixture(scope="module")
+def csv_text():
+    buffer = io.StringIO()
+    write_grid_csv(generate_grid_dataset("PACE"), buffer)
+    return buffer.getvalue()
+
+
+class TestRoundTrip:
+    def test_demand_preserved(self, pace_grid, csv_text):
+        parsed = read_grid_csv(io.StringIO(csv_text))
+        assert np.allclose(parsed.demand.values, pace_grid.demand.values, atol=1e-3)
+
+    def test_all_fuels_preserved(self, pace_grid, csv_text):
+        parsed = read_grid_csv(io.StringIO(csv_text))
+        for fuel in EnergySource:
+            assert np.allclose(
+                parsed.source(fuel).values, pace_grid.source(fuel).values, atol=1e-3
+            ), fuel
+
+    def test_curtailed_preserved(self, pace_grid, csv_text):
+        parsed = read_grid_csv(io.StringIO(csv_text))
+        assert np.allclose(parsed.curtailed.values, pace_grid.curtailed.values, atol=1e-3)
+
+    def test_authority_attached(self, csv_text):
+        parsed = read_grid_csv(io.StringIO(csv_text))
+        assert parsed.authority.code == "PACE"
+
+    def test_file_path_roundtrip(self, tmp_path, pace_grid):
+        path = tmp_path / "pace.csv"
+        write_grid_csv(pace_grid, path)
+        parsed = read_grid_csv(path)
+        assert np.allclose(parsed.wind.values, pace_grid.wind.values, atol=1e-3)
+
+    def test_derived_statistics_survive(self, pace_grid, csv_text):
+        parsed = read_grid_csv(io.StringIO(csv_text))
+        assert parsed.renewable_share() == pytest.approx(
+            pace_grid.renewable_share(), rel=1e-4
+        )
+
+
+class TestValidation:
+    def _lines(self, csv_text):
+        return csv_text.splitlines()
+
+    def test_short_file_rejected(self):
+        with pytest.raises(GridCsvError, match="too short"):
+            read_grid_csv(io.StringIO("a,b\n1,2\n"))
+
+    def test_unknown_authority_rejected(self, csv_text):
+        mutated = csv_text.replace("PACE", "NOPE", 1)
+        with pytest.raises(GridCsvError, match="NOPE"):
+            read_grid_csv(io.StringIO(mutated))
+
+    def test_unknown_column_rejected(self, csv_text):
+        mutated = csv_text.replace("Net generation from wind (MW)", "Mystery (MW)", 1)
+        with pytest.raises(GridCsvError):
+            read_grid_csv(io.StringIO(mutated))
+
+    def test_wrong_row_count_rejected(self, csv_text):
+        lines = self._lines(csv_text)
+        truncated = "\n".join(lines[:-10])
+        with pytest.raises(GridCsvError, match="hourly rows"):
+            read_grid_csv(io.StringIO(truncated))
+
+    def test_non_numeric_value_rejected(self, csv_text):
+        lines = self._lines(csv_text)
+        cells = lines[2].split(",")
+        cells[1] = "oops"
+        lines[2] = ",".join(cells)
+        with pytest.raises(GridCsvError, match="not numeric"):
+            read_grid_csv(io.StringIO("\n".join(lines)))
+
+    def test_negative_value_rejected(self, csv_text):
+        lines = self._lines(csv_text)
+        cells = lines[2].split(",")
+        cells[1] = "-5.0"
+        lines[2] = ",".join(cells)
+        with pytest.raises(GridCsvError, match="negative"):
+            read_grid_csv(io.StringIO("\n".join(lines)))
+
+    def test_out_of_order_timestamp_rejected(self, csv_text):
+        lines = self._lines(csv_text)
+        lines[2], lines[3] = lines[3], lines[2]
+        with pytest.raises(GridCsvError, match="out of order"):
+            read_grid_csv(io.StringIO("\n".join(lines)))
+
+    def test_bad_first_row_rejected(self, csv_text):
+        lines = self._lines(csv_text)
+        lines[0] = "Something,Else"
+        with pytest.raises(GridCsvError, match="Balancing Authority"):
+            read_grid_csv(io.StringIO("\n".join(lines)))

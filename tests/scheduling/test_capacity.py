@@ -1,0 +1,114 @@
+"""Tests for the Fig. 12 capacity-planning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    additional_capacity_for_full_coverage,
+    capacity_sweep,
+    deficit_after_scheduling,
+    servers_for_extra_capacity,
+)
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries
+
+
+@pytest.fixture()
+def generous_day_supply():
+    """Daytime supply big enough that each day's energy covers demand."""
+    profile = [0.0] * 8 + [40.0] * 8 + [0.0] * 8
+    return HourlySeries.from_daily_profile(profile, DEFAULT_CALENDAR)
+
+
+@pytest.fixture()
+def intensity(generous_day_supply):
+    values = np.where(generous_day_supply.values > 0.0, 50.0, 600.0)
+    return HourlySeries(values, DEFAULT_CALENDAR)
+
+
+class TestDeficitAfterScheduling:
+    def test_decreases_with_capacity(self, flat_demand, generous_day_supply, intensity):
+        deficits = [
+            deficit_after_scheduling(
+                flat_demand, generous_day_supply, intensity, flat_demand.max() * m, 1.0
+            )
+            for m in (1.0, 1.5, 2.5)
+        ]
+        assert deficits[0] >= deficits[1] >= deficits[2]
+
+
+class TestAdditionalCapacity:
+    def test_finite_when_daily_energy_sufficient(
+        self, flat_demand, generous_day_supply, intensity
+    ):
+        extra = additional_capacity_for_full_coverage(
+            flat_demand, generous_day_supply, intensity, flexible_ratio=1.0
+        )
+        # 240 MWh/day demand vs 320 MWh/day of daytime supply: all load must
+        # run in 8 daylight hours -> 30 MW -> about 2x the ~10 MW peak.
+        assert 1.5 < extra < 2.5
+
+    def test_infinite_when_supply_valley_days_exist(self, flat_demand, intensity):
+        """A day with zero supply can never be covered by within-day shifts."""
+        supply = HourlySeries.from_daily_profile(
+            [0.0] * 8 + [40.0] * 8 + [0.0] * 8, DEFAULT_CALENDAR
+        )
+        dead_day = supply.replace_days([np.zeros(24)], [100])
+        assert (
+            additional_capacity_for_full_coverage(
+                flat_demand, dead_day, intensity, flexible_ratio=1.0
+            )
+            == float("inf")
+        )
+
+    def test_zero_when_already_covered(self, flat_demand, intensity):
+        abundant = HourlySeries.constant(15.0, DEFAULT_CALENDAR)
+        assert (
+            additional_capacity_for_full_coverage(
+                flat_demand, abundant, intensity, flexible_ratio=1.0
+            )
+            == 0.0
+        )
+
+    def test_lower_flexibility_needs_more_or_fails(
+        self, flat_demand, generous_day_supply, intensity
+    ):
+        full = additional_capacity_for_full_coverage(
+            flat_demand, generous_day_supply, intensity, flexible_ratio=1.0
+        )
+        half = additional_capacity_for_full_coverage(
+            flat_demand, generous_day_supply, intensity, flexible_ratio=0.5
+        )
+        assert half >= full or half == float("inf")
+
+    def test_validation(self, flat_demand, generous_day_supply, intensity):
+        with pytest.raises(ValueError):
+            additional_capacity_for_full_coverage(
+                flat_demand, generous_day_supply, intensity, tolerance_mwh=0.0
+            )
+        with pytest.raises(ValueError):
+            additional_capacity_for_full_coverage(
+                flat_demand, generous_day_supply, intensity, max_multiple=0.5
+            )
+
+
+class TestSweepAndServers:
+    def test_capacity_sweep_lengths(self, flat_demand, generous_day_supply, intensity):
+        results = capacity_sweep(
+            flat_demand, generous_day_supply, intensity, (1.0, 1.5, 2.0), 0.5
+        )
+        assert len(results) == 3
+        assert results[0].capacity_mw == pytest.approx(flat_demand.max())
+
+    def test_capacity_sweep_rejects_below_one(self, flat_demand, generous_day_supply, intensity):
+        with pytest.raises(ValueError):
+            capacity_sweep(flat_demand, generous_day_supply, intensity, (0.5,), 0.5)
+
+    def test_servers_round_up(self):
+        assert servers_for_extra_capacity(1000, 0.251) == 251
+        assert servers_for_extra_capacity(3, 0.5) == 2
+
+    def test_servers_validation(self):
+        with pytest.raises(ValueError):
+            servers_for_extra_capacity(0, 0.5)
+        with pytest.raises(ValueError):
+            servers_for_extra_capacity(10, -0.1)

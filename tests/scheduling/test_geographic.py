@@ -1,0 +1,124 @@
+"""Tests for geographic load migration."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.geographic import (
+    FleetSite,
+    fleet_sites_from_states,
+    migrate_load,
+)
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries
+
+N = DEFAULT_CALENDAR.n_hours
+
+
+def site(name, demand_mw, supply_values, capacity_mw):
+    return FleetSite(
+        name=name,
+        demand=HourlySeries.constant(demand_mw, DEFAULT_CALENDAR),
+        supply=HourlySeries(supply_values, DEFAULT_CALENDAR),
+        capacity_mw=capacity_mw,
+    )
+
+
+@pytest.fixture()
+def complementary_fleet():
+    """Two sites with perfectly anti-correlated supply."""
+    first_half = np.where(np.arange(N) % 2 == 0, 25.0, 0.0)
+    second_half = np.where(np.arange(N) % 2 == 1, 25.0, 0.0)
+    return (
+        site("A", 10.0, first_half, 30.0),
+        site("B", 10.0, second_half, 30.0),
+    )
+
+
+class TestMigration:
+    def test_complementary_sites_cover_each_other(self, complementary_fleet):
+        result = migrate_load(complementary_fleet, flexible_ratio=1.0)
+        assert result.deficit_after_mwh < 0.05 * result.deficit_before_mwh
+        assert result.migrated_mwh > 0.0
+
+    def test_zero_flexibility_moves_nothing(self, complementary_fleet):
+        result = migrate_load(complementary_fleet, flexible_ratio=0.0)
+        assert result.migrated_mwh == 0.0
+        assert result.deficit_after_mwh == result.deficit_before_mwh
+
+    def test_work_conserved_up_to_overhead(self, complementary_fleet):
+        overhead = 0.05
+        result = migrate_load(
+            complementary_fleet, flexible_ratio=1.0, migration_overhead=overhead
+        )
+        total_before = sum(s.demand.total() for s in complementary_fleet)
+        total_after = sum(s.total() for s in result.shifted_demand.values())
+        assert total_after == pytest.approx(total_before + result.overhead_mwh)
+        assert result.overhead_mwh == pytest.approx(result.migrated_mwh * overhead)
+
+    def test_capacity_respected(self, complementary_fleet):
+        result = migrate_load(complementary_fleet, flexible_ratio=1.0)
+        for fleet_site in complementary_fleet:
+            shifted = result.shifted_demand[fleet_site.name]
+            assert shifted.max() <= fleet_site.capacity_mw + 1e-9
+
+    def test_flexible_ratio_caps_donation(self, complementary_fleet):
+        ratio = 0.3
+        result = migrate_load(complementary_fleet, flexible_ratio=ratio)
+        for fleet_site in complementary_fleet:
+            shifted = result.shifted_demand[fleet_site.name]
+            drop = fleet_site.demand.values - shifted.values
+            assert np.all(drop <= ratio * fleet_site.demand.values + 1e-9)
+
+    def test_migration_never_hurts(self, complementary_fleet):
+        for ratio in (0.1, 0.5, 1.0):
+            result = migrate_load(complementary_fleet, flexible_ratio=ratio)
+            assert result.deficit_after_mwh <= result.deficit_before_mwh + 1e-9
+
+    def test_overhead_reduces_absorbable_amount(self, complementary_fleet):
+        cheap = migrate_load(complementary_fleet, flexible_ratio=1.0, migration_overhead=0.0)
+        costly = migrate_load(complementary_fleet, flexible_ratio=1.0, migration_overhead=0.5)
+        assert costly.migrated_mwh <= cheap.migrated_mwh + 1e-9
+
+
+class TestValidation:
+    def test_single_site_rejected(self, complementary_fleet):
+        with pytest.raises(ValueError):
+            migrate_load(complementary_fleet[:1], flexible_ratio=0.5)
+
+    def test_duplicate_names_rejected(self, complementary_fleet):
+        a, _ = complementary_fleet
+        with pytest.raises(ValueError):
+            migrate_load((a, a), flexible_ratio=0.5)
+
+    def test_invalid_ratio_rejected(self, complementary_fleet):
+        with pytest.raises(ValueError):
+            migrate_load(complementary_fleet, flexible_ratio=1.5)
+
+    def test_negative_overhead_rejected(self, complementary_fleet):
+        with pytest.raises(ValueError):
+            migrate_load(complementary_fleet, flexible_ratio=0.5, migration_overhead=-0.1)
+
+    def test_capacity_below_peak_rejected(self):
+        with pytest.raises(ValueError):
+            site("X", 10.0, np.zeros(N), capacity_mw=5.0)
+
+
+class TestFleetBuilder:
+    def test_builds_from_states(self):
+        fleet = fleet_sites_from_states(("UT", "OR"))
+        assert [s.name for s in fleet] == ["UT", "OR"]
+        for fleet_site in fleet:
+            assert fleet_site.capacity_mw >= fleet_site.demand.max()
+
+    def test_real_fleet_migration_helps(self):
+        """A wind site (OR) and a solar-leaning hybrid fleet should cover
+        some of each other's gaps."""
+        fleet = fleet_sites_from_states(("OR", "NC", "UT"))
+        result = migrate_load(fleet, flexible_ratio=0.4)
+        assert result.deficit_after_mwh < result.deficit_before_mwh
+        assert 0.0 < result.deficit_reduction() < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fleet_sites_from_states(("UT",), investment_multiple=-1.0)
+        with pytest.raises(ValueError):
+            fleet_sites_from_states(("UT",), capacity_multiple=0.5)

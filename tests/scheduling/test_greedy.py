@@ -1,0 +1,188 @@
+"""Tests for the paper's greedy carbon-aware scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import schedule_carbon_aware
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries
+
+N = DEFAULT_CALENDAR.n_hours
+
+
+@pytest.fixture()
+def day_night_supply():
+    """25 MW noon-centred supply, nothing at night."""
+    profile = [0.0] * 8 + [25.0] * 8 + [0.0] * 8
+    return HourlySeries.from_daily_profile(profile, DEFAULT_CALENDAR)
+
+
+@pytest.fixture()
+def intensity(day_night_supply, flat_demand):
+    """Dirty when renewables are absent, clean when they flow."""
+    values = np.where(day_night_supply.values > 0.0, 50.0, 600.0)
+    return HourlySeries(values, DEFAULT_CALENDAR)
+
+
+class TestBasicBehaviour:
+    def test_zero_ratio_is_identity(self, flat_demand, day_night_supply, intensity):
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=0.0
+        )
+        assert result.shifted_demand == flat_demand
+        assert result.moved_mwh == 0.0
+
+    def test_energy_conserved(self, flat_demand, day_night_supply, intensity):
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=0.4
+        )
+        assert result.shifted_demand.total() == pytest.approx(flat_demand.total())
+
+    def test_moves_toward_surplus_hours(self, flat_demand, day_night_supply, intensity):
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=0.4
+        )
+        day0 = result.shifted_demand.day(0)
+        # Daylight hours gained load; night hours lost it.
+        assert day0[8:16].sum() > 8 * 10.0
+        assert day0[:8].sum() + day0[16:].sum() < 16 * 10.0
+
+    def test_reduces_unmet_demand(self, flat_demand, day_night_supply, intensity):
+        before = (flat_demand - day_night_supply).positive_part().total()
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=0.4
+        )
+        after = (result.shifted_demand - day_night_supply).positive_part().total()
+        assert after < before
+
+    def test_more_flexibility_more_benefit(self, flat_demand, day_night_supply, intensity):
+        deficits = []
+        for ratio in (0.1, 0.4, 1.0):
+            result = schedule_carbon_aware(
+                flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=ratio
+            )
+            deficits.append(
+                (result.shifted_demand - day_night_supply).positive_part().total()
+            )
+        assert deficits[0] >= deficits[1] >= deficits[2]
+
+
+class TestConstraints:
+    def test_capacity_never_exceeded(self, flat_demand, day_night_supply, intensity):
+        capacity = 12.0
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=capacity, flexible_ratio=1.0
+        )
+        assert result.shifted_demand.max() <= capacity + 1e-9
+
+    def test_fwr_caps_movable_share(self, flat_demand, day_night_supply, intensity):
+        """No source hour may lose more than FWR of its original load."""
+        ratio = 0.3
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=ratio
+        )
+        drop = flat_demand.values - result.shifted_demand.values
+        assert np.all(drop <= ratio * flat_demand.values + 1e-9)
+
+    def test_capacity_below_peak_rejected(self, flat_demand, day_night_supply, intensity):
+        with pytest.raises(ValueError):
+            schedule_carbon_aware(
+                flat_demand, day_night_supply, intensity, capacity_mw=5.0, flexible_ratio=0.4
+            )
+
+    def test_invalid_ratio_rejected(self, flat_demand, day_night_supply, intensity):
+        with pytest.raises(ValueError):
+            schedule_carbon_aware(
+                flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=1.5
+            )
+
+    def test_mismatched_calendars_rejected(self, flat_demand, intensity):
+        from repro.timeseries import YearCalendar
+
+        other = HourlySeries.constant(5.0, YearCalendar(2021))
+        with pytest.raises(ValueError):
+            schedule_carbon_aware(flat_demand, other, intensity, 50.0, 0.4)
+
+
+class TestDayLocality:
+    def test_no_cross_day_movement(self, flat_demand, intensity):
+        """Work shifts within days: each day's total load is unchanged."""
+        rng = np.random.default_rng(5)
+        supply = HourlySeries(rng.uniform(0, 30, N), DEFAULT_CALENDAR)
+        result = schedule_carbon_aware(
+            flat_demand, supply, intensity, capacity_mw=50.0, flexible_ratio=0.6
+        )
+        assert np.allclose(
+            result.shifted_demand.daily_totals(), flat_demand.daily_totals()
+        )
+
+    def test_never_moves_to_dirtier_hour(self, flat_demand, day_night_supply):
+        """With uniform intensity there is no cleaner hour, so nothing moves."""
+        uniform = HourlySeries.constant(400.0, DEFAULT_CALENDAR)
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, uniform, capacity_mw=50.0, flexible_ratio=1.0
+        )
+        assert result.moved_mwh == 0.0
+
+
+class TestHourlyFwrProfile:
+    """The paper's FWR is specified 'for each hour of the day'."""
+
+    def test_scalar_equals_uniform_profile(self, flat_demand, day_night_supply, intensity):
+        scalar = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, 50.0, 0.4
+        )
+        profile = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, 50.0, [0.4] * 24
+        )
+        assert scalar.shifted_demand == profile.shifted_demand
+        assert scalar.moved_mwh == profile.moved_mwh
+
+    def test_zero_profile_hours_cannot_donate(self, flat_demand, day_night_supply, intensity):
+        """Night hours with FWR=0 must keep their full load."""
+        profile = [0.0] * 8 + [0.0] * 8 + [0.5] * 8  # only evening flexible
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, 50.0, profile
+        )
+        day0 = result.shifted_demand.day(0)
+        # Hours 0-7 (FWR 0) unchanged; evening hours may have shed load.
+        assert np.allclose(day0[:8], flat_demand.day(0)[:8])
+
+    def test_profile_mean_reported(self, flat_demand, day_night_supply, intensity):
+        profile = [0.0] * 12 + [0.8] * 12
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, 50.0, profile
+        )
+        assert result.flexible_ratio == pytest.approx(0.4)
+
+    def test_wrong_profile_length_rejected(self, flat_demand, day_night_supply, intensity):
+        with pytest.raises(ValueError):
+            schedule_carbon_aware(
+                flat_demand, day_night_supply, intensity, 50.0, [0.4] * 23
+            )
+
+    def test_out_of_range_profile_rejected(self, flat_demand, day_night_supply, intensity):
+        with pytest.raises(ValueError):
+            schedule_carbon_aware(
+                flat_demand, day_night_supply, intensity, 50.0, [1.5] * 24
+            )
+
+
+class TestResultAccessors:
+    def test_moved_fraction(self, flat_demand, day_night_supply, intensity):
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=0.4
+        )
+        assert 0.0 < result.moved_fraction() <= 0.4 + 1e-9
+
+    def test_additional_capacity_fraction(self, flat_demand, day_night_supply, intensity):
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=1.0
+        )
+        expected = (result.shifted_demand.max() - flat_demand.max()) / flat_demand.max()
+        assert result.additional_capacity_fraction() == pytest.approx(expected)
+
+    def test_peak_power(self, flat_demand, day_night_supply, intensity):
+        result = schedule_carbon_aware(
+            flat_demand, day_night_supply, intensity, capacity_mw=50.0, flexible_ratio=0.4
+        )
+        assert result.peak_power_mw == result.shifted_demand.max()

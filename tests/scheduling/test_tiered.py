@@ -1,0 +1,127 @@
+"""Tests for the tier-aware scheduling extension."""
+
+import numpy as np
+import pytest
+
+from repro.battery import BatterySpec
+from repro.scheduling import (
+    NO_SLO_DEADLINE_HOURS,
+    TierPolicy,
+    policies_from_figure10,
+    simulate_combined,
+    simulate_tiered,
+)
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries
+
+
+@pytest.fixture()
+def day_night_supply():
+    profile = [0.0] * 8 + [28.0] * 8 + [0.0] * 8
+    return HourlySeries.from_daily_profile(profile, DEFAULT_CALENDAR)
+
+
+class TestTierPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierPolicy("x", ratio=1.5, deadline_hours=4)
+        with pytest.raises(ValueError):
+            TierPolicy("x", ratio=0.5, deadline_hours=0)
+
+    def test_policies_from_figure10(self):
+        policies = policies_from_figure10()
+        assert len(policies) == 5
+        assert policies[3].deadline_hours == 24  # daily tier
+        assert policies[4].deadline_hours == NO_SLO_DEADLINE_HOURS
+        total_ratio = sum(p.ratio for p in policies)
+        assert total_ratio == pytest.approx(0.075)
+
+    def test_fleet_fraction_scales_ratios(self):
+        policies = policies_from_figure10(fleet_fraction=0.5)
+        assert sum(p.ratio for p in policies) == pytest.approx(0.5)
+
+    def test_invalid_fleet_fraction(self):
+        with pytest.raises(ValueError):
+            policies_from_figure10(fleet_fraction=1.5)
+
+
+class TestSimulateTiered:
+    def test_single_tier_matches_combined(self, flat_demand, day_night_supply):
+        """One tier with a 24h window must reproduce simulate_combined."""
+        spec = BatterySpec(20.0)
+        tiered = simulate_tiered(
+            flat_demand,
+            day_night_supply,
+            spec,
+            capacity_mw=50.0,
+            policies=[TierPolicy("all", ratio=0.4, deadline_hours=24)],
+        )
+        combined = simulate_combined(
+            flat_demand, day_night_supply, spec, capacity_mw=50.0, flexible_ratio=0.4
+        )
+        assert np.allclose(tiered.grid_import.values, combined.grid_import.values)
+        assert tiered.deferred_mwh == pytest.approx(combined.deferred_mwh)
+
+    def test_energy_conserved(self, flat_demand, day_night_supply):
+        result = simulate_tiered(
+            flat_demand,
+            day_night_supply,
+            BatterySpec(10.0),
+            capacity_mw=50.0,
+            policies=policies_from_figure10(fleet_fraction=0.4),
+        )
+        assert result.shifted_demand.total() + result.unserved_mwh == pytest.approx(
+            flat_demand.total()
+        )
+
+    def test_per_tier_accounting_sums(self, flat_demand, day_night_supply):
+        result = simulate_tiered(
+            flat_demand,
+            day_night_supply,
+            BatterySpec(5.0),
+            capacity_mw=50.0,
+            policies=policies_from_figure10(fleet_fraction=0.4),
+        )
+        assert result.deferred_mwh == pytest.approx(sum(result.deferred_mwh_by_tier))
+
+    def test_loose_tiers_defer_first(self, flat_demand, day_night_supply):
+        """The daily tier should absorb deferral before the ±1h tier."""
+        policies = policies_from_figure10(fleet_fraction=0.4)
+        result = simulate_tiered(
+            flat_demand,
+            day_night_supply,
+            BatterySpec(0.0),
+            capacity_mw=50.0,
+            policies=policies,
+        )
+        by_tier = dict(zip([p.name for p in policies], result.deferred_mwh_by_tier))
+        assert by_tier["SLO: Daily"] >= by_tier["SLO: +/- 1 hour"]
+
+    def test_ratios_above_one_rejected(self, flat_demand, day_night_supply):
+        with pytest.raises(ValueError):
+            simulate_tiered(
+                flat_demand,
+                day_night_supply,
+                BatterySpec(0.0),
+                capacity_mw=50.0,
+                policies=[
+                    TierPolicy("a", 0.6, 4),
+                    TierPolicy("b", 0.6, 24),
+                ],
+            )
+
+    def test_capacity_respected(self, flat_demand, day_night_supply):
+        capacity = 13.0
+        result = simulate_tiered(
+            flat_demand,
+            day_night_supply,
+            BatterySpec(5.0),
+            capacity_mw=capacity,
+            policies=policies_from_figure10(fleet_fraction=0.9),
+        )
+        assert result.shifted_demand.max() <= capacity + 1e-9
+
+    def test_empty_policies_rejected(self, flat_demand, day_night_supply):
+        with pytest.raises(ValueError):
+            simulate_tiered(
+                flat_demand, day_night_supply, BatterySpec(0.0), 50.0, policies=[]
+            )

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCoverage:
+    def test_default_investment(self, capsys):
+        assert main(["coverage", "UT"]) == 0
+        out = capsys.readouterr().out
+        assert "UT" in out
+        assert "694" in out  # Meta's regional solar
+
+    def test_explicit_investment(self, capsys):
+        assert main(["coverage", "UT", "--solar", "100", "--wind", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "100" in out and "50" in out
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["coverage", "ZZ"])
+
+
+class TestBattery:
+    def test_reports_hours(self, capsys):
+        assert main(["battery", "UT"]) == 0
+        out = capsys.readouterr().out
+        assert "battery for 24/7" in out
+
+
+class TestSchedule:
+    def test_reports_gain(self, capsys):
+        assert main(["schedule", "UT", "--fwr", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage before" in out
+        assert "moved MWh" in out
+
+    def test_invalid_fwr_is_domain_error(self, capsys):
+        assert main(["schedule", "UT", "--fwr", "2.0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_single_strategy(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "UT",
+                "--strategy",
+                "battery",
+                "--renewable-steps",
+                "2",
+                "--battery-hours",
+                "0",
+                "5",
+                "--extra-capacity",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "renewables + battery" in out
+        assert "design" in out
+
+
+class TestScenariosAndGap:
+    def test_scenarios(self, capsys):
+        assert main(["scenarios", "UT"]) == 0
+        out = capsys.readouterr().out
+        assert "grid mix" in out
+        assert "24/7" in out
+
+    def test_gap_ordering_visible(self, capsys):
+        assert main(["gap", "UT"]) == 0
+        out = capsys.readouterr().out
+        assert "annual (Net Zero)" in out
+        assert "hourly (24/7 CFE)" in out
+
+
+class TestExport:
+    def test_export_grid(self, tmp_path, capsys):
+        path = tmp_path / "grid.csv"
+        assert main(["export-grid", "PACE", str(path)]) == 0
+        assert path.exists()
+        from repro.io import read_grid_csv
+
+        parsed = read_grid_csv(path)
+        assert parsed.authority.code == "PACE"
+
+    def test_export_grid_unknown_ba(self, tmp_path, capsys):
+        assert main(["export-grid", "NOPE", str(tmp_path / "x.csv")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_export_demand(self, tmp_path, capsys):
+        path = tmp_path / "demand.csv"
+        assert main(["export-demand", "UT", str(path)]) == 0
+        from repro.io import read_trace_csv
+
+        parsed = read_trace_csv(path)
+        assert parsed.mean() == pytest.approx(19.0, rel=0.05)

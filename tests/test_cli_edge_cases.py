@@ -1,0 +1,75 @@
+"""Edge-case tests for the CLI beyond the happy paths."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCoverageEdges:
+    def test_wind_only_investment(self, capsys):
+        assert main(["coverage", "UT", "--wind", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "150" in out
+        # Solar defaults to zero when only wind is given.
+        assert "0" in out
+
+    def test_solar_in_solar_only_region(self, capsys):
+        assert main(["coverage", "NC", "--solar", "200"]) == 0
+
+    def test_wind_in_solar_only_region_is_domain_error(self, capsys):
+        assert main(["coverage", "NC", "--wind", "100"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_alternate_year_and_seed(self, capsys):
+        assert main(["coverage", "UT", "--year", "2021", "--seed", "3"]) == 0
+
+
+class TestBatteryEdges:
+    def test_unreachable_reported(self, capsys):
+        """A tiny investment cannot reach 24/7 within the search ceiling."""
+        assert main(["battery", "UT", "--solar", "10", "--max-hours", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "unreachable" in out
+
+
+class TestOptimizeEdges:
+    def test_each_strategy_prints_four_rows(self, capsys):
+        code = main(
+            [
+                "optimize", "UT",
+                "--strategy", "each",
+                "--renewable-steps", "2",
+                "--battery-hours", "0", "5",
+                "--extra-capacity", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for label in ("renewables", "renewables + battery", "renewables + CAS",
+                      "renewables + battery + CAS"):
+            assert label in out
+
+    def test_custom_fwr(self, capsys):
+        code = main(
+            [
+                "optimize", "UT",
+                "--strategy", "cas",
+                "--fwr", "0.1",
+                "--renewable-steps", "2",
+                "--battery-hours", "0",
+                "--extra-capacity", "0",
+            ]
+        )
+        assert code == 0
+        assert "FWR=10%" in capsys.readouterr().out
+
+
+class TestParserErrors:
+    def test_missing_subcommand_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_strategy_exits_two(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "UT", "--strategy", "nope"])

@@ -1,0 +1,158 @@
+"""Unit tests for the hourly year calendar."""
+
+import datetime
+
+import pytest
+
+from repro.timeseries import (
+    HOURS_PER_DAY,
+    YearCalendar,
+    days_in_month,
+    days_in_year,
+    is_leap_year,
+)
+
+
+class TestLeapYears:
+    def test_2020_is_leap(self):
+        assert is_leap_year(2020)
+
+    def test_2021_is_not_leap(self):
+        assert not is_leap_year(2021)
+
+    def test_1900_century_rule(self):
+        assert not is_leap_year(1900)
+
+    def test_2000_four_hundred_rule(self):
+        assert is_leap_year(2000)
+
+    def test_days_in_year(self):
+        assert days_in_year(2020) == 366
+        assert days_in_year(2021) == 365
+
+
+class TestDaysInMonth:
+    def test_february_leap(self):
+        assert days_in_month(2020, 2) == 29
+
+    def test_february_non_leap(self):
+        assert days_in_month(2021, 2) == 28
+
+    def test_thirty_one_day_months(self):
+        for month in (1, 3, 5, 7, 8, 10, 12):
+            assert days_in_month(2021, month) == 31
+
+    def test_invalid_month_raises(self):
+        with pytest.raises(ValueError):
+            days_in_month(2020, 0)
+        with pytest.raises(ValueError):
+            days_in_month(2020, 13)
+
+
+class TestYearCalendar:
+    def test_hours_leap_year(self):
+        assert YearCalendar(2020).n_hours == 8784
+
+    def test_hours_non_leap_year(self):
+        assert YearCalendar(2021).n_hours == 8760
+
+    def test_invalid_year_raises(self):
+        with pytest.raises(ValueError):
+            YearCalendar(0)
+
+    def test_hour_of_day_wraps(self):
+        cal = YearCalendar(2020)
+        assert cal.hour_of_day(0) == 0
+        assert cal.hour_of_day(23) == 23
+        assert cal.hour_of_day(24) == 0
+        assert cal.hour_of_day(49) == 1
+
+    def test_day_of_year(self):
+        cal = YearCalendar(2020)
+        assert cal.day_of_year(0) == 0
+        assert cal.day_of_year(23) == 0
+        assert cal.day_of_year(24) == 1
+        assert cal.day_of_year(cal.n_hours - 1) == cal.n_days - 1
+
+    def test_out_of_range_hour_raises(self):
+        cal = YearCalendar(2020)
+        with pytest.raises(IndexError):
+            cal.hour_of_day(-1)
+        with pytest.raises(IndexError):
+            cal.day_of_year(cal.n_hours)
+
+    def test_month_of_boundaries(self):
+        cal = YearCalendar(2020)
+        assert cal.month_of(0) == 1
+        assert cal.month_of(31 * HOURS_PER_DAY - 1) == 1
+        assert cal.month_of(31 * HOURS_PER_DAY) == 2
+        assert cal.month_of(cal.n_hours - 1) == 12
+
+    def test_weekday_matches_datetime(self):
+        cal = YearCalendar(2020)
+        # Jan 1 2020 was a Wednesday.
+        assert cal.weekday(0) == datetime.date(2020, 1, 1).weekday() == 2
+        # Check a later date too: Jul 4 2020 was a Saturday.
+        day_index = (datetime.date(2020, 7, 4) - datetime.date(2020, 1, 1)).days
+        assert cal.weekday(day_index * HOURS_PER_DAY) == 5
+
+    def test_is_weekend(self):
+        cal = YearCalendar(2020)
+        # Jan 4 2020 was a Saturday (day index 3).
+        assert cal.is_weekend(3 * HOURS_PER_DAY)
+        assert not cal.is_weekend(0)
+
+    def test_date_of(self):
+        cal = YearCalendar(2020)
+        assert cal.date_of(0) == datetime.date(2020, 1, 1)
+        assert cal.date_of(cal.n_hours - 1) == datetime.date(2020, 12, 31)
+
+    def test_label_format(self):
+        cal = YearCalendar(2020)
+        assert cal.label(0) == "Jan 01 00:00"
+        assert cal.label(14) == "Jan 01 14:00"
+
+
+class TestSlices:
+    def test_day_slice_covers_24_hours(self):
+        cal = YearCalendar(2020)
+        sl = cal.day_slice(5)
+        assert sl.stop - sl.start == HOURS_PER_DAY
+        assert sl.start == 5 * HOURS_PER_DAY
+
+    def test_day_slice_out_of_range(self):
+        cal = YearCalendar(2020)
+        with pytest.raises(IndexError):
+            cal.day_slice(cal.n_days)
+        with pytest.raises(IndexError):
+            cal.day_slice(-1)
+
+    def test_month_slices_tile_year(self):
+        cal = YearCalendar(2020)
+        total = sum(
+            cal.month_slice(m).stop - cal.month_slice(m).start for m in range(1, 13)
+        )
+        assert total == cal.n_hours
+
+    def test_month_slice_invalid(self):
+        with pytest.raises(ValueError):
+            YearCalendar(2020).month_slice(13)
+
+    def test_iter_days_count(self):
+        cal = YearCalendar(2020)
+        slices = list(cal.iter_days())
+        assert len(slices) == 366
+        assert slices[0].start == 0
+        assert slices[-1].stop == cal.n_hours
+
+    def test_week_slice_clamps_at_year_end(self):
+        cal = YearCalendar(2020)
+        sl = cal.week_slice(cal.n_days - 2, 7)
+        assert sl.stop == cal.n_hours
+
+    def test_week_slice_validation(self):
+        cal = YearCalendar(2020)
+        with pytest.raises(ValueError):
+            cal.week_slice(0, 0)
+        with pytest.raises(IndexError):
+            cal.week_slice(cal.n_days, 7)

@@ -1,0 +1,247 @@
+"""Unit and property tests for HourlySeries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries import DEFAULT_CALENDAR, HourlySeries, YearCalendar
+
+N = DEFAULT_CALENDAR.n_hours
+
+
+def series_of(values):
+    return HourlySeries(values, DEFAULT_CALENDAR)
+
+
+class TestConstruction:
+    def test_length_must_match_calendar(self):
+        with pytest.raises(ValueError):
+            HourlySeries(np.zeros(100), DEFAULT_CALENDAR)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            HourlySeries(np.zeros((2, N // 2)), DEFAULT_CALENDAR)
+
+    def test_rejects_nan(self):
+        values = np.zeros(N)
+        values[7] = np.nan
+        with pytest.raises(ValueError):
+            series_of(values)
+
+    def test_rejects_inf(self):
+        values = np.zeros(N)
+        values[7] = np.inf
+        with pytest.raises(ValueError):
+            series_of(values)
+
+    def test_values_are_read_only(self):
+        s = HourlySeries.zeros()
+        with pytest.raises(ValueError):
+            s.values[0] = 1.0
+
+    def test_source_array_is_copied(self):
+        source = np.zeros(N)
+        s = series_of(source)
+        source[0] = 99.0
+        assert s[0] == 0.0
+
+    def test_constant_constructor(self):
+        s = HourlySeries.constant(3.5)
+        assert s.min() == s.max() == 3.5
+        assert len(s) == N
+
+    def test_zeros_constructor(self):
+        assert HourlySeries.zeros().total() == 0.0
+
+    def test_from_daily_profile_tiles(self):
+        profile = np.arange(24, dtype=float)
+        s = HourlySeries.from_daily_profile(profile)
+        assert np.array_equal(s.day(0), profile)
+        assert np.array_equal(s.day(100), profile)
+
+    def test_from_daily_profile_wrong_length(self):
+        with pytest.raises(ValueError):
+            HourlySeries.from_daily_profile([1.0] * 23)
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        s = HourlySeries.constant(1.0) + 2.0
+        assert s.mean() == 3.0
+
+    def test_radd(self):
+        s = 2.0 + HourlySeries.constant(1.0)
+        assert s.mean() == 3.0
+
+    def test_add_series(self):
+        s = HourlySeries.constant(1.0) + HourlySeries.constant(2.0)
+        assert s.mean() == 3.0
+
+    def test_subtract(self):
+        s = HourlySeries.constant(5.0) - HourlySeries.constant(2.0)
+        assert s.mean() == 3.0
+
+    def test_rsub(self):
+        s = 10.0 - HourlySeries.constant(4.0)
+        assert s.mean() == 6.0
+
+    def test_multiply(self):
+        s = HourlySeries.constant(3.0) * 2.0
+        assert s.mean() == 6.0
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            HourlySeries.constant(1.0) / 0.0
+
+    def test_negate(self):
+        assert (-HourlySeries.constant(2.0)).mean() == -2.0
+
+    def test_cross_calendar_arithmetic_rejected(self):
+        a = HourlySeries.constant(1.0, YearCalendar(2020))
+        b = HourlySeries.constant(1.0, YearCalendar(2021))
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_equality(self):
+        assert HourlySeries.constant(1.0) == HourlySeries.constant(1.0)
+        assert HourlySeries.constant(1.0) != HourlySeries.constant(2.0)
+
+    def test_minimum_maximum(self):
+        a = HourlySeries.constant(1.0)
+        b = HourlySeries.constant(2.0)
+        assert a.minimum(b).mean() == 1.0
+        assert a.maximum(b).mean() == 2.0
+        assert a.maximum(5.0).mean() == 5.0
+
+
+class TestClipAndPositivePart:
+    def test_clip_bounds(self):
+        values = np.linspace(-10, 10, N)
+        s = series_of(values).clip(-1.0, 1.0)
+        assert s.min() == -1.0
+        assert s.max() == 1.0
+
+    def test_positive_part(self):
+        values = np.linspace(-5, 5, N)
+        s = series_of(values).positive_part()
+        assert s.min() == 0.0
+        assert s.max() == 5.0
+
+
+class TestReductions:
+    def test_total_is_sum(self):
+        assert HourlySeries.constant(2.0).total() == pytest.approx(2.0 * N)
+
+    def test_argmax_argmin(self):
+        values = np.zeros(N)
+        values[100] = 5.0
+        values[200] = -5.0
+        s = series_of(values)
+        assert s.argmax() == 100
+        assert s.argmin() == 200
+
+    def test_std_of_constant_is_zero(self):
+        assert HourlySeries.constant(7.0).std() == 0.0
+
+
+class TestCalendarViews:
+    def test_daily_totals_shape_and_sum(self):
+        s = HourlySeries.constant(1.0)
+        totals = s.daily_totals()
+        assert totals.shape == (366,)
+        assert totals[0] == 24.0
+        assert totals.sum() == pytest.approx(s.total())
+
+    def test_daily_means(self):
+        assert np.allclose(HourlySeries.constant(3.0).daily_means(), 3.0)
+
+    def test_average_day_profile(self):
+        profile = np.arange(24, dtype=float)
+        s = HourlySeries.from_daily_profile(profile)
+        assert np.allclose(s.average_day_profile(), profile)
+
+    def test_as_average_day_preserves_total(self):
+        rng = np.random.default_rng(0)
+        s = series_of(rng.uniform(0, 10, N))
+        flattened = s.as_average_day()
+        assert flattened.total() == pytest.approx(s.total())
+
+    def test_as_average_day_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        s = series_of(rng.uniform(0, 10, N))
+        assert s.as_average_day().std() < s.std()
+
+    def test_monthly_totals_sum_to_total(self):
+        rng = np.random.default_rng(1)
+        s = series_of(rng.uniform(0, 5, N))
+        assert s.monthly_totals().sum() == pytest.approx(s.total())
+
+    def test_window(self):
+        s = HourlySeries.constant(1.0)
+        assert s.window(0, 7).shape == (7 * 24,)
+
+    def test_day_view(self):
+        s = HourlySeries.constant(1.0)
+        assert s.day(365).shape == (24,)
+
+
+class TestTransformations:
+    def test_map(self):
+        s = HourlySeries.constant(2.0).map(np.sqrt)
+        assert s.mean() == pytest.approx(np.sqrt(2.0))
+
+    def test_replace_days(self):
+        s = HourlySeries.zeros()
+        replaced = s.replace_days([np.ones(24)], [5])
+        assert replaced.day(5).sum() == 24.0
+        assert replaced.day(4).sum() == 0.0
+
+    def test_replace_days_validates_block(self):
+        with pytest.raises(ValueError):
+            HourlySeries.zeros().replace_days([np.ones(23)], [0])
+
+    def test_scale_to_peak(self):
+        values = np.linspace(0, 4, N)
+        s = series_of(values).scale_to_peak(10.0)
+        assert s.max() == pytest.approx(10.0)
+        assert s.min() == 0.0
+
+    def test_scale_to_peak_zero_series_rejected(self):
+        with pytest.raises(ValueError):
+            HourlySeries.zeros().scale_to_peak(5.0)
+
+    def test_scale_zero_peak_of_zero_series_ok(self):
+        s = HourlySeries.zeros().scale_to_peak(0.0)
+        assert s.total() == 0.0
+
+    def test_scale_to_negative_peak_rejected(self):
+        with pytest.raises(ValueError):
+            HourlySeries.constant(1.0).scale_to_peak(-1.0)
+
+    def test_with_name(self):
+        assert HourlySeries.zeros().with_name("x").name == "x"
+
+
+class TestProperties:
+    @given(st.floats(min_value=0.1, max_value=1e6), st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=25, deadline=None)
+    def test_scale_to_peak_preserves_shape(self, peak, base):
+        values = np.linspace(base, base + 1.0, N)
+        s = series_of(values).scale_to_peak(peak)
+        assert s.max() == pytest.approx(peak)
+        # Ratios between hours are preserved by linear scaling.
+        assert s[0] / s[N - 1] == pytest.approx(values[0] / values[-1])
+
+    @given(st.floats(min_value=-1e3, max_value=1e3), st.floats(min_value=-1e3, max_value=1e3))
+    @settings(max_examples=25, deadline=None)
+    def test_addition_commutes(self, a, b):
+        sa = HourlySeries.constant(a)
+        sb = HourlySeries.constant(b)
+        assert (sa + sb) == (sb + sa)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=24, max_size=24))
+    @settings(max_examples=25, deadline=None)
+    def test_daily_profile_roundtrip(self, profile):
+        s = HourlySeries.from_daily_profile(profile)
+        assert np.allclose(s.average_day_profile(), profile)
