@@ -3,21 +3,50 @@
 Every bench regenerates one of the paper's tables or figures as text rows
 and both prints them and writes them to ``benchmarks/out/<name>.txt`` so the
 reproduced artifacts survive the run (pytest captures stdout by default).
+Alongside each text artifact, :func:`emit` writes a machine-readable
+``benchmarks/out/<name>.json`` recording the wall-clock seconds of the
+:func:`run_once` call that produced it plus a snapshot of the
+:mod:`repro.obs` metrics registry — the feed for the perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
+from typing import Optional
+
+from repro.obs import metrics_snapshot
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
+#: Wall seconds of the most recent :func:`run_once`, consumed by the next
+#: :func:`emit` (benches always pair the two calls).
+_last_wall_s: Optional[float] = None
 
-def emit(name: str, text: str) -> None:
-    """Print a reproduced table/series and persist it under benchmarks/out/."""
-    OUT_DIR.mkdir(exist_ok=True)
+
+def emit(name: str, text: str) -> pathlib.Path:
+    """Print a reproduced table/series and persist it under benchmarks/out/.
+
+    Writes ``<name>.txt`` (the human artifact) and ``<name>.json`` (wall
+    time of the preceding :func:`run_once` and a metrics snapshot), and
+    returns the path of the text artifact so benches can assert on it.
+    """
+    global _last_wall_s
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    payload = {
+        "name": name,
+        "wall_s": _last_wall_s,
+        "metrics": metrics_snapshot(),
+    }
+    (OUT_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    _last_wall_s = None
     print(f"\n{text}\n[written to {path}]")
+    return path
 
 
 def run_once(benchmark, fn):
@@ -25,6 +54,16 @@ def run_once(benchmark, fn):
 
     The benches exist to *regenerate the paper's artifacts* and record the
     wall-clock cost of one full regeneration; statistical timing rounds
-    would multiply multi-second experiments pointlessly.
+    would multiply multi-second experiments pointlessly.  The measured
+    wall time is stashed for the following :func:`emit` call's JSON
+    artifact.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    def timed():
+        global _last_wall_s
+        start = time.perf_counter()
+        result = fn()
+        _last_wall_s = time.perf_counter() - start
+        return result
+
+    return benchmark.pedantic(timed, rounds=1, iterations=1, warmup_rounds=0)

@@ -54,6 +54,24 @@ from .grid import (
     get_authority,
     projected_supply,
 )
+from . import obs
+from .obs import (
+    ProgressTicker,
+    configure_logging,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    get_logger,
+    metrics_snapshot,
+    render_metrics,
+    render_trace,
+    reset_metrics,
+    reset_tracing,
+    save_metrics,
+    save_trace,
+    span,
+)
 from .scheduling import (
     schedule_carbon_aware,
     simulate_combined,
@@ -106,5 +124,21 @@ __all__ = [
     "simulate_combined",
     "HourlySeries",
     "YearCalendar",
+    "obs",
+    "ProgressTicker",
+    "configure_logging",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "get_logger",
+    "metrics_snapshot",
+    "render_metrics",
+    "render_trace",
+    "reset_metrics",
+    "reset_tracing",
+    "save_metrics",
+    "save_trace",
+    "span",
     "__version__",
 ]

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import inc, span
 from ..timeseries import Histogram, HourlySeries, histogram
 from .clc import Battery, BatterySpec
 
@@ -116,16 +117,19 @@ def simulate_battery(
     surplus = np.zeros(n_hours)
     charge_level = np.zeros(n_hours)
 
-    for hour in range(n_hours):
-        gap = supply_values[hour] - demand_values[hour]
-        if gap >= 0.0:
-            absorbed = battery.charge(gap)
-            surplus[hour] = gap - absorbed
-        else:
-            delivered = battery.discharge(-gap)
-            grid_import[hour] = -gap - delivered
-        charge_level[hour] = battery.energy_mwh
+    with span("simulate_battery", capacity_mwh=spec.capacity_mwh, hours=n_hours):
+        for hour in range(n_hours):
+            gap = supply_values[hour] - demand_values[hour]
+            if gap >= 0.0:
+                absorbed = battery.charge(gap)
+                surplus[hour] = gap - absorbed
+            else:
+                delivered = battery.discharge(-gap)
+                grid_import[hour] = -gap - delivered
+            charge_level[hour] = battery.energy_mwh
 
+    inc("battery_sims")
+    inc("battery_sim_hours", n_hours)
     return BatterySimResult(
         spec=spec,
         grid_import=HourlySeries(grid_import, calendar, name="grid import"),

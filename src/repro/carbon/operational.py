@@ -19,6 +19,7 @@ Figure 6 contrasts three supply scenarios by their hourly intensity:
 from __future__ import annotations
 
 from enum import Enum, unique
+from typing import Optional
 
 import numpy as np
 
@@ -83,7 +84,7 @@ def scenario_intensity(
     demand: HourlySeries,
     renewable_supply: HourlySeries,
     grid_intensity: HourlySeries,
-    residual_import: HourlySeries = None,
+    residual_import: Optional[HourlySeries] = None,
 ) -> HourlySeries:
     """Hourly effective intensity for one Figure 6 scenario.
 
@@ -127,7 +128,7 @@ def annual_scenario_carbon_tons(
     demand: HourlySeries,
     renewable_supply: HourlySeries,
     grid_intensity: HourlySeries,
-    residual_import: HourlySeries = None,
+    residual_import: Optional[HourlySeries] = None,
 ) -> float:
     """Annual operational carbon (tons) under one Figure 6 scenario."""
     blend = scenario_intensity(

@@ -9,8 +9,15 @@ Wraps the library's main analyses for shell use:
 * ``rank``       — rank all thirteen sites by optimal footprint
 * ``scenarios``  — grid-mix / Net-Zero / 24-7 intensity summary (Fig. 6)
 * ``gap``        — annual vs monthly vs hourly matching (§3.2)
+* ``stats``      — run a small instrumented sweep, print trace + metrics
 * ``export-grid``   — write a balancing authority's year as EIA-style CSV
 * ``export-demand`` — write a site's demand trace as CSV
+
+Every command additionally accepts the observability flags ``--log-level``
+(console logging for the ``repro.*`` namespace), ``--trace-out FILE``
+(record spans, write a span-tree JSON — or Chrome ``trace_event`` JSON
+when the filename contains ``chrome``), and ``--metrics-out FILE``
+(record counters/histograms, write a JSON snapshot).
 
 Every command prints a plain-text table and exits 0 on success; argument
 errors exit 2 (argparse) and domain errors exit 1 with a message on stderr.
@@ -25,9 +32,26 @@ from typing import List, Optional
 from .battery import BatterySpec
 from .carbon import SupplyScenario, matching_gap
 from .core import CarbonExplorer, Strategy
+from .core.optimizer import optimize_all_strategies
 from .datacenter import SITE_ORDER
 from .grid import RenewableInvestment, generate_grid_dataset
 from .io import write_grid_csv, write_trace_csv
+from .obs import (
+    ProgressTicker,
+    configure_logging,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    metrics_enabled,
+    render_metrics,
+    render_trace,
+    reset_metrics,
+    reset_tracing,
+    save_metrics,
+    save_trace,
+    tracing_enabled,
+)
 from .reporting import format_table, percent
 
 _STRATEGY_BY_NAME = {
@@ -46,6 +70,32 @@ def _investment(args: argparse.Namespace, explorer: CarbonExplorer) -> Renewable
     if args.solar is None and args.wind is None:
         return explorer.existing_investment()
     return RenewableInvestment(solar_mw=args.solar or 0.0, wind_mw=args.wind or 0.0)
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="enable console logging for the repro.* namespace",
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record spans; write span-tree JSON (Chrome trace_event "
+        "format if the filename contains 'chrome')",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="record metrics; write a JSON snapshot",
+    )
+    return parent
 
 
 def _add_site_arguments(parser: argparse.ArgumentParser) -> None:
@@ -242,6 +292,60 @@ def cmd_gap(args: argparse.Namespace) -> None:
     )
 
 
+def cmd_stats(args: argparse.Namespace) -> None:
+    """Run a small instrumented sweep and print the span/metrics report.
+
+    Tracing and metrics are force-enabled for the run (``--trace-out`` /
+    ``--metrics-out`` still control whether files are written); prior
+    in-process observability data is cleared so the report covers exactly
+    this sweep.
+    """
+    was_tracing = tracing_enabled()
+    was_metrics = metrics_enabled()
+    reset_tracing()
+    reset_metrics()
+    enable_tracing()
+    enable_metrics()
+    try:
+        explorer = _explorer(args)
+        space = explorer.default_space(
+            n_renewable_steps=args.renewable_steps,
+            battery_hours=tuple(args.battery_hours),
+            extra_capacity_fractions=tuple(args.extra_capacity),
+        )
+        ticker = ProgressTicker()
+        results = optimize_all_strategies(explorer.context, space, progress=ticker)
+        ticker.close()
+        rows = [
+            (
+                strategy.value,
+                f"{result.n_evaluated}",
+                percent(result.best.coverage),
+                f"{result.best.total_tons:,.0f}",
+            )
+            for strategy, result in results.items()
+        ]
+        print(
+            format_table(
+                ["strategy", "designs evaluated", "best coverage", "best total t/yr"],
+                rows,
+                title=f"Instrumented sweep, {args.state}",
+            )
+        )
+        print()
+        print(render_trace(max_depth=2))
+        print()
+        print(render_metrics())
+    finally:
+        # Leave the enabled flags as the caller had them (the collected
+        # data is retained so ``--trace-out``/``--metrics-out`` still
+        # write after the handler returns).
+        if not was_tracing:
+            disable_tracing()
+        if not was_metrics:
+            disable_metrics()
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     from .core.report import ReportOptions, site_report
 
@@ -268,20 +372,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Carbon Explorer: carbon-aware datacenter design exploration",
     )
+    obs = _obs_parent()
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    p = subparsers.add_parser("coverage", help="24/7 coverage of an investment")
+    p = subparsers.add_parser("coverage", help="24/7 coverage of an investment", parents=[obs])
     _add_site_arguments(p)
     _add_investment_arguments(p)
     p.set_defaults(handler=cmd_coverage)
 
-    p = subparsers.add_parser("battery", help="battery hours for 100%% coverage")
+    p = subparsers.add_parser("battery", help="battery hours for 100%% coverage", parents=[obs])
     _add_site_arguments(p)
     _add_investment_arguments(p)
     p.add_argument("--max-hours", type=float, default=96.0, help="search ceiling")
     p.set_defaults(handler=cmd_battery)
 
-    p = subparsers.add_parser("schedule", help="greedy CAS benefit")
+    p = subparsers.add_parser("schedule", help="greedy CAS benefit", parents=[obs])
     _add_site_arguments(p)
     _add_investment_arguments(p)
     p.add_argument("--fwr", type=float, default=0.40, help="flexible workload ratio")
@@ -290,7 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=cmd_schedule)
 
-    p = subparsers.add_parser("optimize", help="carbon-optimal design search")
+    p = subparsers.add_parser("optimize", help="carbon-optimal design search", parents=[obs])
     _add_site_arguments(p)
     p.add_argument(
         "--strategy",
@@ -306,13 +411,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0, 0.5])
     p.set_defaults(handler=cmd_optimize)
 
-    p = subparsers.add_parser("rank", help="rank all 13 sites")
+    p = subparsers.add_parser("rank", help="rank all 13 sites", parents=[obs])
     p.add_argument("--strategy", choices=list(_STRATEGY_BY_NAME), default="all")
     p.add_argument("--year", type=int, default=2020)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=cmd_rank)
 
-    p = subparsers.add_parser("scenarios", help="Fig. 6 intensity summary")
+    p = subparsers.add_parser("scenarios", help="Fig. 6 intensity summary", parents=[obs])
     _add_site_arguments(p)
     _add_investment_arguments(p)
     p.add_argument(
@@ -323,26 +428,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=cmd_scenarios)
 
-    p = subparsers.add_parser("gap", help="annual vs hourly matching gap")
+    p = subparsers.add_parser("gap", help="annual vs hourly matching gap", parents=[obs])
     _add_site_arguments(p)
     _add_investment_arguments(p)
     p.set_defaults(handler=cmd_gap)
 
-    p = subparsers.add_parser("report", help="full site report (all analyses)")
+    p = subparsers.add_parser("report", help="full site report (all analyses)", parents=[obs])
     _add_site_arguments(p)
     p.add_argument(
         "--quick", action="store_true", help="skip the exhaustive-search section"
     )
     p.set_defaults(handler=cmd_report)
 
-    p = subparsers.add_parser("export-grid", help="write EIA-style grid CSV")
+    p = subparsers.add_parser(
+        "stats",
+        help="small instrumented sweep: span tree + metrics report",
+        parents=[obs],
+    )
+    _add_site_arguments(p)
+    p.add_argument(
+        "--renewable-steps", type=int, default=2, help="renewable axis resolution"
+    )
+    p.add_argument("--battery-hours", type=float, nargs="+", default=[0.0, 5.0])
+    p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0])
+    p.set_defaults(handler=cmd_stats)
+
+    p = subparsers.add_parser("export-grid", help="write EIA-style grid CSV", parents=[obs])
     p.add_argument("authority", help="balancing authority code, e.g. PACE")
     p.add_argument("output", help="destination CSV path")
     p.add_argument("--year", type=int, default=2020)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=cmd_export_grid)
 
-    p = subparsers.add_parser("export-demand", help="write a site demand CSV")
+    p = subparsers.add_parser("export-demand", help="write a site demand CSV", parents=[obs])
     _add_site_arguments(p)
     p.add_argument("output", help="destination CSV path")
     p.set_defaults(handler=cmd_export_demand)
@@ -351,14 +469,37 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Observability wiring: ``--log-level`` attaches a console handler to
+    the ``repro`` logger; ``--trace-out`` / ``--metrics-out`` enable the
+    respective collectors for this invocation (clearing any prior
+    in-process data so each invocation's output stands alone) and write
+    their JSON files when the command finishes — including on domain
+    errors, so a failed run can still be inspected.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out and not tracing_enabled():
+        reset_tracing()
+        enable_tracing()
+    if metrics_out and not metrics_enabled():
+        reset_metrics()
+        enable_metrics()
     try:
         args.handler(args)
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if trace_out:
+            save_trace(trace_out)
+        if metrics_out:
+            save_metrics(metrics_out)
     return 0
 
 

@@ -21,6 +21,7 @@ from ..datacenter import (
     synthesize_demand,
 )
 from ..grid import GridDataset, generate_grid_dataset, scale_trace_to_capacity
+from ..obs import inc, span
 from ..scheduling import schedule_carbon_aware, simulate_combined
 from ..timeseries import DEFAULT_CALENDAR, HourlySeries, YearCalendar
 from .coverage import coverage_from_grid_import
@@ -170,64 +171,80 @@ def evaluate_design(
     across all four strategies.
     """
     design = design.constrained_to(strategy)
-    demand_power = context.demand.power
-    calendar = demand_power.calendar
+    with span(
+        "evaluate_design",
+        strategy=strategy.value,
+        site=context.site_state,
+        solar_mw=design.investment.solar_mw,
+        wind_mw=design.investment.wind_mw,
+        battery_mwh=design.battery_mwh,
+        extra_capacity=design.extra_capacity_fraction,
+    ):
+        demand_power = context.demand.power
+        calendar = demand_power.calendar
 
-    solar_trace = scale_trace_to_capacity(context.grid.solar, design.investment.solar_mw)
-    wind_trace = scale_trace_to_capacity(context.grid.wind, design.investment.wind_mw)
-    supply = (solar_trace + wind_trace).with_name("renewable supply")
-
-    capacity_mw = demand_power.max() * (1.0 + design.extra_capacity_fraction)
-    battery_spec = design.battery_spec()
-
-    moved_mwh = 0.0
-    battery_cycles_per_day = 0.0
-
-    if strategy is Strategy.RENEWABLES_ONLY:
-        grid_import = (demand_power - supply).positive_part()
-        surplus = (supply - demand_power).positive_part()
-    elif strategy is Strategy.RENEWABLES_BATTERY:
-        result = simulate_battery(demand_power, supply, battery_spec)
-        grid_import = result.grid_import
-        surplus = result.surplus
-        battery_cycles_per_day = result.cycles_per_day()
-    elif strategy is Strategy.RENEWABLES_CAS:
-        result = schedule_carbon_aware(
-            demand_power,
-            supply,
-            context.grid_intensity,
-            capacity_mw=capacity_mw,
-            flexible_ratio=design.flexible_ratio,
+        solar_trace = scale_trace_to_capacity(
+            context.grid.solar, design.investment.solar_mw
         )
-        grid_import = (result.shifted_demand - supply).positive_part()
-        surplus = (supply - result.shifted_demand).positive_part()
-        moved_mwh = result.moved_mwh
-    elif strategy is Strategy.RENEWABLES_BATTERY_CAS:
-        result = simulate_combined(
-            demand_power,
-            supply,
-            battery_spec,
-            capacity_mw=capacity_mw,
-            flexible_ratio=design.flexible_ratio,
+        wind_trace = scale_trace_to_capacity(
+            context.grid.wind, design.investment.wind_mw
         )
-        grid_import = result.grid_import
-        surplus = result.surplus
-        moved_mwh = result.deferred_mwh
-        battery_cycles_per_day = (
-            result.equivalent_full_cycles() / calendar.n_days
+        supply = (solar_trace + wind_trace).with_name("renewable supply")
+
+        capacity_mw = demand_power.max() * (1.0 + design.extra_capacity_fraction)
+        battery_spec = design.battery_spec()
+
+        moved_mwh = 0.0
+        battery_cycles_per_day = 0.0
+
+        if strategy is Strategy.RENEWABLES_ONLY:
+            grid_import = (demand_power - supply).positive_part()
+            surplus = (supply - demand_power).positive_part()
+        elif strategy is Strategy.RENEWABLES_BATTERY:
+            result = simulate_battery(demand_power, supply, battery_spec)
+            grid_import = result.grid_import
+            surplus = result.surplus
+            battery_cycles_per_day = result.cycles_per_day()
+        elif strategy is Strategy.RENEWABLES_CAS:
+            result = schedule_carbon_aware(
+                demand_power,
+                supply,
+                context.grid_intensity,
+                capacity_mw=capacity_mw,
+                flexible_ratio=design.flexible_ratio,
+            )
+            grid_import = (result.shifted_demand - supply).positive_part()
+            surplus = (supply - result.shifted_demand).positive_part()
+            moved_mwh = result.moved_mwh
+        elif strategy is Strategy.RENEWABLES_BATTERY_CAS:
+            result = simulate_combined(
+                demand_power,
+                supply,
+                battery_spec,
+                capacity_mw=capacity_mw,
+                flexible_ratio=design.flexible_ratio,
+            )
+            grid_import = result.grid_import
+            surplus = result.surplus
+            moved_mwh = result.deferred_mwh
+            battery_cycles_per_day = (
+                result.equivalent_full_cycles() / calendar.n_days
+            )
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(f"unhandled strategy {strategy}")
+
+        operational = operational_carbon_tons(grid_import, context.grid_intensity)
+        renewables_embodied = context.embodied.renewables_annual_tons(
+            solar_trace, wind_trace
         )
-    else:  # pragma: no cover - exhaustive enum
-        raise AssertionError(f"unhandled strategy {strategy}")
+        battery_embodied = context.embodied.battery_annual_tons(
+            battery_spec, cycles_per_day=max(battery_cycles_per_day, 1e-3)
+        )
+        servers_embodied = context.embodied.servers_annual_tons(
+            _extra_servers(context, design.extra_capacity_fraction)
+        )
 
-    operational = operational_carbon_tons(grid_import, context.grid_intensity)
-    renewables_embodied = context.embodied.renewables_annual_tons(solar_trace, wind_trace)
-    battery_embodied = context.embodied.battery_annual_tons(
-        battery_spec, cycles_per_day=max(battery_cycles_per_day, 1e-3)
-    )
-    servers_embodied = context.embodied.servers_annual_tons(
-        _extra_servers(context, design.extra_capacity_fraction)
-    )
-
+    inc("designs_evaluated")
     return DesignEvaluation(
         design=design,
         strategy=strategy,

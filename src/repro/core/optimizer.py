@@ -13,10 +13,13 @@ double as the raw data for the Pareto and Fig. 15 analyses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
+from ..obs import ProgressCallback, get_logger, inc, set_gauge, span
 from .design import DesignSpace, Strategy, default_design_space
 from .evaluate import DesignEvaluation, SiteContext, evaluate_design
+
+_log = get_logger("core.optimizer")
 
 
 @dataclass(frozen=True)
@@ -51,8 +54,13 @@ def optimize(
     context: SiteContext,
     space: DesignSpace,
     strategy: Strategy,
+    progress: Optional[ProgressCallback] = None,
 ) -> OptimizationResult:
     """Exhaustively evaluate ``space`` under ``strategy`` for one site.
+
+    ``progress``, when given, is called after every grid point with
+    ``(evaluated, total, strategy_name)`` — see
+    :class:`repro.obs.ProgressCallback`.
 
     Raises
     ------
@@ -60,12 +68,36 @@ def optimize(
         If the constrained space is empty (it never is for a valid
         :class:`DesignSpace`, which requires non-empty axes).
     """
-    evaluations = []
-    for design in space.points(strategy):
-        evaluations.append(evaluate_design(context, design, strategy))
+    total = space.size(strategy)
+    _log.info(
+        "sweep start: site=%s strategy=%s grid_points=%d",
+        context.site_state,
+        strategy.value,
+        total,
+    )
+    with span(
+        "optimize",
+        strategy=strategy.value,
+        site=context.site_state,
+        grid_points=total,
+    ):
+        evaluations = []
+        for index, design in enumerate(space.points(strategy)):
+            evaluations.append(evaluate_design(context, design, strategy))
+            if progress is not None:
+                progress(index + 1, total, strategy.value)
     if not evaluations:
         raise ValueError("design space produced no points")
     best = min(evaluations, key=lambda e: e.total_tons)
+    inc("sweeps_completed")
+    set_gauge("sweep_grid_points", total)
+    _log.info(
+        "sweep done: site=%s strategy=%s best_total_tons=%.1f coverage=%.3f",
+        context.site_state,
+        strategy.value,
+        best.total_tons,
+        best.coverage,
+    )
     return OptimizationResult(
         strategy=strategy, best=best, evaluations=tuple(evaluations)
     )
@@ -73,12 +105,14 @@ def optimize(
 
 def optimize_all_strategies(
     context: SiteContext,
-    space: DesignSpace = None,
+    space: Optional[DesignSpace] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[Strategy, OptimizationResult]:
     """Run the exhaustive sweep for all four strategies of Fig. 15.
 
     When ``space`` is omitted a :func:`default_design_space` is built from
-    the site's size and the local grid's available resources.
+    the site's size and the local grid's available resources.  ``progress``
+    is forwarded to each per-strategy :func:`optimize` call.
     """
     if space is None:
         space = default_design_space(
@@ -86,4 +120,7 @@ def optimize_all_strategies(
             supports_solar=context.supports_solar,
             supports_wind=context.supports_wind,
         )
-    return {strategy: optimize(context, space, strategy) for strategy in Strategy}
+    return {
+        strategy: optimize(context, space, strategy, progress=progress)
+        for strategy in Strategy
+    }

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..carbon.embodied import (
     BATTERY_EMBODIED_RANGE_KG_PER_KWH,
@@ -86,7 +86,7 @@ def sensitivity_analysis(
     context: SiteContext,
     space: DesignSpace,
     strategy: Strategy,
-    ranges: Dict[str, Tuple[float, float]] = None,
+    ranges: Optional[Dict[str, Tuple[float, float]]] = None,
 ) -> SensitivityReport:
     """Run the one-at-a-time coefficient study for one site and strategy.
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import inc, span
 from ..scheduling.greedy import _schedule_one_day
 from ..timeseries import HourlySeries
 from .models import forecast_series
@@ -84,20 +85,22 @@ def schedule_with_forecast(
         )
 
     calendar = demand.calendar
-    supply_forecast = forecast_series(forecaster, actual_supply.values)
-    intensity_forecast = forecast_series(forecaster, actual_intensity.values)
+    with span("schedule_with_forecast", fwr=flexible_ratio, days=calendar.n_days):
+        supply_forecast = forecast_series(forecaster, actual_supply.values)
+        intensity_forecast = forecast_series(forecaster, actual_intensity.values)
 
-    shifted = demand.values.copy()
-    moved = 0.0
-    if flexible_ratio > 0.0:
-        for day, day_slice in enumerate(calendar.iter_days()):
-            moved += _schedule_one_day(
-                shifted[day_slice],
-                supply_forecast[day_slice],
-                intensity_forecast[day_slice],
-                capacity_mw,
-                flexible_ratio,
-            )
+        shifted = demand.values.copy()
+        moved = 0.0
+        if flexible_ratio > 0.0:
+            for day, day_slice in enumerate(calendar.iter_days()):
+                moved += _schedule_one_day(
+                    shifted[day_slice],
+                    supply_forecast[day_slice],
+                    intensity_forecast[day_slice],
+                    capacity_mw,
+                    flexible_ratio,
+                )
+    inc("forecast_schedules")
     shifted_series = HourlySeries(shifted, calendar, name="forecast-shifted demand")
 
     realized = float(

@@ -15,7 +15,7 @@ wind's, exactly the asymmetry the paper's figure shows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -99,7 +99,7 @@ def _dispatch_with_split_curtailment(
 
 def simulate_historical_curtailment(
     authority_code: str = "CISO",
-    buildout: Dict[int, Tuple[float, float]] = None,
+    buildout: Optional[Dict[int, Tuple[float, float]]] = None,
     weather_year: int = 2020,
     seed: int = 0,
 ) -> Tuple[CurtailmentRecord, ...]:

@@ -22,8 +22,11 @@ from typing import Dict, Mapping
 
 import numpy as np
 
+from ..obs import get_logger, inc, span
 from ..timeseries import DEFAULT_CALENDAR, HourlySeries, YearCalendar
 from .authorities import BalancingAuthority, get_authority
+
+_log = get_logger("grid.dataset")
 from .sources import CARBON_INTENSITY_G_PER_KWH, EnergySource
 from .synthetic import (
     hydro_generation,
@@ -219,11 +222,17 @@ def generate_grid_dataset(
         Base seed; combined with the code and year so each region draws
         independent weather.
     """
-    authority = get_authority(authority_code)
-    calendar = YearCalendar(year)
-    rng = np.random.default_rng(seed_for(authority_code, year, seed))
-    wind = wind_generation(authority.wind, calendar, rng)
-    solar = solar_generation(authority.solar, calendar, rng)
-    demand = system_demand(authority, calendar, rng)
-    hydro = hydro_generation(authority, calendar)
-    return dispatch(authority, wind, solar, demand, hydro)
+    with span("generate_grid_dataset", authority=authority_code, year=year, seed=seed):
+        authority = get_authority(authority_code)
+        calendar = YearCalendar(year)
+        rng = np.random.default_rng(seed_for(authority_code, year, seed))
+        wind = wind_generation(authority.wind, calendar, rng)
+        solar = solar_generation(authority.solar, calendar, rng)
+        demand = system_demand(authority, calendar, rng)
+        hydro = hydro_generation(authority, calendar)
+        dataset = dispatch(authority, wind, solar, demand, hydro)
+    inc("grid_datasets_generated")
+    _log.info(
+        "generated grid dataset: authority=%s year=%d seed=%d", authority_code, year, seed
+    )
+    return dataset

@@ -29,6 +29,7 @@ import math
 
 import numpy as np
 
+from ..obs import span
 from ..timeseries import HOURS_PER_DAY, HourlySeries, YearCalendar
 from .authorities import BalancingAuthority, SolarProfile, WindProfile
 
@@ -81,22 +82,25 @@ def solar_generation(
     """
     if profile.capacity_mw == 0.0:
         return HourlySeries.zeros(calendar, name="solar")
-    envelope = _solar_elevation_factor(profile, calendar)
+    with span("synthesize_solar", capacity_mw=profile.capacity_mw, year=calendar.year):
+        envelope = _solar_elevation_factor(profile, calendar)
 
-    clearness = np.empty(calendar.n_days)
-    innovation_scale = profile.clearness_volatility * math.sqrt(
-        1.0 - _CLEARNESS_PERSISTENCE**2
-    )
-    level = 0.0
-    for day in range(calendar.n_days):
-        level = _CLEARNESS_PERSISTENCE * level + rng.normal(0.0, innovation_scale)
-        clearness[day] = profile.mean_clearness + level
-    clearness = np.clip(clearness, 0.05, 1.0)
+        clearness = np.empty(calendar.n_days)
+        innovation_scale = profile.clearness_volatility * math.sqrt(
+            1.0 - _CLEARNESS_PERSISTENCE**2
+        )
+        level = 0.0
+        for day in range(calendar.n_days):
+            level = _CLEARNESS_PERSISTENCE * level + rng.normal(0.0, innovation_scale)
+            clearness[day] = profile.mean_clearness + level
+        clearness = np.clip(clearness, 0.05, 1.0)
 
-    hourly_clearness = np.repeat(clearness, HOURS_PER_DAY)
-    jitter = np.clip(rng.normal(1.0, 0.04, calendar.n_hours), 0.7, 1.15)
-    output = profile.capacity_mw * envelope * hourly_clearness * jitter
-    return HourlySeries(np.clip(output, 0.0, profile.capacity_mw), calendar, name="solar")
+        hourly_clearness = np.repeat(clearness, HOURS_PER_DAY)
+        jitter = np.clip(rng.normal(1.0, 0.04, calendar.n_hours), 0.7, 1.15)
+        output = profile.capacity_mw * envelope * hourly_clearness * jitter
+        return HourlySeries(
+            np.clip(output, 0.0, profile.capacity_mw), calendar, name="solar"
+        )
 
 
 def wind_generation(
@@ -118,6 +122,16 @@ def wind_generation(
     if profile.synoptic_hours <= 1.0:
         raise ValueError(f"synoptic_hours must exceed 1, got {profile.synoptic_hours}")
 
+    with span("synthesize_wind", capacity_mw=profile.capacity_mw, year=calendar.year):
+        return _wind_generation(profile, calendar, rng)
+
+
+def _wind_generation(
+    profile: WindProfile,
+    calendar: YearCalendar,
+    rng: np.random.Generator,
+) -> HourlySeries:
+    """The traced body of :func:`wind_generation` (inputs pre-validated)."""
     rho = math.exp(-1.0 / profile.synoptic_hours)
     innovations = rng.normal(0.0, math.sqrt(1.0 - rho**2), calendar.n_hours)
     latent = np.empty(calendar.n_hours)
@@ -164,21 +178,22 @@ def system_demand(
     a seasonal swing (summer cooling + winter heating), and small noise
     around ``authority.avg_demand_mw``.
     """
-    hours = np.arange(calendar.n_hours)
-    hour_of_day = hours % HOURS_PER_DAY
-    day = hours // HOURS_PER_DAY
+    with span("synthesize_demand", authority=authority.code, year=calendar.year):
+        hours = np.arange(calendar.n_hours)
+        hour_of_day = hours % HOURS_PER_DAY
+        day = hours // HOURS_PER_DAY
 
-    diurnal = 0.06 * np.sin(2.0 * np.pi * (hour_of_day - 9) / 24.0) + 0.04 * np.sin(
-        4.0 * np.pi * (hour_of_day - 18) / 24.0
-    )
-    jan1_weekday = calendar.weekday(0)
-    weekday = (jan1_weekday + day) % 7
-    weekend = np.where(weekday >= 5, -0.05, 0.0)
-    season = 0.08 * np.cos(4.0 * np.pi * (day - 15) / calendar.n_days)
-    noise = rng.normal(0.0, 0.01, calendar.n_hours)
+        diurnal = 0.06 * np.sin(2.0 * np.pi * (hour_of_day - 9) / 24.0) + 0.04 * np.sin(
+            4.0 * np.pi * (hour_of_day - 18) / 24.0
+        )
+        jan1_weekday = calendar.weekday(0)
+        weekday = (jan1_weekday + day) % 7
+        weekend = np.where(weekday >= 5, -0.05, 0.0)
+        season = 0.08 * np.cos(4.0 * np.pi * (day - 15) / calendar.n_days)
+        noise = rng.normal(0.0, 0.01, calendar.n_hours)
 
-    demand = authority.avg_demand_mw * (1.0 + diurnal + weekend + season + noise)
-    return HourlySeries(np.clip(demand, 0.0, None), calendar, name="demand")
+        demand = authority.avg_demand_mw * (1.0 + diurnal + weekend + season + noise)
+        return HourlySeries(np.clip(demand, 0.0, None), calendar, name="demand")
 
 
 def hydro_generation(

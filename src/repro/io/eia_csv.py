@@ -23,7 +23,7 @@ import csv
 import datetime as _dt
 import io
 import pathlib
-from typing import Dict, List, TextIO, Union
+from typing import Dict, List, Optional, TextIO, Union
 
 import numpy as np
 
@@ -118,7 +118,7 @@ def _parse_float(text: str, row_index: int, column: str) -> float:
     return value
 
 
-def read_grid_csv(source: PathOrFile, year: int = None) -> GridDataset:
+def read_grid_csv(source: PathOrFile, year: Optional[int] = None) -> GridDataset:
     """Parse an EIA-style wide CSV back into a :class:`GridDataset`.
 
     Parameters

@@ -13,7 +13,7 @@ import csv
 import datetime as _dt
 import io
 import pathlib
-from typing import TextIO, Union
+from typing import Optional, TextIO, Union
 
 import numpy as np
 
@@ -46,7 +46,7 @@ def write_trace_csv(series: HourlySeries, destination: PathOrFile) -> None:
 
 
 def read_trace_csv(
-    source: PathOrFile, year: int = None, allow_negative: bool = False
+    source: PathOrFile, year: Optional[int] = None, allow_negative: bool = False
 ) -> HourlySeries:
     """Parse a two-column trace CSV back into an :class:`HourlySeries`.
 

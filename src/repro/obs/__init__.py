@@ -1,0 +1,91 @@
+"""Observability for the exploration pipeline: tracing, metrics, progress, logging.
+
+Everything here is off by default and built to stay out of the way: the
+instrumented library pays one flag check per call site until a caller
+opts in.  Three independent facilities:
+
+* :mod:`~repro.obs.trace` — hierarchical spans with wall/CPU timing,
+  exportable as a nested span tree or Chrome ``trace_event`` JSON;
+* :mod:`~repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and histograms with JSON snapshot and text rendering;
+* :mod:`~repro.obs.progress` — a progress-callback protocol plus the
+  CLI's stderr ticker;
+* :mod:`~repro.obs.log` — stdlib ``logging`` helpers for the ``repro.*``
+  namespace (the library never installs handlers; applications call
+  :func:`configure_logging`).
+
+See the "Observability" section of README.md for the CLI surface
+(``--log-level``, ``--trace-out``, ``--metrics-out``, ``repro stats``).
+"""
+
+from .log import LOGGER_NAME, configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    inc,
+    metrics_enabled,
+    metrics_snapshot,
+    observe,
+    render_metrics,
+    reset_metrics,
+    save_metrics,
+    set_gauge,
+)
+from .progress import ProgressCallback, ProgressTicker, null_progress
+from .trace import (
+    Span,
+    TREE_FORMAT,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    render_trace,
+    reset_tracing,
+    save_trace,
+    span,
+    trace_roots,
+    trace_tree,
+    tracing_enabled,
+)
+
+__all__ = [
+    "LOGGER_NAME",
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "inc",
+    "metrics_enabled",
+    "metrics_snapshot",
+    "observe",
+    "render_metrics",
+    "reset_metrics",
+    "save_metrics",
+    "set_gauge",
+    "ProgressCallback",
+    "ProgressTicker",
+    "null_progress",
+    "Span",
+    "TREE_FORMAT",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "render_trace",
+    "reset_tracing",
+    "save_trace",
+    "span",
+    "trace_roots",
+    "trace_tree",
+    "tracing_enabled",
+]

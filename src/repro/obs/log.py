@@ -1,0 +1,78 @@
+"""Stdlib ``logging`` wiring for the library (the ``repro.*`` namespace).
+
+Library code never configures handlers — it logs through
+:func:`get_logger` under the ``repro`` namespace and a ``NullHandler``
+keeps the "No handlers could be found" warning away when the embedding
+application has not configured logging.  The CLI (and any application
+that wants console output) calls :func:`configure_logging` once.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Union
+
+#: Root of the library's logger namespace; every module logs below it.
+LOGGER_NAME = "repro"
+
+#: Marker attribute identifying the handler :func:`configure_logging`
+#: installs, so repeat calls reconfigure instead of stacking handlers.
+_HANDLER_MARKER = "_repro_obs_handler"
+
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger for a library component, namespaced under ``repro``.
+
+    >>> get_logger("core.optimizer").name
+    'repro.core.optimizer'
+    >>> get_logger().name
+    'repro'
+    """
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(LOGGER_NAME + ".") or name == LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: Union[int, str] = "info",
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Attach a console handler to the ``repro`` logger (application side).
+
+    Idempotent: calling again replaces the previously installed handler
+    (and its level) rather than stacking duplicates.  Only the ``repro``
+    namespace is touched — the root logger and other libraries are left
+    alone.
+
+    Parameters
+    ----------
+    level:
+        A :mod:`logging` level number or name (``"debug"``, ``"info"``, ...).
+    stream:
+        Destination stream; defaults to ``sys.stderr``.
+    """
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {level!r}")
+    else:
+        numeric = level
+
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARKER, False):
+            logger.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_MARKER, True)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    return logger

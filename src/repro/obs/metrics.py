@@ -1,0 +1,300 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` names and aggregates three metric kinds:
+
+* **counters** — monotonically increasing totals (``designs_evaluated``,
+  ``battery_sim_hours``);
+* **gauges** — last-written values (``sweep_grid_points``);
+* **histograms** — distributions over observed values with log-spaced
+  buckets (span durations, per-sweep move totals).
+
+The module-level default registry is what the instrumented library code
+writes to through :func:`inc` / :func:`set_gauge` / :func:`observe`.  It is
+**disabled by default**: every helper's first action is a single flag
+check, so an un-instrumented run pays one attribute load and branch per
+call site — nothing is allocated, named, or locked.  Enable collection
+with :func:`enable_metrics`, read it back with :func:`metrics_snapshot`
+(a plain JSON-serializable dict) or :func:`render_metrics` (aligned
+text), and clear it with :func:`reset_metrics`.
+
+All mutation goes through one lock per registry, so concurrent sweeps
+(threaded callers) aggregate correctly; the instrumented call sites are
+per-simulation, not per-simulated-hour, so the lock is cold.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import os
+import threading
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Upper bucket bounds for histograms: half-decade log spacing covering
+#: microseconds to megaseconds (durations) and unit-scale quantities.
+_BUCKET_BOUNDS: List[float] = [
+    10.0 ** (exponent / 2.0) for exponent in range(-12, 13)
+]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def as_json(self) -> float:
+        """Snapshot value (int when the total is integral)."""
+        return int(self.value) if self.value.is_integer() else self.value
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def as_json(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A distribution over observed values with fixed log-spaced buckets."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "bucket_counts")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        # One count per bound plus an overflow bucket.
+        self.bucket_counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.bucket_counts[bisect.bisect_left(_BUCKET_BOUNDS, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_json(self) -> Dict[str, Any]:
+        """Snapshot including only non-empty buckets (keyed by ``le`` bound)."""
+        buckets: Dict[str, int] = {}
+        for index, count in enumerate(self.bucket_counts):
+            if count == 0:
+                continue
+            bound = (
+                f"{_BUCKET_BOUNDS[index]:.6g}"
+                if index < len(_BUCKET_BOUNDS)
+                else "inf"
+            )
+            buckets[bound] = count
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Thread-safe; metric objects are created lazily on first write.  The
+    module-level default registry backs the convenience functions below,
+    but independent registries can be instantiated freely (tests do).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            counter.value += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            gauge.value = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+            histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0 if it never fired)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.value if counter is not None else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A point-in-time copy as a plain JSON-serializable dict.
+
+        Round-trips losslessly through ``json.dumps``/``json.loads``.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.as_json() for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.as_json() for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.as_json() for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (names included)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def render_text(self) -> str:
+        """Human-readable report of the current contents."""
+        snap = self.snapshot()
+        lines: List[str] = ["== metrics =="]
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(name) for name in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name:<{width}}  {value:,}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(name) for name in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name:<{width}}  {value:g}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            width = max(len(name) for name in snap["histograms"])
+            for name, stats in snap["histograms"].items():
+                lines.append(
+                    f"  {name:<{width}}  n={stats['count']} "
+                    f"mean={stats['mean']:.6g} min={stats['min']:.6g} "
+                    f"max={stats['max']:.6g}"
+                )
+        if len(lines) == 1:
+            lines.append("(empty)")
+        return "\n".join(lines)
+
+    def save(self, path: PathLike) -> None:
+        """Write the snapshot as JSON to ``path`` (creating parent dirs)."""
+        parent = os.path.dirname(str(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+#: The process-wide default registry; disabled until opted into.
+_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry the library instruments into."""
+    return _REGISTRY
+
+
+def enable_metrics() -> None:
+    """Start collecting metrics in the default registry."""
+    _REGISTRY.enabled = True
+
+
+def disable_metrics() -> None:
+    """Stop collecting (already collected values are retained)."""
+    _REGISTRY.enabled = False
+
+
+def metrics_enabled() -> bool:
+    """Whether the default registry is currently collecting."""
+    return _REGISTRY.enabled
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Add to a counter in the default registry (no-op when disabled)."""
+    if not _REGISTRY.enabled:
+        return
+    _REGISTRY.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge in the default registry (no-op when disabled)."""
+    if not _REGISTRY.enabled:
+        return
+    _REGISTRY.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe into a histogram in the default registry (no-op when disabled)."""
+    if not _REGISTRY.enabled:
+        return
+    _REGISTRY.observe(name, value)
+
+
+def metrics_snapshot() -> Dict[str, Any]:
+    """Snapshot of the default registry (see :meth:`MetricsRegistry.snapshot`)."""
+    return _REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    """Clear the default registry."""
+    _REGISTRY.reset()
+
+
+def render_metrics() -> str:
+    """Text report of the default registry."""
+    return _REGISTRY.render_text()
+
+
+def save_metrics(path: PathLike) -> None:
+    """Write the default registry's snapshot as JSON to ``path``."""
+    _REGISTRY.save(path)

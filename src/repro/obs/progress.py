@@ -1,0 +1,89 @@
+"""Progress reporting for long-running sweeps.
+
+The optimizer accepts any callable matching :class:`ProgressCallback`;
+the library itself never prints.  :class:`ProgressTicker` is the CLI's
+implementation: a single self-rewriting ``evaluated/total`` line on
+stderr, automatically silent when the stream is not an interactive
+terminal (so piped and logged runs stay clean), and rate-limited so the
+callback costs nothing measurable even for very fine sweeps.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+
+class ProgressCallback(Protocol):
+    """Protocol for sweep progress consumers.
+
+    Called after each completed unit of work with the number of units
+    ``done`` so far, the ``total`` expected, and a short human ``label``
+    for the phase (e.g. the strategy name being swept).
+    """
+
+    def __call__(self, done: int, total: int, label: str) -> None:  # pragma: no cover
+        ...
+
+
+def null_progress(done: int, total: int, label: str) -> None:
+    """A progress callback that does nothing (the library default)."""
+
+
+class ProgressTicker:
+    """Render progress as a rewriting ``label: done/total`` stderr line.
+
+    Parameters
+    ----------
+    stream:
+        Destination stream; defaults to ``sys.stderr``.
+    min_interval_s:
+        Minimum seconds between repaints (final updates always paint).
+    force:
+        Paint even when the stream is not a TTY (used by tests; also
+        handy under ``script``/CI when a ticker is explicitly wanted).
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.1,
+        force: bool = False,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval_s = min_interval_s
+        self._active = force or bool(
+            getattr(self._stream, "isatty", lambda: False)()
+        )
+        self._last_paint = float("-inf")
+        self._last_width = 0
+
+    def __call__(self, done: int, total: int, label: str) -> None:
+        if not self._active:
+            return
+        now = time.monotonic()
+        if done < total and now - self._last_paint < self._min_interval_s:
+            return
+        self._last_paint = now
+        if total > 0:
+            line = f"{label}: {done}/{total} ({100.0 * done / total:.0f}%)"
+        else:
+            line = f"{label}: {done}"
+        padding = " " * max(self._last_width - len(line), 0)
+        self._stream.write(f"\r{line}{padding}")
+        self._stream.flush()
+        self._last_width = len(line)
+
+    def close(self) -> None:
+        """Erase the ticker line so subsequent output starts clean."""
+        if not self._active or self._last_width == 0:
+            return
+        self._stream.write("\r" + " " * self._last_width + "\r")
+        self._stream.flush()
+        self._last_width = 0

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..battery import Battery, BatterySpec
+from ..obs import inc, span
 from ..timeseries import HourlySeries
 
 _EPSILON_MWH = 1e-9
@@ -137,6 +138,7 @@ def simulate_combined(
     charge_level = np.zeros(n_hours)
     deferred_total = 0.0
     late_total = 0.0
+    deferral_events = 0
 
     def run_queued(budget_mwh: float, now: int, overdue_only: bool) -> float:
         """Execute queued work up to ``budget_mwh``; return MWh executed."""
@@ -157,44 +159,55 @@ def simulate_combined(
                 queue[0] = (deadline, amount - take)
         return executed
 
-    for hour in range(n_hours):
-        load = demand_values[hour]
+    with span(
+        "simulate_combined",
+        capacity_mwh=battery.capacity_mwh,
+        fwr=flexible_ratio,
+        hours=n_hours,
+    ):
+        for hour in range(n_hours):
+            load = demand_values[hour]
 
-        # 1. Deadlines first: overdue work must run now, capacity permitting.
-        headroom = capacity_mw - load
-        if headroom > _EPSILON_MWH and queued_total > _EPSILON_MWH:
-            load += run_queued(headroom, hour, overdue_only=True)
-
-        gap = supply_values[hour] - load
-        if gap > 0.0:
-            # 2. Surplus: deferred work soaks it up before the battery does.
+            # 1. Deadlines first: overdue work must run now, capacity permitting.
             headroom = capacity_mw - load
-            budget = min(gap, headroom)
-            if budget > _EPSILON_MWH and queued_total > _EPSILON_MWH:
-                ran = run_queued(budget, hour, overdue_only=False)
-                load += ran
-                gap = max(gap - ran, 0.0)
-            absorbed = pack.charge(gap)
-            surplus_out[hour] = gap - absorbed
-        else:
-            # 3. Deficit: battery first, then deferral, then the grid.
-            deficit = -gap
-            delivered = pack.discharge(deficit)
-            deficit -= delivered
-            if deficit > _EPSILON_MWH and flexible_ratio > 0.0:
-                deferrable = flexible_ratio * demand_values[hour]
-                deferred = min(deficit, deferrable)
-                if deferred > _EPSILON_MWH:
-                    load -= deferred
-                    deficit -= deferred
-                    queue.append((hour + deadline_hours, deferred))
-                    queued_total += deferred
-                    deferred_total += deferred
-            grid_import[hour] = max(deficit, 0.0)
+            if headroom > _EPSILON_MWH and queued_total > _EPSILON_MWH:
+                load += run_queued(headroom, hour, overdue_only=True)
 
-        shifted[hour] = load
-        charge_level[hour] = pack.energy_mwh
+            gap = supply_values[hour] - load
+            if gap > 0.0:
+                # 2. Surplus: deferred work soaks it up before the battery does.
+                headroom = capacity_mw - load
+                budget = min(gap, headroom)
+                if budget > _EPSILON_MWH and queued_total > _EPSILON_MWH:
+                    ran = run_queued(budget, hour, overdue_only=False)
+                    load += ran
+                    gap = max(gap - ran, 0.0)
+                absorbed = pack.charge(gap)
+                surplus_out[hour] = gap - absorbed
+            else:
+                # 3. Deficit: battery first, then deferral, then the grid.
+                deficit = -gap
+                delivered = pack.discharge(deficit)
+                deficit -= delivered
+                if deficit > _EPSILON_MWH and flexible_ratio > 0.0:
+                    deferrable = flexible_ratio * demand_values[hour]
+                    deferred = min(deficit, deferrable)
+                    if deferred > _EPSILON_MWH:
+                        load -= deferred
+                        deficit -= deferred
+                        queue.append((hour + deadline_hours, deferred))
+                        queued_total += deferred
+                        deferred_total += deferred
+                        deferral_events += 1
+                grid_import[hour] = max(deficit, 0.0)
 
+            shifted[hour] = load
+            charge_level[hour] = pack.energy_mwh
+
+    inc("combined_sims")
+    inc("combined_sim_hours", n_hours)
+    inc("schedule_deferrals", deferral_events)
+    inc("combined_deferred_mwh", deferred_total)
     return CombinedResult(
         shifted_demand=HourlySeries(shifted, calendar, name="shifted demand"),
         grid_import=HourlySeries(grid_import, calendar, name="grid import"),

@@ -23,6 +23,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from ..obs import inc, span
 from ..timeseries import HOURS_PER_DAY, HourlySeries
 
 #: Ignore moves below this size (MW) to keep the greedy loop finite in the
@@ -197,16 +198,24 @@ def schedule_carbon_aware(
     intensity_values = intensity.values
 
     moved_total = 0.0
-    if ratio_profile.max() > 0.0:
-        for day_slice in calendar.iter_days():
-            moved_total += _schedule_one_day(
-                shifted[day_slice],
-                supply_values[day_slice],
-                intensity_values[day_slice],
-                capacity_mw,
-                ratio_profile,
-            )
+    with span(
+        "schedule_carbon_aware",
+        fwr=float(ratio_profile.mean()),
+        days=calendar.n_days,
+    ):
+        if ratio_profile.max() > 0.0:
+            for day_slice in calendar.iter_days():
+                moved_total += _schedule_one_day(
+                    shifted[day_slice],
+                    supply_values[day_slice],
+                    intensity_values[day_slice],
+                    capacity_mw,
+                    ratio_profile,
+                )
 
+    inc("schedules_run")
+    inc("schedule_days", calendar.n_days)
+    inc("schedule_moved_mwh", moved_total)
     return ScheduleResult(
         original_demand=demand,
         shifted_demand=HourlySeries(shifted, calendar, name="shifted demand"),

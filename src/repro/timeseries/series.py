@@ -11,7 +11,7 @@ error, which catches a whole class of silent misalignment bugs.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -175,7 +175,9 @@ class HourlySeries:
     def __hash__(self) -> int:  # pragma: no cover - identity hash for immutables
         return hash((self._calendar, self._values.tobytes()))
 
-    def clip(self, lower: float = None, upper: float = None) -> "HourlySeries":
+    def clip(
+        self, lower: Optional[float] = None, upper: Optional[float] = None
+    ) -> "HourlySeries":
         """Elementwise clamp to ``[lower, upper]`` (either bound optional)."""
         return HourlySeries(
             np.clip(self._values, lower, upper), self._calendar, self.name

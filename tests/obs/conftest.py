@@ -1,0 +1,22 @@
+"""Obs-layer fixtures: leave the global collectors as tests found them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    disable_metrics,
+    disable_tracing,
+    reset_metrics,
+    reset_tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Restore the disabled-and-empty default after every obs test."""
+    yield
+    disable_tracing()
+    disable_metrics()
+    reset_tracing()
+    reset_metrics()

@@ -1,0 +1,72 @@
+"""Tests for the repro.* logging helpers."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import LOGGER_NAME, configure_logging, get_logger
+from repro.obs.log import _HANDLER_MARKER
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    """Remove any console handler configure_logging installed."""
+    yield
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARKER, False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger("core.optimizer").name == "repro.core.optimizer"
+        assert get_logger().name == "repro"
+        assert get_logger("repro.grid").name == "repro.grid"
+
+    def test_root_logger_has_null_handler(self):
+        handlers = logging.getLogger(LOGGER_NAME).handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+
+class TestConfigureLogging:
+    def test_attaches_stream_handler_and_level(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        get_logger("test").debug("hello from the test")
+        assert "hello from the test" in stream.getvalue()
+        assert "repro.test" in stream.getvalue()
+
+    def test_idempotent_reconfiguration(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging("info", stream=first)
+        configure_logging("info", stream=second)
+        get_logger("test").info("once")
+        marked = [
+            handler
+            for handler in logging.getLogger(LOGGER_NAME).handlers
+            if getattr(handler, _HANDLER_MARKER, False)
+        ]
+        assert len(marked) == 1
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("test").info("quiet")
+        get_logger("test").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_rejects_unknown_level_name(self):
+        with pytest.raises(ValueError):
+            configure_logging("loudest")
+
+    def test_accepts_numeric_level(self):
+        stream = io.StringIO()
+        configure_logging(logging.ERROR, stream=stream)
+        assert logging.getLogger(LOGGER_NAME).level == logging.ERROR

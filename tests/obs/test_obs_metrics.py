@@ -1,0 +1,137 @@
+"""Tests for the counters/gauges/histograms registry."""
+
+import json
+import threading
+
+from repro.obs import (
+    MetricsRegistry,
+    enable_metrics,
+    get_registry,
+    inc,
+    metrics_enabled,
+    metrics_snapshot,
+    observe,
+    render_metrics,
+    reset_metrics,
+    save_metrics,
+    set_gauge,
+)
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("designs_evaluated")
+        registry.inc("designs_evaluated", 4)
+        assert registry.counter_value("designs_evaluated") == 5
+        assert registry.counter_value("never_written") == 0.0
+
+    def test_gauges_keep_last_value(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("grid_points", 10)
+        registry.set_gauge("grid_points", 3)
+        assert registry.snapshot()["gauges"]["grid_points"] == 3
+
+    def test_histogram_statistics(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.01, 0.1):
+            registry.observe("span.optimize.seconds", value)
+        stats = registry.snapshot()["histograms"]["span.optimize.seconds"]
+        assert stats["count"] == 3
+        assert stats["min"] == 0.001
+        assert stats["max"] == 0.1
+        assert stats["sum"] == (0.001 + 0.01 + 0.1)
+        assert sum(stats["buckets"].values()) == 3
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("c")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_thread_safety_of_counters(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.inc("hits")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("hits") == 4000
+
+
+class TestSnapshotRoundtrip:
+    def test_snapshot_roundtrips_through_json(self):
+        registry = MetricsRegistry()
+        registry.inc("designs_evaluated", 7)
+        registry.inc("battery_sim_hours", 8784)
+        registry.set_gauge("sweep_grid_points", 40)
+        registry.observe("span.evaluate_design.seconds", 0.02)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 1.0)
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_save_writes_valid_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        path = tmp_path / "metrics.json"
+        registry.save(path)
+        assert json.loads(path.read_text())["counters"]["c"] == 2
+
+
+class TestGlobalHelpers:
+    def test_disabled_by_default(self):
+        reset_metrics()
+        assert not metrics_enabled()
+        inc("ignored")
+        set_gauge("ignored", 1.0)
+        observe("ignored", 1.0)
+        snap = metrics_snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_enabled_helpers_write_to_default_registry(self):
+        enable_metrics()
+        inc("designs_evaluated", 3)
+        assert get_registry().counter_value("designs_evaluated") == 3
+        assert metrics_snapshot()["counters"]["designs_evaluated"] == 3
+
+    def test_save_metrics_writes_snapshot(self, tmp_path):
+        enable_metrics()
+        inc("c")
+        path = tmp_path / "m.json"
+        save_metrics(path)
+        assert json.loads(path.read_text())["counters"]["c"] == 1
+
+
+class TestRendering:
+    def test_render_includes_all_metric_kinds(self):
+        registry = MetricsRegistry()
+        registry.inc("designs_evaluated", 12)
+        registry.set_gauge("sweep_grid_points", 4)
+        registry.observe("span.optimize.seconds", 0.5)
+        text = registry.render_text()
+        assert "designs_evaluated" in text
+        assert "sweep_grid_points" in text
+        assert "span.optimize.seconds" in text
+
+    def test_render_empty(self):
+        reset_metrics()
+        assert "(empty)" in render_metrics()

@@ -1,0 +1,66 @@
+"""Tests for the progress-callback protocol and stderr ticker."""
+
+import io
+
+from repro.obs import ProgressTicker, null_progress
+
+
+class _TtyStringIO(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestProgressTicker:
+    def test_paints_progress_line(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=0.0)
+        ticker(3, 10, "renewables")
+        assert "renewables: 3/10 (30%)" in stream.getvalue()
+
+    def test_silent_on_non_tty_stream(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream)
+        ticker(1, 2, "sweep")
+        ticker.close()
+        assert stream.getvalue() == ""
+
+    def test_active_on_tty_stream(self):
+        stream = _TtyStringIO()
+        ticker = ProgressTicker(stream=stream, min_interval_s=0.0)
+        ticker(1, 2, "sweep")
+        assert "sweep: 1/2" in stream.getvalue()
+
+    def test_rate_limiting_skips_intermediate_updates(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=3600.0)
+        ticker(1, 10, "sweep")  # first paint always lands
+        ticker(2, 10, "sweep")  # rate-limited away
+        assert "1/10" in stream.getvalue()
+        assert "2/10" not in stream.getvalue()
+
+    def test_final_update_always_paints(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=3600.0)
+        ticker(1, 10, "sweep")
+        ticker(10, 10, "sweep")
+        assert "10/10 (100%)" in stream.getvalue()
+
+    def test_zero_total_does_not_divide(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=0.0)
+        ticker(5, 0, "open-ended")
+        assert "open-ended: 5" in stream.getvalue()
+
+    def test_close_erases_the_line(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=0.0)
+        ticker(1, 2, "sweep")
+        ticker.close()
+        assert stream.getvalue().endswith("\r")
+
+
+class TestNullProgress:
+    def test_null_progress_is_callable_and_silent(self, capsys):
+        null_progress(1, 2, "anything")
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""

@@ -1,0 +1,65 @@
+"""Tests for the shared benchmark plumbing (benchmarks/_common.py).
+
+The benchmarks package is not importable as a module from the test run
+(it lives outside ``src``), so the module is loaded directly from its
+file path.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_COMMON_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "_common.py"
+)
+
+
+@pytest.fixture()
+def bench_common(tmp_path, monkeypatch):
+    """A fresh _common module with OUT_DIR pointed at a missing nested dir."""
+    spec = importlib.util.spec_from_file_location("bench_common", _COMMON_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    # Two missing levels: proves emit() creates parents, not just the leaf.
+    monkeypatch.setattr(module, "OUT_DIR", tmp_path / "nested" / "out")
+    return module
+
+
+class TestEmit:
+    def test_creates_out_dir_with_parents_and_returns_path(self, bench_common):
+        path = bench_common.emit("fig15", "site  tons\nUT  42")
+        assert path == bench_common.OUT_DIR / "fig15.txt"
+        assert path.read_text() == "site  tons\nUT  42\n"
+
+    def test_writes_json_sidecar_with_wall_time_and_metrics(self, bench_common):
+        bench_common._last_wall_s = 1.25
+        bench_common.emit("fig15", "rows")
+        sidecar = json.loads((bench_common.OUT_DIR / "fig15.json").read_text())
+        assert sidecar["name"] == "fig15"
+        assert sidecar["wall_s"] == 1.25
+        assert set(sidecar["metrics"]) == {"counters", "gauges", "histograms"}
+        # The stash is consumed: a second emit has no wall time to report.
+        bench_common.emit("other", "rows")
+        other = json.loads((bench_common.OUT_DIR / "other.json").read_text())
+        assert other["wall_s"] is None
+
+
+class TestRunOnce:
+    def test_runs_fn_once_and_stashes_wall_time(self, bench_common):
+        calls = []
+
+        class FakeBenchmark:
+            def pedantic(self, fn, rounds, iterations, warmup_rounds):
+                assert (rounds, iterations, warmup_rounds) == (1, 1, 0)
+                return fn()
+
+        def work():
+            calls.append(1)
+            return "result"
+
+        assert bench_common.run_once(FakeBenchmark(), work) == "result"
+        assert calls == [1]
+        assert bench_common._last_wall_s is not None
+        assert bench_common._last_wall_s >= 0.0

@@ -1,8 +1,35 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import (
+    LOGGER_NAME,
+    disable_metrics,
+    disable_tracing,
+    reset_metrics,
+    reset_tracing,
+)
+from repro.obs.log import _HANDLER_MARKER
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Keep the global collectors disabled-and-empty across CLI tests."""
+    yield
+    disable_tracing()
+    disable_metrics()
+    reset_tracing()
+    reset_metrics()
+    import logging
+
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARKER, False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
 
 
 class TestCoverage:
@@ -99,3 +126,100 @@ class TestExport:
 
         parsed = read_trace_csv(path)
         assert parsed.mean() == pytest.approx(19.0, rel=0.05)
+
+
+class TestObservabilityFlags:
+    def test_metrics_out_writes_valid_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["coverage", "UT", "--metrics-out", str(path)]) == 0
+        snap = json.loads(path.read_text())
+        assert set(snap) == {"counters", "gauges", "histograms"}
+
+    def test_trace_out_writes_span_tree(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["battery", "UT", "--trace-out", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-span-tree/1"
+        names = [span["name"] for span in document["spans"]]
+        assert "simulate_battery" in names
+
+    def test_metrics_out_written_even_on_domain_error(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["schedule", "UT", "--fwr", "2.0", "--metrics-out", str(path)]) == 1
+        assert json.loads(path.read_text())["counters"] == {}
+
+    def test_log_level_flag_emits_repro_logs(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "UT",
+                "--strategy",
+                "renewables",
+                "--renewable-steps",
+                "2",
+                "--battery-hours",
+                "0",
+                "--extra-capacity",
+                "0",
+                "--log-level",
+                "info",
+            ]
+        )
+        assert code == 0
+        # configure_logging writes to stderr by default; the optimizer
+        # logs sweep start/end at INFO regardless of cache state.
+        err = capsys.readouterr().err
+        assert "repro.core.optimizer" in err
+        assert "sweep start" in err
+
+
+class TestStats:
+    def test_stats_writes_metrics_and_nested_trace(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.json"
+        code = main(
+            [
+                "stats",
+                "UT",
+                "--metrics-out",
+                str(metrics_path),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+
+        snap = json.loads(metrics_path.read_text())
+        assert snap["counters"]["designs_evaluated"] > 0
+        assert snap["counters"]["sweeps_completed"] == 4
+        assert snap["histograms"]["span.evaluate_design.seconds"]["count"] > 0
+
+        document = json.loads(trace_path.read_text())
+        optimize_spans = [
+            span for span in document["spans"] if span["name"] == "optimize"
+        ]
+        assert len(optimize_spans) == 4
+
+        def find(node, name):
+            if node["name"] == name:
+                return node
+            for child in node["children"]:
+                hit = find(child, name)
+                if hit is not None:
+                    return hit
+            return None
+
+        battery_sweep = next(
+            span
+            for span in optimize_spans
+            if "battery" in span["attrs"]["strategy"]
+        )
+        evaluate = find(battery_sweep, "evaluate_design")
+        assert evaluate is not None
+        assert find(evaluate, "simulate_battery") is not None
+
+    def test_stats_prints_summary_tables(self, capsys):
+        assert main(["stats", "UT"]) == 0
+        out = capsys.readouterr().out
+        assert "designs_evaluated" in out
+        assert "optimize" in out
