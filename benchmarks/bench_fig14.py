@@ -1,7 +1,7 @@
 """Figure 14: operational-vs-embodied Pareto frontiers for the four
 strategies in Oregon, North Carolina, and Utah (FWR = 40%)."""
 
-from _common import emit, run_once
+from _common import bench_workers, emit, run_once
 
 from repro import CarbonExplorer, Strategy
 from repro.core import frontier_tail_ratio, knee_point, pareto_frontier
@@ -20,7 +20,9 @@ def frontier_for(explorer, strategy):
         battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
         extra_capacity_fractions=(0.0, 0.25, 0.5),
     )
-    return pareto_frontier(explorer.optimize(strategy, space).evaluations)
+    return pareto_frontier(
+        explorer.optimize(strategy, space, workers=bench_workers()).evaluations
+    )
 
 
 def build_fig14() -> str:

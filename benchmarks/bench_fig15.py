@@ -2,7 +2,7 @@
 carbon-optimal setting of each solution, per MW of datacenter capacity, for
 all thirteen regions — with coverage annotations (stars = 100%)."""
 
-from _common import emit, run_once
+from _common import bench_workers, emit, run_once
 
 from repro import CarbonExplorer, SITE_ORDER, Strategy
 from repro.reporting import format_table, percent
@@ -24,7 +24,7 @@ def build_fig15() -> str:
             battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
             extra_capacity_fractions=(0.0, 0.5),
         )
-        results = explorer.optimize_all(space)
+        results = explorer.optimize_all(space, workers=bench_workers())
         row = [
             state,
             explorer.context.grid.authority.renewable_class.value,

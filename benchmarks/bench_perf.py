@@ -1,8 +1,12 @@
 """Micro performance benchmarks of the hot simulation kernels.
 
 Unlike the artifact benches (rounds=1), these use pytest-benchmark's
-statistical timing: they are the kernels design-space sweeps call thousands
-of times, so their per-call cost bounds how fine an exhaustive grid can be.
+statistical timing: they are the year-long loops design-space sweeps call
+thousands of times (the array-native implementations in
+:mod:`repro.kernels`, reached through their public wrappers), so their
+per-call cost bounds how fine an exhaustive grid can be.  The degenerate
+zero-capacity case is benchmarked separately because it takes the fully
+vectorized path that bounds renewables-only sweeps.
 """
 
 import pytest
@@ -31,6 +35,13 @@ def test_perf_battery_year(benchmark, context, supply):
     demand = context.demand.power
     spec = BatterySpec(5 * context.demand.avg_power_mw)
     result = benchmark(simulate_battery, demand, supply, spec)
+    assert result.grid_import.min() >= 0.0
+
+
+def test_perf_battery_year_zero_capacity(benchmark, context, supply):
+    """The vectorized no-battery path (renewables-only sweeps hit this)."""
+    demand = context.demand.power
+    result = benchmark(simulate_battery, demand, supply, BatterySpec(0.0))
     assert result.grid_import.min() >= 0.0
 
 

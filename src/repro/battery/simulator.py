@@ -6,19 +6,22 @@ renewable supply."  This module runs that greedy policy hour by hour over a
 year, honouring the C/L/C constraints, and reports the resulting grid
 imports, residual surplus, and the charge-level trace behind Figure 16.
 
-The inner loop runs on plain floats (not :class:`HourlySeries` ops) because
-design-space sweeps call it thousands of times per region.
+Design-space sweeps call this simulation thousands of times per region, so
+the year loop itself lives in :mod:`repro.kernels.battery`: an object-free
+kernel over raw numpy arrays with the spec constants hoisted out of the
+loop (and a fully vectorized zero-capacity path).  This module validates
+inputs, opens the tracing span, and wraps the kernel's arrays back into
+:class:`HourlySeries` results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..kernels.battery import battery_import_exceeds, battery_run
 from ..obs import inc, span
 from ..timeseries import Histogram, HourlySeries, histogram
-from .clc import Battery, BatterySpec
+from .clc import BatterySpec
 
 
 @dataclass(frozen=True)
@@ -106,37 +109,35 @@ def simulate_battery(
         raise ValueError("demand and supply must share a calendar")
     if demand.min() < 0 or supply.min() < 0:
         raise ValueError("demand and supply must be non-negative")
+    if not 0.0 <= initial_soc <= 1.0:
+        raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
 
     calendar = demand.calendar
-    battery = Battery(spec, initial_soc=initial_soc)
-
-    demand_values = demand.values
-    supply_values = supply.values
     n_hours = calendar.n_hours
-    grid_import = np.zeros(n_hours)
-    surplus = np.zeros(n_hours)
-    charge_level = np.zeros(n_hours)
+    floor = spec.floor_mwh
 
     with span("simulate_battery", capacity_mwh=spec.capacity_mwh, hours=n_hours):
-        for hour in range(n_hours):
-            gap = supply_values[hour] - demand_values[hour]
-            if gap >= 0.0:
-                absorbed = battery.charge(gap)
-                surplus[hour] = gap - absorbed
-            else:
-                delivered = battery.discharge(-gap)
-                grid_import[hour] = -gap - delivered
-            charge_level[hour] = battery.energy_mwh
+        run = battery_run(
+            demand.values,
+            supply.values,
+            capacity_mwh=spec.capacity_mwh,
+            floor_mwh=floor,
+            max_charge_mw=spec.max_charge_mw,
+            max_discharge_mw=spec.max_discharge_mw,
+            charge_efficiency=spec.chemistry.charge_efficiency,
+            discharge_efficiency=spec.chemistry.discharge_efficiency,
+            initial_energy_mwh=floor + initial_soc * (spec.capacity_mwh - floor),
+        )
 
     inc("battery_sims")
     inc("battery_sim_hours", n_hours)
     return BatterySimResult(
         spec=spec,
-        grid_import=HourlySeries(grid_import, calendar, name="grid import"),
-        surplus=HourlySeries(surplus, calendar, name="surplus"),
-        charge_level=HourlySeries(charge_level, calendar, name="charge level"),
-        charged_mwh=battery.charged_mwh,
-        discharged_mwh=battery.discharged_mwh,
+        grid_import=HourlySeries(run.grid_import, calendar, name="grid import"),
+        surplus=HourlySeries(run.surplus, calendar, name="surplus"),
+        charge_level=HourlySeries(run.charge_level, calendar, name="charge level"),
+        charged_mwh=run.charged_mwh,
+        discharged_mwh=run.discharged_mwh,
     )
 
 
@@ -156,26 +157,53 @@ def capacity_for_full_coverage(
 
     Used by the Figure 9 reproduction ("How much battery needs to be
     deployed for 24/7 renewable energy?").
+
+    The search only ever asks "does this capacity still leave a deficit?",
+    so it runs on :func:`repro.kernels.battery.battery_import_exceeds`
+    rather than full simulations: the zero-capacity probe is the vectorized
+    renewables-only arithmetic, and every undersized midpoint exits its
+    year loop at the first hour the cumulative deficit turns positive
+    (only the exactly-zero-deficit midpoints pay for a full year).
     """
     if max_hours_of_load <= 0:
         raise ValueError(f"max_hours_of_load must be positive, got {max_hours_of_load}")
     if tolerance_mwh <= 0:
         raise ValueError(f"tolerance_mwh must be positive, got {tolerance_mwh}")
+    if demand.calendar != supply.calendar:
+        raise ValueError("demand and supply must share a calendar")
+    if demand.min() < 0 or supply.min() < 0:
+        raise ValueError("demand and supply must be non-negative")
 
-    def deficit_with(capacity_mwh: float) -> float:
-        result = simulate_battery(demand, supply, BatterySpec(capacity_mwh))
-        return result.grid_import.total()
+    demand_values = demand.values
+    supply_values = supply.values
 
-    if deficit_with(0.0) == 0.0:
-        return 0.0
-    high = max_hours_of_load * demand.mean()
-    if deficit_with(high) > 0.0:
-        return float("inf")
-    low = 0.0
-    while high - low > tolerance_mwh:
-        mid = (low + high) / 2.0
-        if deficit_with(mid) > 0.0:
-            low = mid
-        else:
-            high = mid
+    def has_deficit(capacity_mwh: float) -> bool:
+        spec = BatterySpec(capacity_mwh)
+        inc("battery_capacity_probes")
+        return battery_import_exceeds(
+            demand_values,
+            supply_values,
+            threshold_mwh=0.0,
+            capacity_mwh=spec.capacity_mwh,
+            floor_mwh=spec.floor_mwh,
+            max_charge_mw=spec.max_charge_mw,
+            max_discharge_mw=spec.max_discharge_mw,
+            charge_efficiency=spec.chemistry.charge_efficiency,
+            discharge_efficiency=spec.chemistry.discharge_efficiency,
+            initial_energy_mwh=spec.capacity_mwh,
+        )
+
+    with span("capacity_for_full_coverage", max_hours_of_load=max_hours_of_load):
+        if not has_deficit(0.0):
+            return 0.0
+        high = max_hours_of_load * demand.mean()
+        if has_deficit(high):
+            return float("inf")
+        low = 0.0
+        while high - low > tolerance_mwh:
+            mid = (low + high) / 2.0
+            if has_deficit(mid):
+                low = mid
+            else:
+                high = mid
     return high

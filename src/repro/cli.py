@@ -104,6 +104,15 @@ def _add_site_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="weather/demand seed")
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1 = in-process serial)",
+    )
+
+
 def _add_investment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--solar", type=float, default=None, help="solar MW (default: Meta's regional)"
@@ -199,7 +208,7 @@ def cmd_optimize(args: argparse.Namespace) -> None:
     )
     rows = []
     for strategy in strategies:
-        best = explorer.optimize(strategy, space).best
+        best = explorer.optimize(strategy, space, workers=args.workers).best
         rows.append(
             (
                 strategy.value,
@@ -229,7 +238,7 @@ def cmd_rank(args: argparse.Namespace) -> None:
             battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
             extra_capacity_fractions=(0.0, 0.5),
         )
-        best = explorer.optimize(strategy, space).best
+        best = explorer.optimize(strategy, space, workers=args.workers).best
         rows.append(
             (
                 state,
@@ -314,7 +323,9 @@ def cmd_stats(args: argparse.Namespace) -> None:
             extra_capacity_fractions=tuple(args.extra_capacity),
         )
         ticker = ProgressTicker()
-        results = optimize_all_strategies(explorer.context, space, progress=ticker)
+        results = optimize_all_strategies(
+            explorer.context, space, progress=ticker, workers=args.workers
+        )
         ticker.close()
         rows = [
             (
@@ -409,12 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--battery-hours", type=float, nargs="+", default=[0.0, 2.0, 5.0, 10.0, 16.0]
     )
     p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0, 0.5])
+    _add_workers_argument(p)
     p.set_defaults(handler=cmd_optimize)
 
     p = subparsers.add_parser("rank", help="rank all 13 sites", parents=[obs])
     p.add_argument("--strategy", choices=list(_STRATEGY_BY_NAME), default="all")
     p.add_argument("--year", type=int, default=2020)
     p.add_argument("--seed", type=int, default=0)
+    _add_workers_argument(p)
     p.set_defaults(handler=cmd_rank)
 
     p = subparsers.add_parser("scenarios", help="Fig. 6 intensity summary", parents=[obs])
@@ -451,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--battery-hours", type=float, nargs="+", default=[0.0, 5.0])
     p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0])
+    _add_workers_argument(p)
     p.set_defaults(handler=cmd_stats)
 
     p = subparsers.add_parser("export-grid", help="write EIA-style grid CSV", parents=[obs])

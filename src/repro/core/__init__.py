@@ -12,6 +12,7 @@ from .design import DesignPoint, DesignSpace, Strategy, default_design_space
 from .evaluate import (
     DesignEvaluation,
     SiteContext,
+    SupplyProjectionCache,
     build_site_context,
     evaluate_design,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "default_design_space",
     "DesignEvaluation",
     "SiteContext",
+    "SupplyProjectionCache",
     "build_site_context",
     "evaluate_design",
     "CarbonExplorer",

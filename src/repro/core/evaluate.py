@@ -11,7 +11,11 @@ the design buys.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Dict, Tuple
+
 from ..battery import simulate_battery
 from ..carbon import DEFAULT_EMBODIED_MODEL, EmbodiedCarbonModel, operational_carbon_tons
 from ..datacenter import (
@@ -26,6 +30,68 @@ from ..scheduling import schedule_carbon_aware, simulate_combined
 from ..timeseries import DEFAULT_CALENDAR, HourlySeries, YearCalendar
 from .coverage import coverage_from_grid_import
 from .design import DesignPoint, Strategy
+
+#: Guards lazy creation of per-context caches under threaded sweeps.
+_CACHE_CREATION_LOCK = threading.Lock()
+
+
+class SupplyProjectionCache:
+    """Memoized renewable-supply projections for one site's grid.
+
+    :func:`repro.grid.scale_trace_to_capacity` is linear in the trace, and
+    exhaustive sweeps revisit the same ``(solar_mw, wind_mw)`` investment
+    pair once per battery/server grid coordinate — so each scaled trace and
+    each combined supply series is computed once and memoized by its grid
+    coordinate.  Entries are exact :func:`scale_trace_to_capacity` results
+    (same IEEE operations), so cached and uncached evaluations are bitwise
+    identical.
+
+    Hit/miss totals are exported through :mod:`repro.obs` as the
+    ``supply_cache_hits`` / ``supply_cache_misses`` counters.  The combined
+    map is LRU-bounded; the per-axis maps hold one entry per distinct axis
+    value, which sweeps keep small by construction.
+    """
+
+    _MAX_COMBINED_ENTRIES = 1024
+
+    __slots__ = ("_solar_source", "_wind_source", "_solar", "_wind", "_combined", "_lock")
+
+    def __init__(self, solar_source: HourlySeries, wind_source: HourlySeries) -> None:
+        self._solar_source = solar_source
+        self._wind_source = wind_source
+        self._solar: Dict[float, HourlySeries] = {}
+        self._wind: Dict[float, HourlySeries] = {}
+        self._combined: "OrderedDict[Tuple[float, float], HourlySeries]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _scaled(
+        self, cache: Dict[float, HourlySeries], source: HourlySeries, capacity_mw: float
+    ) -> HourlySeries:
+        trace = cache.get(capacity_mw)
+        if trace is None:
+            trace = scale_trace_to_capacity(source, capacity_mw)
+            cache[capacity_mw] = trace
+        return trace
+
+    def project(
+        self, solar_mw: float, wind_mw: float
+    ) -> Tuple[HourlySeries, HourlySeries, HourlySeries]:
+        """``(solar_trace, wind_trace, combined_supply)`` for one investment."""
+        key = (solar_mw, wind_mw)
+        with self._lock:
+            supply = self._combined.get(key)
+            if supply is not None:
+                self._combined.move_to_end(key)
+                inc("supply_cache_hits")
+                return self._solar[solar_mw], self._wind[wind_mw], supply
+            inc("supply_cache_misses")
+            solar_trace = self._scaled(self._solar, self._solar_source, solar_mw)
+            wind_trace = self._scaled(self._wind, self._wind_source, wind_mw)
+            supply = (solar_trace + wind_trace).with_name("renewable supply")
+            self._combined[key] = supply
+            if len(self._combined) > self._MAX_COMBINED_ENTRIES:
+                self._combined.popitem(last=False)
+            return solar_trace, wind_trace, supply
 
 
 @dataclass(frozen=True)
@@ -65,6 +131,36 @@ class SiteContext:
         """Whether the local grid generates any wind to invest in."""
         return self.grid.wind.max() > 0.0
 
+    @property
+    def supply_cache(self) -> SupplyProjectionCache:
+        """The lazily created per-context supply-projection cache."""
+        cache = self.__dict__.get("_supply_cache")
+        if cache is None:
+            with _CACHE_CREATION_LOCK:
+                cache = self.__dict__.get("_supply_cache")
+                if cache is None:
+                    cache = SupplyProjectionCache(self.grid.solar, self.grid.wind)
+                    object.__setattr__(self, "_supply_cache", cache)
+        return cache
+
+    def __getstate__(self):
+        # The projection cache holds a lock and can be megabytes of memoized
+        # traces; workers rebuild their own, so keep it out of the pickle.
+        state = self.__dict__.copy()
+        state.pop("_supply_cache", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+#: Memoized contexts for repeat ``build_site_context`` calls (benchmarks and
+#: the CLI rebuild the same site once per figure/subcommand).  Bounded small:
+#: each entry holds a year of demand plus four grid traces.
+_MAX_CONTEXT_ENTRIES = 16
+_context_cache: "OrderedDict[tuple, SiteContext]" = OrderedDict()
+_context_cache_lock = threading.Lock()
+
 
 def build_site_context(
     state: str,
@@ -75,18 +171,41 @@ def build_site_context(
 ) -> SiteContext:
     """Assemble the :class:`SiteContext` for a Table-1 site.
 
-    Deterministic in ``(state, year, seed, profile)``.
+    Deterministic in ``(state, year, seed, profile)``, so results are
+    memoized (LRU, keyed on all five arguments) — callers that rebuild the
+    same site pay the demand/grid synthesis once.  Unhashable ``profile`` or
+    ``embodied`` arguments skip the cache rather than fail.
     """
+    key = (state, year, seed, profile, embodied)
+    try:
+        hash(key)
+    except TypeError:
+        key = None
+    if key is not None:
+        with _context_cache_lock:
+            context = _context_cache.get(key)
+            if context is not None:
+                _context_cache.move_to_end(key)
+                inc("site_context_cache_hits")
+                return context
+        inc("site_context_cache_misses")
+
     site = get_site(state)
     calendar = YearCalendar(year)
     demand = synthesize_demand(site, calendar, profile=profile, seed=seed)
     grid = generate_grid_dataset(site.authority_code, year=year, seed=seed)
-    return SiteContext(
+    context = SiteContext(
         demand=demand,
         grid=grid,
         grid_intensity=grid.carbon_intensity_g_per_kwh(),
         embodied=embodied,
     )
+    if key is not None:
+        with _context_cache_lock:
+            _context_cache[key] = context
+            if len(_context_cache) > _MAX_CONTEXT_ENTRIES:
+                _context_cache.popitem(last=False)
+    return context
 
 
 @dataclass(frozen=True)
@@ -183,13 +302,9 @@ def evaluate_design(
         demand_power = context.demand.power
         calendar = demand_power.calendar
 
-        solar_trace = scale_trace_to_capacity(
-            context.grid.solar, design.investment.solar_mw
+        solar_trace, wind_trace, supply = context.supply_cache.project(
+            design.investment.solar_mw, design.investment.wind_mw
         )
-        wind_trace = scale_trace_to_capacity(
-            context.grid.wind, design.investment.wind_mw
-        )
-        supply = (solar_trace + wind_trace).with_name("renewable supply")
 
         capacity_mw = demand_power.max() * (1.0 + design.extra_capacity_fraction)
         battery_spec = design.battery_spec()

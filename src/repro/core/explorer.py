@@ -244,21 +244,31 @@ class CarbonExplorer:
         return evaluate_design(self.context, design, strategy)
 
     def optimize(
-        self, strategy: Strategy, space: Optional[DesignSpace] = None
+        self,
+        strategy: Strategy,
+        space: Optional[DesignSpace] = None,
+        workers: int = 1,
     ) -> OptimizationResult:
-        """Exhaustive carbon minimization under one strategy."""
+        """Exhaustive carbon minimization under one strategy.
+
+        ``workers > 1`` fans the sweep across a process pool; the result is
+        identical to a serial sweep (see :func:`repro.core.optimize`).
+        """
         if space is None:
             space = self.default_space()
-        return optimize(self.context, space, strategy)
+        return optimize(self.context, space, strategy, workers=workers)
 
     def optimize_all(
-        self, space: Optional[DesignSpace] = None
+        self, space: Optional[DesignSpace] = None, workers: int = 1
     ) -> Dict[Strategy, OptimizationResult]:
         """Carbon-optimal design per strategy — one Fig. 15 column."""
-        return optimize_all_strategies(self.context, space)
+        return optimize_all_strategies(self.context, space, workers=workers)
 
     def pareto(
-        self, strategy: Strategy, space: Optional[DesignSpace] = None
+        self,
+        strategy: Strategy,
+        space: Optional[DesignSpace] = None,
+        workers: int = 1,
     ) -> Tuple[DesignEvaluation, ...]:
         """Operational-vs-embodied Pareto frontier for a strategy (Fig. 14)."""
-        return pareto_frontier(self.optimize(strategy, space).evaluations)
+        return pareto_frontier(self.optimize(strategy, space, workers=workers).evaluations)

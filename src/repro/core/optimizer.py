@@ -12,14 +12,38 @@ double as the raw data for the Pareto and Fig. 15 analyses).
 
 from __future__ import annotations
 
+import math
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import ProgressCallback, get_logger, inc, set_gauge, span
-from .design import DesignSpace, Strategy, default_design_space
+from .design import DesignPoint, DesignSpace, Strategy, default_design_space
 from .evaluate import DesignEvaluation, SiteContext, evaluate_design
 
 _log = get_logger("core.optimizer")
+
+#: Chunks submitted per worker; >1 so a slow chunk doesn't straggle the pool.
+_CHUNKS_PER_WORKER = 4
+
+#: The site context each worker process evaluates against, shipped once via
+#: the pool initializer instead of once per grid point.
+_worker_context: Optional[SiteContext] = None
+
+
+def _init_worker(context: SiteContext) -> None:
+    global _worker_context
+    _worker_context = context
+
+
+def _evaluate_chunk(
+    start: int, designs: Sequence[DesignPoint], strategy: Strategy
+) -> Tuple[int, List[DesignEvaluation]]:
+    """Evaluate one contiguous slice of the grid in a worker process."""
+    assert _worker_context is not None, "worker pool initializer did not run"
+    return start, [
+        evaluate_design(_worker_context, design, strategy) for design in designs
+    ]
 
 
 @dataclass(frozen=True)
@@ -50,42 +74,104 @@ class OptimizationResult:
         return self.best.coverage
 
 
+def _sweep_serial(
+    context: SiteContext,
+    space: DesignSpace,
+    strategy: Strategy,
+    total: int,
+    progress: Optional[ProgressCallback],
+) -> List[DesignEvaluation]:
+    evaluations = []
+    for index, design in enumerate(space.points(strategy)):
+        evaluations.append(evaluate_design(context, design, strategy))
+        if progress is not None:
+            progress(index + 1, total, strategy.value)
+    return evaluations
+
+
+def _sweep_parallel(
+    context: SiteContext,
+    space: DesignSpace,
+    strategy: Strategy,
+    total: int,
+    progress: Optional[ProgressCallback],
+    workers: int,
+) -> List[DesignEvaluation]:
+    """Fan contiguous grid chunks across a process pool, grid order preserved.
+
+    Each chunk carries its starting grid index, so results are reassembled
+    into grid order no matter the completion order — a parallel sweep yields
+    the identical evaluation sequence to a serial one.  ``progress`` fires
+    once per completed chunk with the cumulative count.  Worker-process
+    metric registries are not merged back; the parent counts the evaluations
+    itself.
+    """
+    designs = list(space.points(strategy))
+    chunk_size = max(1, math.ceil(total / (workers * _CHUNKS_PER_WORKER)))
+    results: List[Optional[DesignEvaluation]] = [None] * total
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(context,)
+    ) as pool:
+        futures = [
+            pool.submit(_evaluate_chunk, start, designs[start : start + chunk_size], strategy)
+            for start in range(0, total, chunk_size)
+        ]
+        done = 0
+        for future in as_completed(futures):
+            start, chunk_evaluations = future.result()
+            results[start : start + len(chunk_evaluations)] = chunk_evaluations
+            done += len(chunk_evaluations)
+            if progress is not None:
+                progress(done, total, strategy.value)
+    inc("designs_evaluated", total)
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
 def optimize(
     context: SiteContext,
     space: DesignSpace,
     strategy: Strategy,
     progress: Optional[ProgressCallback] = None,
+    workers: int = 1,
 ) -> OptimizationResult:
     """Exhaustively evaluate ``space`` under ``strategy`` for one site.
 
     ``progress``, when given, is called after every grid point with
     ``(evaluated, total, strategy_name)`` — see
-    :class:`repro.obs.ProgressCallback`.
+    :class:`repro.obs.ProgressCallback`.  With ``workers > 1`` the grid is
+    fanned out across a process pool (the context ships to each worker once)
+    and ``progress`` fires per completed chunk instead of per point; the
+    returned evaluations are identical to a serial sweep, in grid order.
 
     Raises
     ------
     ValueError
-        If the constrained space is empty (it never is for a valid
-        :class:`DesignSpace`, which requires non-empty axes).
+        If ``workers < 1``, or if the constrained space is empty (it never
+        is for a valid :class:`DesignSpace`, which requires non-empty axes).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     total = space.size(strategy)
     _log.info(
-        "sweep start: site=%s strategy=%s grid_points=%d",
+        "sweep start: site=%s strategy=%s grid_points=%d workers=%d",
         context.site_state,
         strategy.value,
         total,
+        workers,
     )
     with span(
         "optimize",
         strategy=strategy.value,
         site=context.site_state,
         grid_points=total,
+        workers=workers,
     ):
-        evaluations = []
-        for index, design in enumerate(space.points(strategy)):
-            evaluations.append(evaluate_design(context, design, strategy))
-            if progress is not None:
-                progress(index + 1, total, strategy.value)
+        if workers == 1 or total <= 1:
+            evaluations = _sweep_serial(context, space, strategy, total, progress)
+        else:
+            evaluations = _sweep_parallel(
+                context, space, strategy, total, progress, workers
+            )
     if not evaluations:
         raise ValueError("design space produced no points")
     best = min(evaluations, key=lambda e: e.total_tons)
@@ -107,12 +193,14 @@ def optimize_all_strategies(
     context: SiteContext,
     space: Optional[DesignSpace] = None,
     progress: Optional[ProgressCallback] = None,
+    workers: int = 1,
 ) -> Dict[Strategy, OptimizationResult]:
     """Run the exhaustive sweep for all four strategies of Fig. 15.
 
     When ``space`` is omitted a :func:`default_design_space` is built from
     the site's size and the local grid's available resources.  ``progress``
-    is forwarded to each per-strategy :func:`optimize` call.
+    and ``workers`` are forwarded to each per-strategy :func:`optimize`
+    call.
     """
     if space is None:
         space = default_design_space(
@@ -121,6 +209,6 @@ def optimize_all_strategies(
             supports_wind=context.supports_wind,
         )
     return {
-        strategy: optimize(context, space, strategy, progress=progress)
+        strategy: optimize(context, space, strategy, progress=progress, workers=workers)
         for strategy in Strategy
     }

@@ -14,9 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.greedy import schedule_run
 from ..obs import inc, span
-from ..scheduling.greedy import _schedule_one_day
-from ..timeseries import HourlySeries
+from ..timeseries import HOURS_PER_DAY, HourlySeries
 from .models import forecast_series
 
 
@@ -89,17 +89,13 @@ def schedule_with_forecast(
         supply_forecast = forecast_series(forecaster, actual_supply.values)
         intensity_forecast = forecast_series(forecaster, actual_intensity.values)
 
-        shifted = demand.values.copy()
-        moved = 0.0
-        if flexible_ratio > 0.0:
-            for day, day_slice in enumerate(calendar.iter_days()):
-                moved += _schedule_one_day(
-                    shifted[day_slice],
-                    supply_forecast[day_slice],
-                    intensity_forecast[day_slice],
-                    capacity_mw,
-                    flexible_ratio,
-                )
+        shifted, moved = schedule_run(
+            demand.values,
+            supply_forecast,
+            intensity_forecast,
+            capacity_mw,
+            np.full(HOURS_PER_DAY, float(flexible_ratio)),
+        )
     inc("forecast_schedules")
     shifted_series = HourlySeries(shifted, calendar, name="forecast-shifted demand")
 

@@ -1,0 +1,199 @@
+"""Array-native kernel for the battery-first combined heuristic (§5.2).
+
+The forward pass over the year is sequential (battery state plus a FIFO
+queue of deferred work), so the general case stays a Python loop — with the
+battery's C/L/C dynamics inlined on local floats (replicating the exact
+IEEE operation order of ``Battery.charge``/``Battery.discharge``) instead
+of per-hour method calls.  Two degenerate configurations short-circuit:
+
+* no battery and no flexible workloads — fully vectorized (the
+  renewables-only arithmetic);
+* flexible ratio zero with a battery — the combined heuristic reduces
+  exactly to the greedy battery policy, so it delegates to
+  :func:`repro.kernels.battery.battery_run` (bitwise identical: the
+  delivered/absorbed power can never exceed the hourly gap, so the
+  combined loop's clamps are identities).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple
+
+import numpy as np
+
+from .battery import battery_run, renewables_only_run
+
+_EPSILON_MWH = 1e-9
+
+
+class CombinedRunArrays(NamedTuple):
+    """Raw-array outcome of one combined run (see ``CombinedResult``)."""
+
+    shifted_demand: np.ndarray
+    grid_import: np.ndarray
+    surplus: np.ndarray
+    charge_level: np.ndarray
+    deferred_mwh: float
+    late_mwh: float
+    unserved_mwh: float
+    charged_mwh: float
+    discharged_mwh: float
+    deferral_events: int
+
+
+def combined_run(
+    demand: np.ndarray,
+    supply: np.ndarray,
+    *,
+    capacity_mwh: float,
+    floor_mwh: float,
+    max_charge_mw: float,
+    max_discharge_mw: float,
+    charge_efficiency: float,
+    discharge_efficiency: float,
+    initial_energy_mwh: float,
+    capacity_mw: float,
+    flexible_ratio: float,
+    deadline_hours: int,
+) -> CombinedRunArrays:
+    """One year of the battery-first combined heuristic on raw arrays."""
+    n_hours = demand.shape[0]
+
+    if flexible_ratio == 0.0:
+        if capacity_mwh == 0.0:
+            grid_import, surplus = renewables_only_run(demand, supply)
+            return CombinedRunArrays(
+                demand.copy(), grid_import, surplus, np.zeros(n_hours),
+                0.0, 0.0, 0.0, 0.0, 0.0, 0,
+            )
+        battery = battery_run(
+            demand,
+            supply,
+            capacity_mwh=capacity_mwh,
+            floor_mwh=floor_mwh,
+            max_charge_mw=max_charge_mw,
+            max_discharge_mw=max_discharge_mw,
+            charge_efficiency=charge_efficiency,
+            discharge_efficiency=discharge_efficiency,
+            initial_energy_mwh=initial_energy_mwh,
+        )
+        return CombinedRunArrays(
+            demand.copy(),
+            battery.grid_import,
+            battery.surplus,
+            battery.charge_level,
+            0.0, 0.0, 0.0,
+            battery.charged_mwh,
+            battery.discharged_mwh,
+            0,
+        )
+
+    demand_list = demand.tolist()
+    supply_list = supply.tolist()
+    shifted = [0.0] * n_hours
+    grid_import = [0.0] * n_hours
+    surplus_out = [0.0] * n_hours
+    charge_level = [0.0] * n_hours
+
+    energy = initial_energy_mwh
+    charged = 0.0
+    discharged = 0.0
+    eta_charge = charge_efficiency
+    eta_discharge = discharge_efficiency
+    has_battery = capacity_mwh > 0.0
+
+    queue = deque()  # (deadline_hour, mwh) in submission order
+    queued_total = 0.0
+    deferred_total = 0.0
+    late_total = 0.0
+    deferral_events = 0
+
+    def run_queued(budget_mwh: float, now: int, overdue_only: bool) -> float:
+        """Execute queued work up to ``budget_mwh``; return MWh executed."""
+        nonlocal queued_total, late_total
+        executed = 0.0
+        while queue and budget_mwh - executed > _EPSILON_MWH:
+            deadline, amount = queue[0]
+            if overdue_only and deadline > now:
+                break
+            take = min(amount, budget_mwh - executed)
+            executed += take
+            queued_total -= take
+            if deadline < now:
+                late_total += take
+            if take >= amount - _EPSILON_MWH:
+                queue.popleft()
+            else:
+                queue[0] = (deadline, amount - take)
+        return executed
+
+    for hour in range(n_hours):
+        load = demand_list[hour]
+
+        # 1. Deadlines first: overdue work must run now, capacity permitting.
+        headroom = capacity_mw - load
+        if headroom > _EPSILON_MWH and queued_total > _EPSILON_MWH:
+            load += run_queued(headroom, hour, True)
+
+        gap = supply_list[hour] - load
+        if gap > 0.0:
+            # 2. Surplus: deferred work soaks it up before the battery does.
+            headroom = capacity_mw - load
+            budget = min(gap, headroom)
+            if budget > _EPSILON_MWH and queued_total > _EPSILON_MWH:
+                ran = run_queued(budget, hour, False)
+                load += ran
+                gap = max(gap - ran, 0.0)
+            if has_battery and gap > 0.0:
+                power = gap if gap < max_charge_mw else max_charge_mw
+                limit = (capacity_mwh - energy) / eta_charge
+                if power > limit:
+                    power = limit
+                if power < 0.0:
+                    power = 0.0
+                energy += power * eta_charge
+                charged += power
+                surplus_out[hour] = gap - power
+            else:
+                surplus_out[hour] = gap
+        else:
+            # 3. Deficit: battery first, then deferral, then the grid.
+            deficit = -gap
+            if has_battery and deficit > 0.0:
+                power = deficit if deficit < max_discharge_mw else max_discharge_mw
+                limit = (energy - floor_mwh) * eta_discharge
+                if power > limit:
+                    power = limit
+                if power < 0.0:
+                    power = 0.0
+                energy -= power / eta_discharge
+                discharged += power
+                deficit -= power
+            if deficit > _EPSILON_MWH:
+                deferrable = flexible_ratio * demand_list[hour]
+                deferred = min(deficit, deferrable)
+                if deferred > _EPSILON_MWH:
+                    load -= deferred
+                    deficit -= deferred
+                    queue.append((hour + deadline_hours, deferred))
+                    queued_total += deferred
+                    deferred_total += deferred
+                    deferral_events += 1
+            grid_import[hour] = max(deficit, 0.0)
+
+        shifted[hour] = load
+        charge_level[hour] = energy
+
+    return CombinedRunArrays(
+        np.asarray(shifted),
+        np.asarray(grid_import),
+        np.asarray(surplus_out),
+        np.asarray(charge_level),
+        deferred_total,
+        late_total,
+        queued_total,
+        charged,
+        discharged,
+        deferral_events,
+    )

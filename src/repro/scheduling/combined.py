@@ -14,20 +14,21 @@ deadline it is force-executed up to the capacity limit even if that means
 importing grid energy — an SLO is a promise, not a suggestion — and any work
 that physically cannot fit by its deadline keeps running late (tracked as
 ``late_mwh``) so energy is conserved.
+
+The forward pass itself lives in :mod:`repro.kernels.combined` (battery
+dynamics inlined on local floats, vectorized/battery-only fast paths for
+degenerate configurations); this module validates inputs and wraps the
+kernel's arrays into the result.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..battery import Battery, BatterySpec
+from ..battery import BatterySpec
+from ..kernels.combined import combined_run
 from ..obs import inc, span
 from ..timeseries import HourlySeries
-
-_EPSILON_MWH = 1e-9
 
 
 @dataclass(frozen=True)
@@ -123,41 +124,12 @@ def simulate_combined(
             f"capacity {capacity_mw} MW below demand peak {demand.max():.3f} MW"
         )
 
+    if not 0.0 <= initial_soc <= 1.0:
+        raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
+
     calendar = demand.calendar
     n_hours = calendar.n_hours
-    demand_values = demand.values
-    supply_values = supply.values
-
-    pack = Battery(battery, initial_soc=initial_soc)
-    queue = deque()  # (deadline_hour, mwh) in submission order
-    queued_total = 0.0
-
-    shifted = np.zeros(n_hours)
-    grid_import = np.zeros(n_hours)
-    surplus_out = np.zeros(n_hours)
-    charge_level = np.zeros(n_hours)
-    deferred_total = 0.0
-    late_total = 0.0
-    deferral_events = 0
-
-    def run_queued(budget_mwh: float, now: int, overdue_only: bool) -> float:
-        """Execute queued work up to ``budget_mwh``; return MWh executed."""
-        nonlocal queued_total, late_total
-        executed = 0.0
-        while queue and budget_mwh - executed > _EPSILON_MWH:
-            deadline, amount = queue[0]
-            if overdue_only and deadline > now:
-                break
-            take = min(amount, budget_mwh - executed)
-            executed += take
-            queued_total -= take
-            if deadline < now:
-                late_total += take
-            if take >= amount - _EPSILON_MWH:
-                queue.popleft()
-            else:
-                queue[0] = (deadline, amount - take)
-        return executed
+    floor = battery.floor_mwh
 
     with span(
         "simulate_combined",
@@ -165,59 +137,35 @@ def simulate_combined(
         fwr=flexible_ratio,
         hours=n_hours,
     ):
-        for hour in range(n_hours):
-            load = demand_values[hour]
-
-            # 1. Deadlines first: overdue work must run now, capacity permitting.
-            headroom = capacity_mw - load
-            if headroom > _EPSILON_MWH and queued_total > _EPSILON_MWH:
-                load += run_queued(headroom, hour, overdue_only=True)
-
-            gap = supply_values[hour] - load
-            if gap > 0.0:
-                # 2. Surplus: deferred work soaks it up before the battery does.
-                headroom = capacity_mw - load
-                budget = min(gap, headroom)
-                if budget > _EPSILON_MWH and queued_total > _EPSILON_MWH:
-                    ran = run_queued(budget, hour, overdue_only=False)
-                    load += ran
-                    gap = max(gap - ran, 0.0)
-                absorbed = pack.charge(gap)
-                surplus_out[hour] = gap - absorbed
-            else:
-                # 3. Deficit: battery first, then deferral, then the grid.
-                deficit = -gap
-                delivered = pack.discharge(deficit)
-                deficit -= delivered
-                if deficit > _EPSILON_MWH and flexible_ratio > 0.0:
-                    deferrable = flexible_ratio * demand_values[hour]
-                    deferred = min(deficit, deferrable)
-                    if deferred > _EPSILON_MWH:
-                        load -= deferred
-                        deficit -= deferred
-                        queue.append((hour + deadline_hours, deferred))
-                        queued_total += deferred
-                        deferred_total += deferred
-                        deferral_events += 1
-                grid_import[hour] = max(deficit, 0.0)
-
-            shifted[hour] = load
-            charge_level[hour] = pack.energy_mwh
+        run = combined_run(
+            demand.values,
+            supply.values,
+            capacity_mwh=battery.capacity_mwh,
+            floor_mwh=floor,
+            max_charge_mw=battery.max_charge_mw,
+            max_discharge_mw=battery.max_discharge_mw,
+            charge_efficiency=battery.chemistry.charge_efficiency,
+            discharge_efficiency=battery.chemistry.discharge_efficiency,
+            initial_energy_mwh=floor + initial_soc * (battery.capacity_mwh - floor),
+            capacity_mw=capacity_mw,
+            flexible_ratio=flexible_ratio,
+            deadline_hours=deadline_hours,
+        )
 
     inc("combined_sims")
     inc("combined_sim_hours", n_hours)
-    inc("schedule_deferrals", deferral_events)
-    inc("combined_deferred_mwh", deferred_total)
+    inc("schedule_deferrals", run.deferral_events)
+    inc("combined_deferred_mwh", run.deferred_mwh)
     return CombinedResult(
-        shifted_demand=HourlySeries(shifted, calendar, name="shifted demand"),
-        grid_import=HourlySeries(grid_import, calendar, name="grid import"),
-        surplus=HourlySeries(surplus_out, calendar, name="surplus"),
-        charge_level=HourlySeries(charge_level, calendar, name="charge level"),
+        shifted_demand=HourlySeries(run.shifted_demand, calendar, name="shifted demand"),
+        grid_import=HourlySeries(run.grid_import, calendar, name="grid import"),
+        surplus=HourlySeries(run.surplus, calendar, name="surplus"),
+        charge_level=HourlySeries(run.charge_level, calendar, name="charge level"),
         battery_spec=battery,
         capacity_mw=capacity_mw,
-        deferred_mwh=deferred_total,
-        late_mwh=late_total,
-        unserved_mwh=queued_total,
-        charged_mwh=pack.charged_mwh,
-        discharged_mwh=pack.discharged_mwh,
+        deferred_mwh=run.deferred_mwh,
+        late_mwh=run.late_mwh,
+        unserved_mwh=run.unserved_mwh,
+        charged_mwh=run.charged_mwh,
+        discharged_mwh=run.discharged_mwh,
     )

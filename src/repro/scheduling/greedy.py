@@ -14,6 +14,10 @@ The schedule is computed offline, one day at a time (the paper's goal is
 day we repeatedly move flexible power from the deficit hour with the highest
 grid carbon intensity to the surplus hour with the lowest, until no move can
 reduce the day's unmet demand.
+
+The year loop lives in :mod:`repro.kernels.greedy` (hour orderings argsorted
+for all days at once, no-move days skipped without entering the day loop);
+this module validates inputs and wraps the kernel's arrays into the result.
 """
 
 from __future__ import annotations
@@ -23,12 +27,9 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from ..kernels.greedy import schedule_run
 from ..obs import inc, span
 from ..timeseries import HOURS_PER_DAY, HourlySeries
-
-#: Ignore moves below this size (MW) to keep the greedy loop finite in the
-#: presence of floating-point residue.
-_MIN_MOVE_MW = 1e-9
 
 #: FWR may be one number for every hour or a 24-value hour-of-day profile
 #: (the paper: "flexible workload ratio for each hour of the day").
@@ -103,53 +104,6 @@ class ScheduleResult:
         return max(self.peak_power_mw - base_peak, 0.0) / base_peak
 
 
-def _schedule_one_day(
-    demand: np.ndarray,
-    supply: np.ndarray,
-    intensity: np.ndarray,
-    capacity_mw: float,
-    flexible_ratio,
-) -> float:
-    """Shift one day's flexible load in place; return MWh moved.
-
-    ``demand`` is modified; ``supply`` and ``intensity`` are read-only.
-    ``flexible_ratio`` may be a scalar or a 24-value hour-of-day profile.
-    """
-    movable = demand * flexible_ratio
-    moved_total = 0.0
-
-    # Deficit sources, worst carbon first; surplus destinations, best first.
-    # Orders are computed once per day: intensity is an input, not affected
-    # by our shifting (the datacenter is small relative to its grid).
-    source_order = sorted(
-        range(HOURS_PER_DAY), key=lambda h: intensity[h], reverse=True
-    )
-    dest_order = sorted(range(HOURS_PER_DAY), key=lambda h: intensity[h])
-
-    for src in source_order:
-        deficit = demand[src] - supply[src]
-        if deficit <= _MIN_MOVE_MW or movable[src] <= _MIN_MOVE_MW:
-            continue
-        for dst in dest_order:
-            if dst == src:
-                continue
-            if intensity[dst] >= intensity[src]:
-                break  # every further destination is at least as dirty
-            deficit = demand[src] - supply[src]
-            if deficit <= _MIN_MOVE_MW or movable[src] <= _MIN_MOVE_MW:
-                break
-            surplus = supply[dst] - demand[dst]
-            headroom = capacity_mw - demand[dst]
-            amount = min(deficit, movable[src], surplus, headroom)
-            if amount <= _MIN_MOVE_MW:
-                continue
-            demand[src] -= amount
-            demand[dst] += amount
-            movable[src] -= amount
-            moved_total += amount
-    return moved_total
-
-
 def schedule_carbon_aware(
     demand: HourlySeries,
     supply: HourlySeries,
@@ -193,25 +147,18 @@ def schedule_carbon_aware(
         )
 
     calendar = demand.calendar
-    shifted = demand.values.copy()
-    supply_values = supply.values
-    intensity_values = intensity.values
-
-    moved_total = 0.0
     with span(
         "schedule_carbon_aware",
         fwr=float(ratio_profile.mean()),
         days=calendar.n_days,
     ):
-        if ratio_profile.max() > 0.0:
-            for day_slice in calendar.iter_days():
-                moved_total += _schedule_one_day(
-                    shifted[day_slice],
-                    supply_values[day_slice],
-                    intensity_values[day_slice],
-                    capacity_mw,
-                    ratio_profile,
-                )
+        shifted, moved_total = schedule_run(
+            demand.values,
+            supply.values,
+            intensity.values,
+            capacity_mw,
+            ratio_profile,
+        )
 
     inc("schedules_run")
     inc("schedule_days", calendar.n_days)
