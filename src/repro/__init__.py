@@ -21,6 +21,7 @@ from .core import (
     DesignEvaluation,
     DesignPoint,
     DesignSpace,
+    DesignSpaceError,
     OptimizationResult,
     SiteContext,
     Strategy,
@@ -54,7 +55,14 @@ from .grid import (
     get_authority,
     projected_supply,
 )
-from . import obs
+from . import obs, resilience
+from .resilience import (
+    CheckpointError,
+    CheckpointMismatchError,
+    FaultPlan,
+    RetryPolicy,
+    SweepInterrupted,
+)
 from .obs import (
     ProgressTicker,
     configure_logging,
@@ -92,6 +100,7 @@ __all__ = [
     "DesignEvaluation",
     "DesignPoint",
     "DesignSpace",
+    "DesignSpaceError",
     "OptimizationResult",
     "SiteContext",
     "Strategy",
@@ -125,6 +134,12 @@ __all__ = [
     "HourlySeries",
     "YearCalendar",
     "obs",
+    "resilience",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "FaultPlan",
+    "RetryPolicy",
+    "SweepInterrupted",
     "ProgressTicker",
     "configure_logging",
     "disable_metrics",

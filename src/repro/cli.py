@@ -19,8 +19,17 @@ Every command additionally accepts the observability flags ``--log-level``
 when the filename contains ``chrome``), and ``--metrics-out FILE``
 (record counters/histograms, write a JSON snapshot).
 
+The sweep commands (``optimize``, ``rank``, ``stats``) also accept the
+resilience flags ``--checkpoint FILE`` (journal completed chunks as the
+sweep runs), ``--resume`` (skip chunks already journaled by a previous
+interrupted run), ``--max-retries N`` and ``--chunk-timeout S`` (parallel
+fault tolerance), and ``--fault-plan SPEC`` (deterministic fault
+injection for testing, e.g. ``kill=0;delay=1:0.5;corrupt=2``).
+
 Every command prints a plain-text table and exits 0 on success; argument
-errors exit 2 (argparse) and domain errors exit 1 with a message on stderr.
+errors exit 2 (argparse) and domain errors exit 1 with a message on
+stderr.  An interrupted checkpointed sweep exits 130 after flushing the
+journal and printing how to ``--resume``.
 """
 
 from __future__ import annotations
@@ -32,7 +41,8 @@ from typing import List, Optional
 from .battery import BatterySpec
 from .carbon import SupplyScenario, matching_gap
 from .core import CarbonExplorer, Strategy
-from .core.optimizer import optimize_all_strategies
+from .core.optimizer import optimize_all_strategies, strategy_checkpoint_path
+from .resilience import FaultPlan, SweepInterrupted
 from .datacenter import SITE_ORDER
 from .grid import RenewableInvestment, generate_grid_dataset
 from .io import write_grid_csv, write_trace_csv
@@ -111,6 +121,58 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for the sweep (1 = in-process serial)",
     )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared fault-tolerance / checkpoint flags for the sweep commands."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="journal completed sweep chunks to FILE as the sweep runs",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip chunks already journaled in --checkpoint by a prior run",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per failed parallel chunk before serial fallback",
+    )
+    group.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail outstanding chunks if none completes within SECONDS",
+    )
+    group.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection for testing, e.g. "
+        "'kill=0;delay=1:0.5;corrupt=2;attempts=1'",
+    )
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the resilience flags into ``optimize()`` keyword arguments.
+
+    The ``checkpoint`` path is left to each command, which may derive
+    per-strategy or per-site paths from the base the user gave.
+    """
+    kwargs = {
+        "max_retries": args.max_retries,
+        "chunk_timeout": args.chunk_timeout,
+        "resume": args.resume,
+    }
+    if args.fault_plan:
+        kwargs["faults"] = FaultPlan.from_spec(args.fault_plan)
+    return kwargs
 
 
 def _add_investment_arguments(parser: argparse.ArgumentParser) -> None:
@@ -206,9 +268,20 @@ def cmd_optimize(args: argparse.Namespace) -> None:
         if args.strategy == "each"
         else [_STRATEGY_BY_NAME[args.strategy]]
     )
+    resilience = _resilience_kwargs(args)
     rows = []
     for strategy in strategies:
-        best = explorer.optimize(strategy, space, workers=args.workers).best
+        if args.checkpoint:
+            # One journal per strategy: a single sweep uses the path the
+            # user gave, an "each" run derives suffixed per-strategy paths.
+            resilience["checkpoint"] = (
+                args.checkpoint
+                if len(strategies) == 1
+                else strategy_checkpoint_path(args.checkpoint, strategy)
+            )
+        best = explorer.optimize(
+            strategy, space, workers=args.workers, **resilience
+        ).best
         rows.append(
             (
                 strategy.value,
@@ -230,6 +303,7 @@ def cmd_optimize(args: argparse.Namespace) -> None:
 
 def cmd_rank(args: argparse.Namespace) -> None:
     strategy = _STRATEGY_BY_NAME[args.strategy]
+    resilience = _resilience_kwargs(args)
     rows = []
     for state in SITE_ORDER:
         explorer = CarbonExplorer(state, year=args.year, seed=args.seed)
@@ -238,7 +312,12 @@ def cmd_rank(args: argparse.Namespace) -> None:
             battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
             extra_capacity_fractions=(0.0, 0.5),
         )
-        best = explorer.optimize(strategy, space, workers=args.workers).best
+        if args.checkpoint:
+            # One journal per site, suffixed off the base the user gave.
+            resilience["checkpoint"] = f"{args.checkpoint}.{state.lower()}"
+        best = explorer.optimize(
+            strategy, space, workers=args.workers, **resilience
+        ).best
         rows.append(
             (
                 state,
@@ -323,8 +402,10 @@ def cmd_stats(args: argparse.Namespace) -> None:
             extra_capacity_fractions=tuple(args.extra_capacity),
         )
         ticker = ProgressTicker()
+        resilience = _resilience_kwargs(args)
+        resilience["checkpoint"] = args.checkpoint
         results = optimize_all_strategies(
-            explorer.context, space, progress=ticker, workers=args.workers
+            explorer.context, space, progress=ticker, workers=args.workers, **resilience
         )
         ticker.close()
         rows = [
@@ -421,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0, 0.5])
     _add_workers_argument(p)
+    _add_resilience_arguments(p)
     p.set_defaults(handler=cmd_optimize)
 
     p = subparsers.add_parser("rank", help="rank all 13 sites", parents=[obs])
@@ -428,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--year", type=int, default=2020)
     p.add_argument("--seed", type=int, default=0)
     _add_workers_argument(p)
+    _add_resilience_arguments(p)
     p.set_defaults(handler=cmd_rank)
 
     p = subparsers.add_parser("scenarios", help="Fig. 6 intensity summary", parents=[obs])
@@ -465,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--battery-hours", type=float, nargs="+", default=[0.0, 5.0])
     p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0])
     _add_workers_argument(p)
+    _add_resilience_arguments(p)
     p.set_defaults(handler=cmd_stats)
 
     p = subparsers.add_parser("export-grid", help="write EIA-style grid CSV", parents=[obs])
@@ -506,6 +590,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         enable_metrics()
     try:
         args.handler(args)
+    except SweepInterrupted as interrupted:
+        print(
+            f"interrupted: {interrupted.done}/{interrupted.total} evaluations "
+            f"({interrupted.strategy}) journaled to {interrupted.checkpoint}; "
+            f"re-run with --resume to continue from there",
+            file=sys.stderr,
+        )
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted (no --checkpoint, progress not saved)", file=sys.stderr)
+        return 130
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

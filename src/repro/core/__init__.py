@@ -8,7 +8,13 @@ from .coverage import (
     renewable_coverage,
 )
 from .allocation import AllocationResult, AllocationStep, allocate_budget
-from .design import DesignPoint, DesignSpace, Strategy, default_design_space
+from .design import (
+    DesignPoint,
+    DesignSpace,
+    DesignSpaceError,
+    Strategy,
+    default_design_space,
+)
 from .evaluate import (
     DesignEvaluation,
     SiteContext,
@@ -17,7 +23,12 @@ from .evaluate import (
     evaluate_design,
 )
 from .explorer import CarbonExplorer
-from .optimizer import OptimizationResult, optimize, optimize_all_strategies
+from .optimizer import (
+    OptimizationResult,
+    optimize,
+    optimize_all_strategies,
+    strategy_checkpoint_path,
+)
 from .pareto import dominates, frontier_tail_ratio, knee_point, pareto_frontier
 from .refine import RefinementResult, refine_optimize
 from .report import ReportOptions, site_report
@@ -40,6 +51,7 @@ __all__ = [
     "renewable_coverage",
     "DesignPoint",
     "DesignSpace",
+    "DesignSpaceError",
     "Strategy",
     "default_design_space",
     "DesignEvaluation",
@@ -51,6 +63,7 @@ __all__ = [
     "OptimizationResult",
     "optimize",
     "optimize_all_strategies",
+    "strategy_checkpoint_path",
     "RefinementResult",
     "refine_optimize",
     "ReportOptions",

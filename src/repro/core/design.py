@@ -14,6 +14,7 @@ and all three combined.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, replace
 from enum import Enum, unique
 from typing import Iterator, Sequence, Tuple
@@ -21,6 +22,15 @@ from typing import Iterator, Sequence, Tuple
 from ..battery import LFP, BatterySpec, CellChemistry
 from ..datacenter.workloads import DEFAULT_FLEXIBLE_WORKLOAD_RATIO
 from ..grid.scaling import RenewableInvestment
+
+
+class DesignSpaceError(ValueError):
+    """A design-space grid is invalid (empty, negative, NaN, or unsorted axes).
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working; axis problems are caught at construction with a
+    typed error instead of surfacing later as kernel garbage (NaN carbon
+    totals, empty sweeps)."""
 
 
 @unique
@@ -147,11 +157,29 @@ class DesignSpace:
         for name in ("solar_mw", "wind_mw", "battery_mwh", "extra_capacity_fractions"):
             axis = getattr(self, name)
             if not axis:
-                raise ValueError(f"{name} axis must not be empty")
+                raise DesignSpaceError(f"{name} axis must not be empty")
+            # NaN compares false to everything, so it would slip through
+            # both the sign and the sort checks below — reject explicitly.
+            if any(not math.isfinite(v) for v in axis):
+                raise DesignSpaceError(f"{name} axis values must be finite, got {axis}")
             if any(v < 0 for v in axis):
-                raise ValueError(f"{name} axis must be non-negative")
+                raise DesignSpaceError(f"{name} axis must be non-negative")
             if sorted(axis) != list(axis):
-                raise ValueError(f"{name} axis must be sorted ascending")
+                raise DesignSpaceError(f"{name} axis must be sorted ascending")
+            if len(set(axis)) != len(axis):
+                raise DesignSpaceError(f"{name} axis must not repeat values")
+        if not math.isfinite(self.depth_of_discharge) or not (
+            0.0 < self.depth_of_discharge <= 1.0
+        ):
+            raise DesignSpaceError(
+                f"depth_of_discharge must be in (0, 1], got {self.depth_of_discharge}"
+            )
+        if not math.isfinite(self.flexible_ratio) or not (
+            0.0 <= self.flexible_ratio <= 1.0
+        ):
+            raise DesignSpaceError(
+                f"flexible_ratio must be in [0, 1], got {self.flexible_ratio}"
+            )
 
     def size(self, strategy: Strategy) -> int:
         """Number of grid points after applying strategy constraints."""

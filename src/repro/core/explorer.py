@@ -248,27 +248,45 @@ class CarbonExplorer:
         strategy: Strategy,
         space: Optional[DesignSpace] = None,
         workers: int = 1,
+        **resilience,
     ) -> OptimizationResult:
         """Exhaustive carbon minimization under one strategy.
 
         ``workers > 1`` fans the sweep across a process pool; the result is
         identical to a serial sweep (see :func:`repro.core.optimize`).
+        Further keyword arguments (``max_retries``, ``chunk_timeout``,
+        ``backoff_s``, ``checkpoint``, ``resume``, ``faults``) configure
+        the sweep's fault tolerance and checkpoint/resume behaviour — see
+        :func:`repro.core.optimize` and :mod:`repro.resilience`.
         """
         if space is None:
             space = self.default_space()
-        return optimize(self.context, space, strategy, workers=workers)
+        return optimize(self.context, space, strategy, workers=workers, **resilience)
 
     def optimize_all(
-        self, space: Optional[DesignSpace] = None, workers: int = 1
+        self,
+        space: Optional[DesignSpace] = None,
+        workers: int = 1,
+        **resilience,
     ) -> Dict[Strategy, OptimizationResult]:
-        """Carbon-optimal design per strategy — one Fig. 15 column."""
-        return optimize_all_strategies(self.context, space, workers=workers)
+        """Carbon-optimal design per strategy — one Fig. 15 column.
+
+        Resilience keyword arguments are forwarded to every per-strategy
+        sweep (``checkpoint`` becomes a per-strategy base path; see
+        :func:`repro.core.optimize_all_strategies`).
+        """
+        return optimize_all_strategies(
+            self.context, space, workers=workers, **resilience
+        )
 
     def pareto(
         self,
         strategy: Strategy,
         space: Optional[DesignSpace] = None,
         workers: int = 1,
+        **resilience,
     ) -> Tuple[DesignEvaluation, ...]:
         """Operational-vs-embodied Pareto frontier for a strategy (Fig. 14)."""
-        return pareto_frontier(self.optimize(strategy, space, workers=workers).evaluations)
+        return pareto_frontier(
+            self.optimize(strategy, space, workers=workers, **resilience).evaluations
+        )

@@ -8,16 +8,67 @@
 The optimizer evaluates every point of a :class:`DesignSpace` grid under a
 strategy and returns the minimizer along with every evaluation (the sweeps
 double as the raw data for the Pareto and Fig. 15 analyses).
+
+Sweeps are *resilient* (see :mod:`repro.resilience` and DESIGN.md's
+"Resilience" section): the grid is processed in contiguous chunks; failed
+chunks — crashed workers, poisoned pools, stalls past a per-chunk timeout,
+corrupt payloads — are retried with exponential backoff and finally
+re-evaluated serially in-process, so a sweep always completes with results
+bitwise-identical to a fault-free serial run.  With ``checkpoint=`` every
+completed chunk is journaled as it finishes, and ``resume=True`` skips the
+journaled grid indices after validating the journal's fingerprint against
+the exact sweep being run.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from ..obs import ProgressCallback, get_logger, inc, set_gauge, span
+from ..obs import (
+    ProgressCallback,
+    get_logger,
+    inc,
+    merge_counters,
+    metrics_enabled,
+    metrics_snapshot,
+    reset_metrics,
+    set_gauge,
+    span,
+)
+from ..resilience import (
+    CheckpointJournal,
+    FaultAction,
+    FaultKind,
+    FaultPlan,
+    JournalHeader,
+    JOURNAL_VERSION,
+    RetryPolicy,
+    SweepInterrupted,
+    corrupt_payload,
+    execute_pre_fault,
+    load_resumable_chunks,
+    sweep_fingerprint,
+    validate_chunk_result,
+)
+from ..resilience.checkpoint import PathLike
 from .design import DesignPoint, DesignSpace, Strategy, default_design_space
 from .evaluate import DesignEvaluation, SiteContext, evaluate_design
 
@@ -26,24 +77,55 @@ _log = get_logger("core.optimizer")
 #: Chunks submitted per worker; >1 so a slow chunk doesn't straggle the pool.
 _CHUNKS_PER_WORKER = 4
 
+#: A chunk of contiguous grid work: (ordinal, start index, stop index).
+_Chunk = Tuple[int, int, int]
+
+#: Called with each completed chunk: (start, evaluations, worker metrics).
+_CommitFn = Callable[[int, List[DesignEvaluation], Optional[Dict[str, Any]]], None]
+
 #: The site context each worker process evaluates against, shipped once via
 #: the pool initializer instead of once per grid point.
 _worker_context: Optional[SiteContext] = None
 
+#: Whether workers collect a per-chunk metrics snapshot for the parent.
+_worker_collect_metrics = False
 
-def _init_worker(context: SiteContext) -> None:
-    global _worker_context
+
+def _init_worker(context: SiteContext, collect_metrics: bool) -> None:
+    global _worker_context, _worker_collect_metrics
     _worker_context = context
+    _worker_collect_metrics = collect_metrics
+    if collect_metrics:
+        from ..obs import enable_metrics
+
+        enable_metrics()
 
 
 def _evaluate_chunk(
-    start: int, designs: Sequence[DesignPoint], strategy: Strategy
-) -> Tuple[int, List[DesignEvaluation]]:
-    """Evaluate one contiguous slice of the grid in a worker process."""
+    start: int,
+    designs: Sequence[DesignPoint],
+    strategy: Strategy,
+    fault: Optional[FaultAction] = None,
+) -> Tuple[int, List[DesignEvaluation], Optional[Dict[str, Any]]]:
+    """Evaluate one contiguous slice of the grid in a worker process.
+
+    Returns ``(start, evaluations, metrics)`` where ``metrics`` is this
+    chunk's worker-registry snapshot (reset at chunk start so snapshots
+    are disjoint and the parent can merge counters additively), or
+    ``None`` when the parent is not collecting metrics.  ``fault`` is the
+    test/CI fault injected into this attempt, if any.
+    """
     assert _worker_context is not None, "worker pool initializer did not run"
-    return start, [
+    execute_pre_fault(fault)
+    if _worker_collect_metrics:
+        reset_metrics()
+    evaluations: List[Any] = [
         evaluate_design(_worker_context, design, strategy) for design in designs
     ]
+    snapshot = metrics_snapshot() if _worker_collect_metrics else None
+    if fault is not None and fault.kind is FaultKind.CORRUPT:
+        evaluations = corrupt_payload(evaluations)
+    return start, evaluations, snapshot
 
 
 @dataclass(frozen=True)
@@ -74,57 +156,191 @@ class OptimizationResult:
         return self.best.coverage
 
 
+def _chunk_missing_indices(
+    filled: Sequence[bool], chunk_size: int
+) -> List[_Chunk]:
+    """Contiguous runs of unfilled grid indices, split into chunks.
+
+    Ordinals number the chunks in grid order; they are what a
+    :class:`FaultPlan` addresses and they stay stable across retry rounds.
+    """
+    chunks: List[_Chunk] = []
+    total = len(filled)
+    index = 0
+    while index < total:
+        if filled[index]:
+            index += 1
+            continue
+        run_start = index
+        while index < total and not filled[index]:
+            index += 1
+        for start in range(run_start, index, chunk_size):
+            chunks.append((len(chunks), start, min(start + chunk_size, index)))
+    return chunks
+
+
 def _sweep_serial(
     context: SiteContext,
-    space: DesignSpace,
+    designs: Sequence[DesignPoint],
     strategy: Strategy,
-    total: int,
-    progress: Optional[ProgressCallback],
-) -> List[DesignEvaluation]:
-    evaluations = []
-    for index, design in enumerate(space.points(strategy)):
-        evaluations.append(evaluate_design(context, design, strategy))
-        if progress is not None:
-            progress(index + 1, total, strategy.value)
-    return evaluations
+    chunks: Sequence[_Chunk],
+    commit: _CommitFn,
+    point_progress: Optional[Callable[[], None]],
+) -> None:
+    """Evaluate chunks in-process, committing (journaling) chunk by chunk.
+
+    ``point_progress`` preserves the historical serial behaviour of one
+    progress callback per grid point (parallel sweeps report per chunk).
+    """
+    for _, start, stop in chunks:
+        evaluations = []
+        for index in range(start, stop):
+            evaluations.append(evaluate_design(context, designs[index], strategy))
+            if point_progress is not None:
+                point_progress()
+        commit(start, evaluations, None)
 
 
 def _sweep_parallel(
     context: SiteContext,
-    space: DesignSpace,
+    designs: Sequence[DesignPoint],
     strategy: Strategy,
-    total: int,
-    progress: Optional[ProgressCallback],
+    chunks: Sequence[_Chunk],
     workers: int,
-) -> List[DesignEvaluation]:
-    """Fan contiguous grid chunks across a process pool, grid order preserved.
+    policy: RetryPolicy,
+    faults: Optional[FaultPlan],
+    commit: _CommitFn,
+) -> None:
+    """Fan chunks across a process pool, surviving chunk/worker failures.
 
-    Each chunk carries its starting grid index, so results are reassembled
-    into grid order no matter the completion order — a parallel sweep yields
-    the identical evaluation sequence to a serial one.  ``progress`` fires
-    once per completed chunk with the cumulative count.  Worker-process
-    metric registries are not merged back; the parent counts the evaluations
-    itself.
+    Each round submits every still-pending chunk to a fresh pool (a
+    ``BrokenProcessPool`` poisons the whole executor, so pools are
+    per-round).  A completed chunk is shape-validated and committed; a
+    failed one — worker crash, broken pool, validation failure, or a
+    stall in which *no* chunk completes within ``policy.chunk_timeout_s``
+    — is carried into the next round after an exponential-backoff pause.
+    Chunks still pending after ``policy.max_retries`` rounds degrade to
+    serial in-process evaluation, so the sweep always completes.
+    Completion order cannot reorder results: chunks carry their starting
+    grid index and are written back by index.
     """
-    designs = list(space.points(strategy))
-    chunk_size = max(1, math.ceil(total / (workers * _CHUNKS_PER_WORKER)))
-    results: List[Optional[DesignEvaluation]] = [None] * total
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(context,)
-    ) as pool:
-        futures = [
-            pool.submit(_evaluate_chunk, start, designs[start : start + chunk_size], strategy)
-            for start in range(0, total, chunk_size)
+    pending: List[_Chunk] = list(chunks)
+    attempt = 0
+    while pending and attempt <= policy.max_retries:
+        if attempt > 0:
+            inc("chunk_retries", len(pending))
+            pause = policy.backoff_s(attempt)
+            _log.info(
+                "retry round %d/%d: re-submitting %d chunks after %.2fs backoff",
+                attempt,
+                policy.max_retries,
+                len(pending),
+                pause,
+            )
+            if pause > 0:
+                time.sleep(pause)
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(context, metrics_enabled()),
+        )
+        failed: List[_Chunk] = []
+        committed: set = set()
+        try:
+            futures: Dict[Future, _Chunk] = {}
+            for chunk in pending:
+                ordinal, start, stop = chunk
+                fault = faults.action_for(ordinal, attempt) if faults else None
+                futures[
+                    pool.submit(
+                        _evaluate_chunk, start, designs[start:stop], strategy, fault
+                    )
+                ] = chunk
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(
+                    not_done,
+                    timeout=policy.chunk_timeout_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Stall: nothing completed within the timeout window.
+                    # Fail every outstanding chunk of this round; the
+                    # injected/real straggler gets retried or degraded.
+                    inc("chunk_failures", len(not_done))
+                    for future in not_done:
+                        future.cancel()
+                        failed.append(futures[future])
+                    _log.warning(
+                        "sweep stalled: no chunk completed within %.2fs; "
+                        "failing %d outstanding chunks",
+                        policy.chunk_timeout_s or 0.0,
+                        len(not_done),
+                    )
+                    break
+                for future in done:
+                    ordinal, start, stop = futures[future]
+                    try:
+                        _, evaluations, worker_metrics = validate_chunk_result(
+                            future.result(), start, stop - start
+                        )
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as error:
+                        inc("chunk_failures")
+                        _log.warning(
+                            "chunk %d [%d:%d) failed on attempt %d: %s: %s",
+                            ordinal,
+                            start,
+                            stop,
+                            attempt,
+                            type(error).__name__,
+                            error,
+                        )
+                        failed.append((ordinal, start, stop))
+                        continue
+                    commit(start, evaluations, worker_metrics)
+                    committed.add(ordinal)
+        except BrokenExecutor:
+            # A worker died while chunks were still being submitted:
+            # pool.submit itself raises on a broken pool, before any
+            # future exists to carry the error.  Everything this round
+            # that was neither committed nor already marked failed is
+            # carried into the next retry round.
+            unresolved = {c[0] for c in failed} | committed
+            broken = [chunk for chunk in pending if chunk[0] not in unresolved]
+            inc("chunk_failures", len(broken))
+            failed.extend(broken)
+            _log.warning(
+                "process pool broke during submission on attempt %d; "
+                "failing %d unresolved chunks",
+                attempt,
+                len(broken),
+            )
+        finally:
+            # wait=False: a deliberately delayed/stuck worker must not
+            # block the retry rounds; cancel_futures drops queued work.
+            pool.shutdown(wait=False, cancel_futures=True)
+        pending = failed
+        attempt += 1
+
+    # Graceful degradation: whatever survived every retry round is
+    # re-evaluated serially in-process — a sweep always completes.
+    for ordinal, start, stop in pending:
+        inc("serial_fallbacks")
+        _log.warning(
+            "chunk %d [%d:%d) exhausted %d retries; degrading to serial "
+            "in-process evaluation",
+            ordinal,
+            start,
+            stop,
+            policy.max_retries,
+        )
+        evaluations = [
+            evaluate_design(context, designs[index], strategy)
+            for index in range(start, stop)
         ]
-        done = 0
-        for future in as_completed(futures):
-            start, chunk_evaluations = future.result()
-            results[start : start + len(chunk_evaluations)] = chunk_evaluations
-            done += len(chunk_evaluations)
-            if progress is not None:
-                progress(done, total, strategy.value)
-    inc("designs_evaluated", total)
-    return results  # type: ignore[return-value]  # every slot is filled
+        commit(start, evaluations, None)
 
 
 def optimize(
@@ -133,48 +349,177 @@ def optimize(
     strategy: Strategy,
     progress: Optional[ProgressCallback] = None,
     workers: int = 1,
+    max_retries: int = 2,
+    chunk_timeout: Optional[float] = None,
+    backoff_s: float = 0.1,
+    checkpoint: Optional[PathLike] = None,
+    resume: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> OptimizationResult:
     """Exhaustively evaluate ``space`` under ``strategy`` for one site.
 
-    ``progress``, when given, is called after every grid point with
-    ``(evaluated, total, strategy_name)`` — see
-    :class:`repro.obs.ProgressCallback`.  With ``workers > 1`` the grid is
-    fanned out across a process pool (the context ships to each worker once)
-    and ``progress`` fires per completed chunk instead of per point; the
-    returned evaluations are identical to a serial sweep, in grid order.
+    ``progress``, when given, is called with ``(done, total,
+    strategy_name)`` — ``done`` is a completed *count*, not a grid
+    position; see :class:`repro.obs.ProgressCallback` for the exact
+    semantics (serial sweeps report per point, parallel sweeps per
+    completed chunk, resumed sweeps start at the checkpointed count).
+
+    Resilience (see :mod:`repro.resilience`):
+
+    * ``workers > 1`` fans grid chunks across a process pool; a failed or
+      stalled chunk is retried up to ``max_retries`` times with
+      exponential backoff (``backoff_s`` base, doubling per round) and
+      finally re-evaluated serially in-process, so the sweep completes
+      with evaluations bitwise-identical to a serial run regardless of
+      worker crashes.  ``chunk_timeout`` (seconds) is the stall detector:
+      if *no* chunk completes within it, outstanding chunks are failed
+      and retried.
+    * ``checkpoint`` names a journal file appended to as chunks finish;
+      ``resume=True`` loads it, validates its fingerprint against this
+      exact sweep, and skips already-journaled grid indices.  An
+      interrupt (Ctrl-C) flushes the journal and raises
+      :class:`repro.resilience.SweepInterrupted` with the partial
+      progress.
+    * ``faults`` injects deterministic worker kills / delays / corrupt
+      payloads (tests and CI only).
 
     Raises
     ------
     ValueError
-        If ``workers < 1``, or if the constrained space is empty (it never
-        is for a valid :class:`DesignSpace`, which requires non-empty axes).
+        If ``workers < 1``, ``resume`` is requested without a
+        ``checkpoint``, or the constrained space is empty.
+    repro.resilience.CheckpointError
+        If the checkpoint file is damaged.
+    repro.resilience.CheckpointMismatchError
+        If the checkpoint belongs to a different site/seed/space/strategy.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+    policy = RetryPolicy(
+        max_retries=max_retries,
+        backoff_base_s=backoff_s,
+        chunk_timeout_s=chunk_timeout,
+    )
     total = space.size(strategy)
+    designs = list(space.points(strategy))
+    results: List[Optional[DesignEvaluation]] = [None] * total
+
+    journal: Optional[CheckpointJournal] = None
+    skipped = 0
+    if checkpoint is not None:
+        fingerprint = sweep_fingerprint(context, space, strategy)
+        if resume:
+            restored = load_resumable_chunks(checkpoint, fingerprint, strategy, total)
+            for start, evaluations in restored.items():
+                results[start : start + len(evaluations)] = evaluations
+            skipped = sum(len(e) for e in restored.values())
+            if restored:
+                inc("checkpoint_chunks_skipped", len(restored))
+                inc("checkpoint_designs_skipped", skipped)
+        journal = CheckpointJournal(
+            checkpoint,
+            JournalHeader(
+                version=JOURNAL_VERSION,
+                fingerprint=fingerprint,
+                strategy=strategy.name,
+                total=total,
+            ),
+            truncate=not resume,
+        )
+
+    chunk_size = max(1, math.ceil(total / (max(workers, 1) * _CHUNKS_PER_WORKER)))
+    chunks = _chunk_missing_indices([r is not None for r in results], chunk_size)
+
     _log.info(
-        "sweep start: site=%s strategy=%s grid_points=%d workers=%d",
+        "sweep start: site=%s strategy=%s grid_points=%d workers=%d "
+        "pending_chunks=%d resumed_evaluations=%d",
         context.site_state,
         strategy.value,
         total,
         workers,
+        len(chunks),
+        skipped,
     )
-    with span(
-        "optimize",
-        strategy=strategy.value,
-        site=context.site_state,
-        grid_points=total,
-        workers=workers,
-    ):
-        if workers == 1 or total <= 1:
-            evaluations = _sweep_serial(context, space, strategy, total, progress)
-        else:
-            evaluations = _sweep_parallel(
-                context, space, strategy, total, progress, workers
-            )
+
+    done = skipped
+    if progress is not None and skipped:
+        progress(done, total, strategy.value)
+
+    def write_back(
+        start: int,
+        evaluations: List[DesignEvaluation],
+        worker_metrics: Optional[Dict[str, Any]],
+    ) -> None:
+        """Commit one completed chunk: results, merged metrics, journal."""
+        results[start : start + len(evaluations)] = evaluations
+        if worker_metrics is not None:
+            merge_counters(worker_metrics)
+        if journal is not None:
+            journal.append_chunk(start, evaluations)
+            inc("checkpoint_chunks_written")
+
+    def commit_parallel(
+        start: int,
+        evaluations: List[DesignEvaluation],
+        worker_metrics: Optional[Dict[str, Any]],
+    ) -> None:
+        nonlocal done
+        write_back(start, evaluations, worker_metrics)
+        done += len(evaluations)
+        if progress is not None:
+            progress(done, total, strategy.value)
+
+    def on_serial_point() -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, strategy.value)
+
+    try:
+        with span(
+            "optimize",
+            strategy=strategy.value,
+            site=context.site_state,
+            grid_points=total,
+            workers=workers,
+        ):
+            if workers == 1 or len(chunks) <= 1:
+                _sweep_serial(
+                    context, designs, strategy, chunks, write_back, on_serial_point
+                )
+            else:
+                _sweep_parallel(
+                    context,
+                    designs,
+                    strategy,
+                    chunks,
+                    workers,
+                    policy,
+                    faults,
+                    commit_parallel,
+                )
+    except KeyboardInterrupt:
+        if journal is not None:
+            journal.close()
+            raise SweepInterrupted(
+                checkpoint=journal.path,
+                done=done,
+                total=total,
+                strategy=strategy.value,
+            ) from None
+        raise
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if not all(evaluation is not None for evaluation in results):
+        raise AssertionError("sweep left unevaluated grid points")  # pragma: no cover
+    evaluations = results
     if not evaluations:
         raise ValueError("design space produced no points")
-    best = min(evaluations, key=lambda e: e.total_tons)
+    best = min(evaluations, key=lambda e: e.total_tons)  # type: ignore[union-attr]
     inc("sweeps_completed")
     set_gauge("sweep_grid_points", total)
     _log.info(
@@ -185,7 +530,7 @@ def optimize(
         best.coverage,
     )
     return OptimizationResult(
-        strategy=strategy, best=best, evaluations=tuple(evaluations)
+        strategy=strategy, best=best, evaluations=tuple(evaluations)  # type: ignore[arg-type]
     )
 
 
@@ -194,13 +539,22 @@ def optimize_all_strategies(
     space: Optional[DesignSpace] = None,
     progress: Optional[ProgressCallback] = None,
     workers: int = 1,
+    max_retries: int = 2,
+    chunk_timeout: Optional[float] = None,
+    backoff_s: float = 0.1,
+    checkpoint: Optional[PathLike] = None,
+    resume: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[Strategy, OptimizationResult]:
     """Run the exhaustive sweep for all four strategies of Fig. 15.
 
     When ``space`` is omitted a :func:`default_design_space` is built from
-    the site's size and the local grid's available resources.  ``progress``
-    and ``workers`` are forwarded to each per-strategy :func:`optimize`
-    call.
+    the site's size and the local grid's available resources.  All sweep
+    keyword arguments are forwarded to each per-strategy :func:`optimize`
+    call; ``checkpoint`` is treated as a *base* path — each strategy
+    journals to ``<checkpoint>.<strategy_name>`` (lowercase enum name,
+    e.g. ``sweep.ckpt.renewables_battery``) so the four sweeps never share
+    a journal.
     """
     if space is None:
         space = default_design_space(
@@ -209,6 +563,29 @@ def optimize_all_strategies(
             supports_wind=context.supports_wind,
         )
     return {
-        strategy: optimize(context, space, strategy, progress=progress, workers=workers)
+        strategy: optimize(
+            context,
+            space,
+            strategy,
+            progress=progress,
+            workers=workers,
+            max_retries=max_retries,
+            chunk_timeout=chunk_timeout,
+            backoff_s=backoff_s,
+            checkpoint=strategy_checkpoint_path(checkpoint, strategy),
+            resume=resume,
+            faults=faults,
+        )
         for strategy in Strategy
     }
+
+
+def strategy_checkpoint_path(
+    checkpoint: Optional[PathLike], strategy: Strategy
+) -> Optional[str]:
+    """Per-strategy journal path derived from a base checkpoint path."""
+    if checkpoint is None:
+        return None
+    return f"{checkpoint}.{strategy.name.lower()}"
+
+

@@ -28,6 +28,7 @@ from .metrics import (
     enable_metrics,
     get_registry,
     inc,
+    merge_counters,
     metrics_enabled,
     metrics_snapshot,
     observe,
@@ -65,6 +66,7 @@ __all__ = [
     "enable_metrics",
     "get_registry",
     "inc",
+    "merge_counters",
     "metrics_enabled",
     "metrics_snapshot",
     "observe",

@@ -191,6 +191,18 @@ class MetricsRegistry:
                 },
             }
 
+    def merge_counters(self, counters: Dict[str, float]) -> None:
+        """Add another registry's counter totals into this one.
+
+        ``counters`` is the ``"counters"`` section of a
+        :meth:`snapshot` — this is how worker-process registries are
+        folded back into the parent after a parallel sweep (gauges and
+        histograms are point-in-time/distribution-shaped and are not
+        merged).  No-op while this registry is disabled.
+        """
+        for name, value in counters.items():
+            self.inc(name, value)
+
     def reset(self) -> None:
         """Drop every metric (names included)."""
         with self._lock:
@@ -278,6 +290,15 @@ def observe(name: str, value: float) -> None:
     if not _REGISTRY.enabled:
         return
     _REGISTRY.observe(name, value)
+
+
+def merge_counters(snapshot: Dict[str, Any]) -> None:
+    """Fold a :func:`metrics_snapshot`-shaped dict's counters into the
+    default registry (no-op when disabled; see
+    :meth:`MetricsRegistry.merge_counters`)."""
+    if not _REGISTRY.enabled:
+        return
+    _REGISTRY.merge_counters(snapshot.get("counters", {}))
 
 
 def metrics_snapshot() -> Dict[str, Any]:

@@ -26,6 +26,17 @@ class ProgressCallback(Protocol):
     Called after each completed unit of work with the number of units
     ``done`` so far, the ``total`` expected, and a short human ``label``
     for the phase (e.g. the strategy name being swept).
+
+    **Semantics of ``done``.**  ``done`` is a *completed count*, not a
+    grid position: parallel sweeps complete chunks out of grid order, so
+    ``done == k`` means "k evaluations finished somewhere in the grid",
+    never "the first k grid points are finished".  Within one sweep the
+    reported counts are non-decreasing, and a resumed sweep's first call
+    may jump straight to the number of checkpointed evaluations.
+    Consumers must treat ``(done, total)`` as a pair — rendering
+    ``done`` alone, or assuming unit increments, is wrong — and should
+    tolerate a misbehaving producer (``done > total`` or a decrease)
+    rather than crash mid-sweep; :class:`ProgressTicker` clamps both.
     """
 
     def __call__(self, done: int, total: int, label: str) -> None:  # pragma: no cover
@@ -63,10 +74,24 @@ class ProgressTicker:
         )
         self._last_paint = float("-inf")
         self._last_width = 0
+        self._max_done = 0
+        self._last_label: Optional[str] = None
 
     def __call__(self, done: int, total: int, label: str) -> None:
         if not self._active:
             return
+        # Robustness to producers that misreport: never paint a count
+        # above the total or below one already shown for this phase
+        # (chunked sweeps complete out of grid order; see
+        # ProgressCallback).  A new label is a new phase with its own
+        # count.
+        if label != self._last_label:
+            self._last_label = label
+            self._max_done = 0
+        if total > 0:
+            done = min(done, total)
+        done = max(done, self._max_done)
+        self._max_done = done
         now = time.monotonic()
         if done < total and now - self._last_paint < self._min_interval_s:
             return

@@ -1,0 +1,72 @@
+"""Fault tolerance for design sweeps: retries, checkpoints, fault injection.
+
+Production-scale sweeps run minutes-to-hours across worker pools and must
+survive worker crashes, be interruptible, and resume without redoing
+work.  This package supplies the three pieces the optimizer threads
+through :mod:`repro.core.optimizer`:
+
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy`: chunk-level
+  retry with exponential backoff, a per-round stall timeout, and serial
+  in-process fallback so a sweep always completes;
+* :mod:`~repro.resilience.checkpoint` — an append-only JSONL journal of
+  completed chunks with SHA-256 fingerprint validation
+  (:func:`sweep_fingerprint`), exact float round-tripping, and tolerant
+  recovery of crash-truncated files;
+* :mod:`~repro.resilience.faults` — :class:`FaultPlan`: seeded,
+  deterministic worker kills / delays / payload corruption that tests and
+  CI use to prove the above end-to-end.
+
+Counters surfaced through :mod:`repro.obs`: ``chunk_retries``,
+``chunk_failures``, ``serial_fallbacks``, ``checkpoint_chunks_written``,
+``checkpoint_chunks_skipped``, ``checkpoint_designs_skipped``.
+"""
+
+from .checkpoint import (
+    JOURNAL_VERSION,
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+    JournalHeader,
+    SweepInterrupted,
+    load_resumable_chunks,
+    sweep_fingerprint,
+)
+from .faults import (
+    FaultAction,
+    FaultKind,
+    FaultPlan,
+    corrupt_payload,
+    execute_pre_fault,
+)
+from .retry import RetryPolicy
+from .serialize import (
+    design_from_json,
+    design_to_json,
+    evaluation_from_json,
+    evaluation_to_json,
+)
+from .validate import ChunkResult, ChunkValidationError, validate_chunk_result
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointMismatchError",
+    "JournalHeader",
+    "SweepInterrupted",
+    "load_resumable_chunks",
+    "sweep_fingerprint",
+    "FaultAction",
+    "FaultKind",
+    "FaultPlan",
+    "corrupt_payload",
+    "execute_pre_fault",
+    "RetryPolicy",
+    "design_from_json",
+    "design_to_json",
+    "evaluation_from_json",
+    "evaluation_to_json",
+    "ChunkResult",
+    "ChunkValidationError",
+    "validate_chunk_result",
+]

@@ -1,0 +1,74 @@
+"""Retry policy for chunked sweeps: bounded retries with exponential backoff.
+
+A :class:`RetryPolicy` describes how the optimizer reacts to a failed sweep
+chunk (a crashed worker, a poisoned process pool, a stalled or corrupt
+chunk): the chunk is re-submitted up to ``max_retries`` times, with an
+exponentially growing pause between rounds, and after the budget is
+exhausted the chunk is re-evaluated serially in-process — a sweep always
+completes (see :mod:`repro.core.optimizer`).
+
+The backoff is deterministic (no jitter): the library is seeded end-to-end
+and retried work is bitwise-identical to first-attempt work, so
+randomizing the pause would buy nothing and cost reproducibility of
+timing-sensitive tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed sweep chunks are retried.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-submission rounds after the first attempt (0 = never retry,
+        degrade straight to serial re-evaluation).
+    backoff_base_s:
+        Pause before the first retry round, seconds.
+    backoff_factor:
+        Multiplier applied to the pause for each further round.
+    backoff_max_s:
+        Upper bound on any single pause, seconds.
+    chunk_timeout_s:
+        Stall detector: if no chunk completes within this many seconds,
+        every outstanding chunk of the round is declared failed and
+        retried.  ``None`` disables the detector.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    chunk_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_s < 0:
+            raise ValueError(f"backoff_max_s must be >= 0, got {self.backoff_max_s}")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ValueError(
+                f"chunk_timeout_s must be positive or None, got {self.chunk_timeout_s}"
+            )
+
+    def backoff_s(self, retry_round: int) -> float:
+        """Pause before retry round ``retry_round`` (1-based), seconds."""
+        if retry_round < 1:
+            raise ValueError(f"retry_round must be >= 1, got {retry_round}")
+        return min(
+            self.backoff_base_s * self.backoff_factor ** (retry_round - 1),
+            self.backoff_max_s,
+        )

@@ -1,0 +1,91 @@
+"""Exact JSON serialization of design evaluations for the checkpoint journal.
+
+A resumed sweep must be bitwise-identical to an uninterrupted one, so the
+journal's evaluation records round-trip every float exactly: Python's
+``json`` writes floats with ``repr`` (the shortest digit string that
+parses back to the same IEEE-754 double), and ``float()`` restores them
+bit-for-bit.  Numpy scalars are plain-``float``-ed on the way out — they
+subclass :class:`float`, so the value (and its bits) are unchanged.
+
+Only :class:`~repro.core.evaluate.DesignEvaluation` (and the
+:class:`~repro.core.design.DesignPoint` inside it) is serialized; the
+heavyweight site context is never journaled — resume validates it by
+fingerprint instead (see :mod:`repro.resilience.checkpoint`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.design import DesignPoint, Strategy
+from ..core.evaluate import DesignEvaluation
+from ..grid.scaling import RenewableInvestment
+
+#: DesignEvaluation float fields, in declaration order.
+_EVALUATION_FIELDS = (
+    "coverage",
+    "operational_tons",
+    "renewables_embodied_tons",
+    "battery_embodied_tons",
+    "servers_embodied_tons",
+    "grid_import_mwh",
+    "surplus_mwh",
+    "moved_mwh",
+    "battery_cycles_per_day",
+)
+
+#: DesignPoint float fields (investment flattened separately).
+_DESIGN_FIELDS = (
+    "battery_mwh",
+    "depth_of_discharge",
+    "extra_capacity_fraction",
+    "flexible_ratio",
+)
+
+
+def design_to_json(design: DesignPoint) -> Dict[str, float]:
+    """Flatten a design point to a JSON-safe dict of plain floats."""
+    record = {
+        "solar_mw": float(design.investment.solar_mw),
+        "wind_mw": float(design.investment.wind_mw),
+    }
+    for name in _DESIGN_FIELDS:
+        record[name] = float(getattr(design, name))
+    return record
+
+
+def design_from_json(record: Dict[str, Any]) -> DesignPoint:
+    """Rebuild a design point from :func:`design_to_json` output."""
+    return DesignPoint(
+        investment=RenewableInvestment(
+            solar_mw=record["solar_mw"], wind_mw=record["wind_mw"]
+        ),
+        **{name: record[name] for name in _DESIGN_FIELDS},
+    )
+
+
+def evaluation_to_json(evaluation: DesignEvaluation) -> Dict[str, Any]:
+    """Flatten one evaluation to a JSON-safe dict (floats round-trip exactly)."""
+    record: Dict[str, Any] = {
+        "design": design_to_json(evaluation.design),
+        "strategy": evaluation.strategy.name,
+    }
+    for name in _EVALUATION_FIELDS:
+        record[name] = float(getattr(evaluation, name))
+    return record
+
+
+def evaluation_from_json(record: Dict[str, Any]) -> DesignEvaluation:
+    """Rebuild an evaluation from :func:`evaluation_to_json` output.
+
+    Raises
+    ------
+    KeyError / TypeError / ValueError
+        If the record is structurally damaged; callers wrap this into a
+        checkpoint-corruption error with file context.
+    """
+    return DesignEvaluation(
+        design=design_from_json(record["design"]),
+        strategy=Strategy[record["strategy"]],
+        **{name: record[name] for name in _EVALUATION_FIELDS},
+    )

@@ -1,0 +1,75 @@
+"""Shape validation of worker chunk results before writeback.
+
+A worker returns ``(start, evaluations, metrics)`` per chunk.  Anything a
+worker sends back crosses a pickle boundary, and a corrupted or truncated
+payload written into the result grid would silently poison the sweep's
+argmin — so the parent validates the shape *before* committing: correct
+start index, correct length, every element a real
+:class:`~repro.core.evaluate.DesignEvaluation` with a finite objective.
+A failed check raises :class:`ChunkValidationError`, which the optimizer
+treats exactly like a crashed worker (retry, then serial fallback).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.evaluate import DesignEvaluation
+
+#: A validated worker payload: start index, evaluations, metrics snapshot.
+ChunkResult = Tuple[int, List[DesignEvaluation], Optional[Dict[str, Any]]]
+
+
+class ChunkValidationError(RuntimeError):
+    """A worker's chunk payload failed shape validation."""
+
+
+def validate_chunk_result(
+    payload: Any, expected_start: int, expected_count: int
+) -> ChunkResult:
+    """Check one worker payload and return it typed, or raise.
+
+    Raises
+    ------
+    ChunkValidationError
+        If the payload is not a 3-tuple, the start index or evaluation
+        count disagrees with what was submitted, any element is not a
+        :class:`DesignEvaluation`, or any objective value is non-finite.
+    """
+    if not isinstance(payload, tuple) or len(payload) != 3:
+        raise ChunkValidationError(
+            f"chunk [{expected_start}, {expected_start + expected_count}): "
+            f"payload is {type(payload).__name__}, expected a 3-tuple"
+        )
+    start, evaluations, metrics = payload
+    if start != expected_start:
+        raise ChunkValidationError(
+            f"chunk [{expected_start}, {expected_start + expected_count}): "
+            f"worker reported start {start!r}"
+        )
+    if not isinstance(evaluations, list) or len(evaluations) != expected_count:
+        got = len(evaluations) if isinstance(evaluations, list) else type(evaluations).__name__
+        raise ChunkValidationError(
+            f"chunk [{expected_start}, {expected_start + expected_count}): "
+            f"expected {expected_count} evaluations, got {got}"
+        )
+    for offset, evaluation in enumerate(evaluations):
+        if not isinstance(evaluation, DesignEvaluation):
+            raise ChunkValidationError(
+                f"chunk [{expected_start}, {expected_start + expected_count}): "
+                f"element {offset} is {type(evaluation).__name__}, "
+                f"not a DesignEvaluation"
+            )
+        if not math.isfinite(evaluation.total_tons):
+            raise ChunkValidationError(
+                f"chunk [{expected_start}, {expected_start + expected_count}): "
+                f"element {offset} has non-finite total carbon "
+                f"{evaluation.total_tons!r}"
+            )
+    if metrics is not None and not isinstance(metrics, dict):
+        raise ChunkValidationError(
+            f"chunk [{expected_start}, {expected_start + expected_count}): "
+            f"metrics snapshot is {type(metrics).__name__}, expected dict or None"
+        )
+    return start, evaluations, metrics

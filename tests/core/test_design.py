@@ -1,8 +1,16 @@
 """Tests for design points, strategies, and design-space grids."""
 
+import math
+
 import pytest
 
-from repro.core import DesignPoint, DesignSpace, Strategy, default_design_space
+from repro.core import (
+    DesignPoint,
+    DesignSpace,
+    DesignSpaceError,
+    Strategy,
+    default_design_space,
+)
 from repro.grid import RenewableInvestment
 
 
@@ -117,6 +125,38 @@ class TestDesignSpace:
     def test_negative_axis_rejected(self):
         with pytest.raises(ValueError):
             DesignSpace(solar_mw=(-1.0, 0.0), wind_mw=(0.0,))
+
+    def test_axis_errors_are_typed(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(solar_mw=(), wind_mw=(0.0,))
+
+    def test_design_space_error_is_a_value_error(self):
+        assert issubclass(DesignSpaceError, ValueError)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_axis_value_rejected(self, bad):
+        with pytest.raises(DesignSpaceError, match="finite"):
+            DesignSpace(solar_mw=(0.0, bad), wind_mw=(0.0,))
+
+    def test_nan_in_battery_axis_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(
+                solar_mw=(0.0,), wind_mw=(0.0,), battery_mwh=(0.0, math.nan)
+            )
+
+    def test_duplicate_axis_value_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(solar_mw=(0.0, 10.0, 10.0), wind_mw=(0.0,))
+
+    def test_nan_depth_of_discharge_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(
+                solar_mw=(0.0,), wind_mw=(0.0,), depth_of_discharge=math.nan
+            )
+
+    def test_out_of_range_flexible_ratio_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(solar_mw=(0.0,), wind_mw=(0.0,), flexible_ratio=1.5)
 
 
 class TestDefaultDesignSpace:

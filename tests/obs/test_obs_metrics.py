@@ -8,6 +8,7 @@ from repro.obs import (
     enable_metrics,
     get_registry,
     inc,
+    merge_counters,
     metrics_enabled,
     metrics_snapshot,
     observe,
@@ -119,6 +120,46 @@ class TestGlobalHelpers:
         path = tmp_path / "m.json"
         save_metrics(path)
         assert json.loads(path.read_text())["counters"]["c"] == 1
+
+
+class TestMergeCounters:
+    """Worker-registry snapshots fold back into the parent additively."""
+
+    def test_registry_merge_adds_counter_totals(self):
+        parent = MetricsRegistry()
+        parent.inc("designs_evaluated", 3)
+        worker = MetricsRegistry()
+        worker.inc("designs_evaluated", 5)
+        worker.inc("battery_sim_hours", 24)
+        parent.merge_counters(worker.snapshot()["counters"])
+        assert parent.counter_value("designs_evaluated") == 8
+        assert parent.counter_value("battery_sim_hours") == 24
+
+    def test_merge_ignores_gauges_and_histograms(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.set_gauge("sweep_grid_points", 40)
+        worker.observe("span.optimize.seconds", 0.5)
+        parent.merge_counters(worker.snapshot()["counters"])
+        snap = parent.snapshot()
+        assert snap["gauges"] == {} and snap["histograms"] == {}
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        parent = MetricsRegistry(enabled=False)
+        parent.merge_counters({"designs_evaluated": 5})
+        assert parent.counter_value("designs_evaluated") == 0.0
+
+    def test_module_helper_merges_a_full_snapshot(self):
+        enable_metrics()
+        inc("designs_evaluated", 2)
+        merge_counters({"counters": {"designs_evaluated": 3, "chunk_retries": 1}})
+        assert get_registry().counter_value("designs_evaluated") == 5
+        assert get_registry().counter_value("chunk_retries") == 1
+
+    def test_module_helper_noop_when_disabled(self):
+        reset_metrics()
+        merge_counters({"counters": {"designs_evaluated": 3}})
+        assert get_registry().counter_value("designs_evaluated") == 0.0
 
 
 class TestRendering:

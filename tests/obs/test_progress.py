@@ -59,6 +59,37 @@ class TestProgressTicker:
         assert stream.getvalue().endswith("\r")
 
 
+class TestTickerRobustness:
+    """The ticker must survive misbehaving producers (see ProgressCallback)."""
+
+    def test_done_above_total_is_clamped(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=0.0)
+        ticker(15, 10, "sweep")
+        assert "sweep: 10/10 (100%)" in stream.getvalue()
+
+    def test_decreasing_done_never_moves_backwards(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=0.0)
+        ticker(7, 10, "sweep")
+        ticker(3, 10, "sweep")
+        assert "3/10" not in stream.getvalue()
+        assert "7/10" in stream.getvalue()
+
+    def test_new_label_resets_the_floor(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=0.0)
+        ticker(9, 10, "first strategy")
+        ticker(2, 10, "second strategy")
+        assert "second strategy: 2/10" in stream.getvalue()
+
+    def test_resumed_sweep_may_start_high(self):
+        stream = io.StringIO()
+        ticker = ProgressTicker(stream=stream, force=True, min_interval_s=0.0)
+        ticker(6, 10, "resumed")  # first call jumps to the checkpointed count
+        assert "resumed: 6/10 (60%)" in stream.getvalue()
+
+
 class TestNullProgress:
     def test_null_progress_is_callable_and_silent(self, capsys):
         null_progress(1, 2, "anything")

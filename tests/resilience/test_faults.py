@@ -1,0 +1,134 @@
+"""FaultPlan: deterministic construction, spec parsing, attempt gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import FaultAction, FaultKind, FaultPlan, corrupt_payload, execute_pre_fault
+
+
+class TestFaultPlanBasics:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.action_for(0, 0) is None
+
+    def test_kill_wins_over_delay_and_corrupt(self):
+        plan = FaultPlan(
+            kill_chunks=frozenset({1}),
+            delay_chunks={1: 0.5},
+            corrupt_chunks=frozenset({1}),
+        )
+        assert plan.action_for(1, 0).kind is FaultKind.KILL
+
+    def test_delay_carries_its_seconds(self):
+        plan = FaultPlan(delay_chunks={2: 0.75})
+        action = plan.action_for(2, 0)
+        assert action.kind is FaultKind.DELAY
+        assert action.delay_s == 0.75
+
+    def test_attempt_gating_default_fires_once(self):
+        plan = FaultPlan(kill_chunks=frozenset({0}))
+        assert plan.action_for(0, 0) is not None
+        assert plan.action_for(0, 1) is None
+
+    def test_attempt_gating_configurable(self):
+        plan = FaultPlan(kill_chunks=frozenset({0}), max_faulted_attempts=3)
+        assert plan.action_for(0, 2) is not None
+        assert plan.action_for(0, 3) is None
+
+    def test_rejects_non_positive_max_attempts(self):
+        with pytest.raises(ValueError, match="max_faulted_attempts"):
+            FaultPlan(max_faulted_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            FaultPlan(delay_chunks={0: -1.0})
+
+
+class TestFromSeed:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.from_seed(7, n_chunks=20, kills=2, delays=1, corruptions=1)
+        b = FaultPlan.from_seed(7, n_chunks=20, kills=2, delays=1, corruptions=1)
+        assert a == b
+
+    def test_different_seed_usually_differs(self):
+        plans = {
+            FaultPlan.from_seed(seed, n_chunks=100, kills=3).kill_chunks
+            for seed in range(5)
+        }
+        assert len(plans) > 1
+
+    def test_faults_are_disjoint_and_in_range(self):
+        plan = FaultPlan.from_seed(1, n_chunks=10, kills=2, delays=2, corruptions=2)
+        picked = (
+            set(plan.kill_chunks)
+            | set(plan.delay_chunks)
+            | set(plan.corrupt_chunks)
+        )
+        assert len(picked) == 6
+        assert all(0 <= ordinal < 10 for ordinal in picked)
+
+    def test_caps_at_chunk_count(self):
+        plan = FaultPlan.from_seed(1, n_chunks=2, kills=5)
+        assert len(plan.kill_chunks) == 2
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="counts"):
+            FaultPlan.from_seed(1, n_chunks=10, kills=-1)
+
+    def test_rejects_negative_n_chunks(self):
+        with pytest.raises(ValueError, match="n_chunks"):
+            FaultPlan.from_seed(1, n_chunks=-1)
+
+
+class TestFromSpec:
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec("kill=0,2;delay=1:0.5;corrupt=3;attempts=2")
+        assert plan.kill_chunks == frozenset({0, 2})
+        assert plan.delay_chunks == {1: 0.5}
+        assert plan.corrupt_chunks == frozenset({3})
+        assert plan.max_faulted_attempts == 2
+
+    def test_delay_defaults_seconds(self):
+        plan = FaultPlan.from_spec("delay=4")
+        assert plan.delay_chunks == {4: 0.5}
+
+    def test_empty_spec_is_empty_plan(self):
+        assert FaultPlan.from_spec("").is_empty()
+
+    def test_whitespace_tolerated(self):
+        plan = FaultPlan.from_spec(" kill=1 ; corrupt=2 ")
+        assert plan.kill_chunks == frozenset({1})
+
+    @pytest.mark.parametrize(
+        "spec", ["explode=1", "kill", "kill=x", "delay=1:abc", "attempts=maybe"]
+    )
+    def test_bad_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec(spec)
+
+
+class TestWorkerSideEffects:
+    def test_execute_pre_fault_none_is_noop(self):
+        execute_pre_fault(None)
+
+    def test_delay_sleeps(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr("repro.resilience.faults.time.sleep", slept.append)
+        execute_pre_fault(FaultAction(FaultKind.DELAY, delay_s=0.25))
+        assert slept == [0.25]
+
+    def test_kill_hard_exits(self, monkeypatch):
+        codes = []
+        monkeypatch.setattr("repro.resilience.faults.os._exit", codes.append)
+        execute_pre_fault(FaultAction(FaultKind.KILL))
+        assert codes == [1]
+
+    def test_corrupt_payload_wrong_type_same_length(self):
+        damaged = corrupt_payload([1.0, 2.0, 3.0])
+        assert len(damaged) == 3
+        assert isinstance(damaged[-1], str)
+
+    def test_corrupt_payload_empty_is_safe(self):
+        assert corrupt_payload([]) == []

@@ -1,0 +1,66 @@
+"""RetryPolicy: validation and deterministic exponential backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.chunk_timeout_s is None
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_zero_retries_allowed(self):
+        assert RetryPolicy(max_retries=0).max_retries == 0
+
+    def test_negative_backoff_base_rejected(self):
+        with pytest.raises(ValueError, match="backoff_base_s"):
+            RetryPolicy(backoff_base_s=-0.1)
+
+    def test_shrinking_backoff_factor_rejected(self):
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_negative_backoff_max_rejected(self):
+        with pytest.raises(ValueError, match="backoff_max_s"):
+            RetryPolicy(backoff_max_s=-1.0)
+
+    @pytest.mark.parametrize("timeout", [0.0, -1.0])
+    def test_non_positive_timeout_rejected(self, timeout):
+        with pytest.raises(ValueError, match="chunk_timeout_s"):
+            RetryPolicy(chunk_timeout_s=timeout)
+
+    def test_none_timeout_disables_the_detector(self):
+        assert RetryPolicy(chunk_timeout_s=None).chunk_timeout_s is None
+
+
+class TestBackoff:
+    def test_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=100.0)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+
+    def test_caps_at_backoff_max(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_factor=10.0, backoff_max_s=5.0)
+        assert policy.backoff_s(4) == 5.0
+
+    def test_zero_base_means_no_pause(self):
+        policy = RetryPolicy(backoff_base_s=0.0)
+        assert policy.backoff_s(1) == 0.0
+        assert policy.backoff_s(5) == 0.0
+
+    def test_round_numbers_start_at_one(self):
+        with pytest.raises(ValueError, match="retry_round"):
+            RetryPolicy().backoff_s(0)
+
+    def test_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.backoff_s(3) == policy.backoff_s(3)
