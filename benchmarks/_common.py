@@ -73,10 +73,19 @@ def emit(name: str, text: str) -> pathlib.Path:
     OUT_DIR.mkdir(parents=True, exist_ok=True)
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    metrics = measurement["metrics"]
     payload = {
         "name": name,
         "wall_s": measurement["wall_s"],
-        "metrics": measurement["metrics"],
+        "metrics": metrics,
+        # The per-worker payload economics of the shared trace plane,
+        # surfaced out of the raw snapshot so the perf trajectory can chart
+        # them directly.  All zero for serial runs (REPRO_BENCH_WORKERS=1).
+        "trace_plane": {
+            "context_pickle_bytes": metrics["gauges"].get("context_pickle_bytes", 0),
+            "shm_bytes_shared": metrics["counters"].get("shm_bytes_shared", 0),
+            "context_attach_count": metrics["counters"].get("context_attach_count", 0),
+        },
     }
     (OUT_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"

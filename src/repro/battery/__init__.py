@@ -20,6 +20,7 @@ from .peak_shaving import (
     minimum_shavable_threshold,
     simulate_peak_shaving,
 )
+from ..kernels.battery import BatterySeed
 from .simulator import (
     BatterySimResult,
     capacity_for_full_coverage,
@@ -43,6 +44,7 @@ __all__ = [
     "PeakShavingResult",
     "minimum_shavable_threshold",
     "simulate_peak_shaving",
+    "BatterySeed",
     "BatterySimResult",
     "capacity_for_full_coverage",
     "simulate_battery",

@@ -17,8 +17,14 @@ inputs, opens the tracing span, and wraps the kernel's arrays back into
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..kernels.battery import battery_import_exceeds, battery_run
+from ..kernels.battery import (
+    BatterySeed,
+    battery_import_exceeds,
+    battery_run,
+    battery_run_seeded,
+)
 from ..obs import inc, span
 from ..timeseries import Histogram, HourlySeries, histogram
 from .clc import BatterySpec
@@ -86,6 +92,7 @@ def simulate_battery(
     supply: HourlySeries,
     spec: BatterySpec,
     initial_soc: float = 1.0,
+    seed: Optional[BatterySeed] = None,
 ) -> BatterySimResult:
     """Run the greedy charge-on-surplus / discharge-on-deficit policy.
 
@@ -104,6 +111,12 @@ def simulate_battery(
         renewables-only case (grid import = positive part of the deficit).
     initial_soc:
         Starting state of charge within the DoD-usable band.
+    seed:
+        Optional :class:`~repro.kernels.battery.BatterySeed` built from
+        *these exact* demand/supply traces (validated).  Sweeps walking
+        the battery-capacity axis share one seed per investment, which
+        fast-forwards the saturated stretches of the year loop; results
+        are bitwise-identical with and without a seed.
     """
     if demand.calendar != supply.calendar:
         raise ValueError("demand and supply must share a calendar")
@@ -111,23 +124,28 @@ def simulate_battery(
         raise ValueError("demand and supply must be non-negative")
     if not 0.0 <= initial_soc <= 1.0:
         raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
+    if seed is not None and not seed.matches(demand.values, supply.values):
+        raise ValueError("seed was built from different demand/supply traces")
 
     calendar = demand.calendar
     n_hours = calendar.n_hours
     floor = spec.floor_mwh
+    kernel_kwargs = dict(
+        capacity_mwh=spec.capacity_mwh,
+        floor_mwh=floor,
+        max_charge_mw=spec.max_charge_mw,
+        max_discharge_mw=spec.max_discharge_mw,
+        charge_efficiency=spec.chemistry.charge_efficiency,
+        discharge_efficiency=spec.chemistry.discharge_efficiency,
+        initial_energy_mwh=floor + initial_soc * (spec.capacity_mwh - floor),
+    )
 
     with span("simulate_battery", capacity_mwh=spec.capacity_mwh, hours=n_hours):
-        run = battery_run(
-            demand.values,
-            supply.values,
-            capacity_mwh=spec.capacity_mwh,
-            floor_mwh=floor,
-            max_charge_mw=spec.max_charge_mw,
-            max_discharge_mw=spec.max_discharge_mw,
-            charge_efficiency=spec.chemistry.charge_efficiency,
-            discharge_efficiency=spec.chemistry.discharge_efficiency,
-            initial_energy_mwh=floor + initial_soc * (spec.capacity_mwh - floor),
-        )
+        if seed is not None:
+            inc("battery_runs_seeded")
+            run = battery_run_seeded(seed, **kernel_kwargs)
+        else:
+            run = battery_run(demand.values, supply.values, **kernel_kwargs)
 
     inc("battery_sims")
     inc("battery_sim_hours", n_hours)

@@ -121,6 +121,13 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for the sweep (1 = in-process serial)",
     )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship full pickled contexts to sweep workers instead of the "
+        "shared-memory trace plane (escape hatch for platforms without "
+        "POSIX shared memory; results are identical either way)",
+    )
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -169,6 +176,7 @@ def _resilience_kwargs(args: argparse.Namespace) -> dict:
         "max_retries": args.max_retries,
         "chunk_timeout": args.chunk_timeout,
         "resume": args.resume,
+        "shm": not getattr(args, "no_shm", False),
     }
     if args.fault_plan:
         kwargs["faults"] = FaultPlan.from_spec(args.fault_plan)

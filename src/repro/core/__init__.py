@@ -20,7 +20,9 @@ from .evaluate import (
     SiteContext,
     SupplyProjectionCache,
     build_site_context,
+    context_cache_size,
     evaluate_design,
+    set_context_cache_limit,
 )
 from .explorer import CarbonExplorer
 from .optimizer import (
@@ -28,6 +30,14 @@ from .optimizer import (
     optimize,
     optimize_all_strategies,
     strategy_checkpoint_path,
+)
+from .shm import (
+    SharedContextError,
+    SharedSiteContext,
+    SiteContextHandle,
+    attach_context,
+    share_context,
+    shared_memory_available,
 )
 from .pareto import dominates, frontier_tail_ratio, knee_point, pareto_frontier
 from .refine import RefinementResult, refine_optimize
@@ -58,12 +68,20 @@ __all__ = [
     "SiteContext",
     "SupplyProjectionCache",
     "build_site_context",
+    "context_cache_size",
     "evaluate_design",
+    "set_context_cache_limit",
     "CarbonExplorer",
     "OptimizationResult",
     "optimize",
     "optimize_all_strategies",
     "strategy_checkpoint_path",
+    "SharedContextError",
+    "SharedSiteContext",
+    "SiteContextHandle",
+    "attach_context",
+    "share_context",
+    "shared_memory_available",
     "RefinementResult",
     "refine_optimize",
     "ReportOptions",

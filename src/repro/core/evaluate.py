@@ -16,7 +16,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..battery import simulate_battery
+from ..battery import BatterySeed, simulate_battery
 from ..carbon import DEFAULT_EMBODIED_MODEL, EmbodiedCarbonModel, operational_carbon_tons
 from ..datacenter import (
     DatacenterDemand,
@@ -94,6 +94,44 @@ class SupplyProjectionCache:
             return solar_trace, wind_trace, supply
 
 
+class BatterySeedCache:
+    """Memoized :class:`~repro.kernels.battery.BatterySeed` per investment.
+
+    The battery-capacity axis of a sweep revisits each ``(solar_mw,
+    wind_mw)`` investment once per capacity/server coordinate with the
+    same demand and supply traces, so the capacity-independent saturation
+    structure (gap trace, rail stretch indices) is built once and seeds
+    every capacity's run.  Seeded and unseeded runs are bitwise
+    identical; hit/miss totals are the ``battery_seed_cache_hits`` /
+    ``battery_seed_cache_misses`` counters.  LRU-bounded — each seed
+    holds a few year-length arrays.
+    """
+
+    _MAX_ENTRIES = 64
+
+    __slots__ = ("_demand_values", "_seeds", "_lock")
+
+    def __init__(self, demand_values) -> None:
+        self._demand_values = demand_values
+        self._seeds: "OrderedDict[Tuple[float, float], BatterySeed]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def seed_for(self, key: Tuple[float, float], supply_values) -> BatterySeed:
+        """The seed for one ``(solar_mw, wind_mw)`` investment's supply."""
+        with self._lock:
+            seed = self._seeds.get(key)
+            if seed is not None:
+                self._seeds.move_to_end(key)
+                inc("battery_seed_cache_hits")
+                return seed
+            inc("battery_seed_cache_misses")
+            seed = BatterySeed(self._demand_values, supply_values)
+            self._seeds[key] = seed
+            if len(self._seeds) > self._MAX_ENTRIES:
+                self._seeds.popitem(last=False)
+            return seed
+
+
 @dataclass(frozen=True)
 class SiteContext:
     """Everything fixed about a site while exploring designs.
@@ -143,11 +181,25 @@ class SiteContext:
                     object.__setattr__(self, "_supply_cache", cache)
         return cache
 
+    @property
+    def battery_seed_cache(self) -> BatterySeedCache:
+        """The lazily created per-context battery-seed cache."""
+        cache = self.__dict__.get("_battery_seed_cache")
+        if cache is None:
+            with _CACHE_CREATION_LOCK:
+                cache = self.__dict__.get("_battery_seed_cache")
+                if cache is None:
+                    cache = BatterySeedCache(self.demand.power.values)
+                    object.__setattr__(self, "_battery_seed_cache", cache)
+        return cache
+
     def __getstate__(self):
-        # The projection cache holds a lock and can be megabytes of memoized
-        # traces; workers rebuild their own, so keep it out of the pickle.
+        # The projection/seed caches hold locks and can be megabytes of
+        # memoized traces; workers rebuild their own, so keep them out of
+        # the pickle.
         state = self.__dict__.copy()
         state.pop("_supply_cache", None)
+        state.pop("_battery_seed_cache", None)
         return state
 
     def __setstate__(self, state):
@@ -155,11 +207,39 @@ class SiteContext:
 
 
 #: Memoized contexts for repeat ``build_site_context`` calls (benchmarks and
-#: the CLI rebuild the same site once per figure/subcommand).  Bounded small:
-#: each entry holds a year of demand plus four grid traces.
+#: the CLI rebuild the same site once per figure/subcommand).  Explicitly
+#: LRU-bounded — each entry holds a year of demand plus four grid traces,
+#: so a long-lived multi-site process must not grow this without limit.
+#: Evictions are exported as the ``site_context_cache_evictions`` counter.
 _MAX_CONTEXT_ENTRIES = 16
 _context_cache: "OrderedDict[tuple, SiteContext]" = OrderedDict()
 _context_cache_lock = threading.Lock()
+_context_cache_limit = _MAX_CONTEXT_ENTRIES
+
+
+def set_context_cache_limit(max_entries: int) -> int:
+    """Set the LRU bound of the site-context cache; returns the old limit.
+
+    Long-lived processes sweeping many ``(site, year, seed)`` combinations
+    can lower (or raise) the default of %d entries.  Shrinking evicts
+    oldest-first immediately; each eviction increments the
+    ``site_context_cache_evictions`` counter.
+    """ % _MAX_CONTEXT_ENTRIES
+    global _context_cache_limit
+    if max_entries < 1:
+        raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+    with _context_cache_lock:
+        old, _context_cache_limit = _context_cache_limit, max_entries
+        while len(_context_cache) > _context_cache_limit:
+            _context_cache.popitem(last=False)
+            inc("site_context_cache_evictions")
+    return old
+
+
+def context_cache_size() -> int:
+    """Number of contexts currently memoized (for tests and diagnostics)."""
+    with _context_cache_lock:
+        return len(_context_cache)
 
 
 def build_site_context(
@@ -203,8 +283,9 @@ def build_site_context(
     if key is not None:
         with _context_cache_lock:
             _context_cache[key] = context
-            if len(_context_cache) > _MAX_CONTEXT_ENTRIES:
+            while len(_context_cache) > _context_cache_limit:
                 _context_cache.popitem(last=False)
+                inc("site_context_cache_evictions")
     return context
 
 
@@ -316,7 +397,11 @@ def evaluate_design(
             grid_import = (demand_power - supply).positive_part()
             surplus = (supply - demand_power).positive_part()
         elif strategy is Strategy.RENEWABLES_BATTERY:
-            result = simulate_battery(demand_power, supply, battery_spec)
+            seed = context.battery_seed_cache.seed_for(
+                (design.investment.solar_mw, design.investment.wind_mw),
+                supply.values,
+            )
+            result = simulate_battery(demand_power, supply, battery_spec, seed=seed)
             grid_import = result.grid_import
             surplus = result.surplus
             battery_cycles_per_day = result.cycles_per_day()

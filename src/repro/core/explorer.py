@@ -252,12 +252,15 @@ class CarbonExplorer:
     ) -> OptimizationResult:
         """Exhaustive carbon minimization under one strategy.
 
-        ``workers > 1`` fans the sweep across a process pool; the result is
-        identical to a serial sweep (see :func:`repro.core.optimize`).
-        Further keyword arguments (``max_retries``, ``chunk_timeout``,
-        ``backoff_s``, ``checkpoint``, ``resume``, ``faults``) configure
-        the sweep's fault tolerance and checkpoint/resume behaviour — see
-        :func:`repro.core.optimize` and :mod:`repro.resilience`.
+        ``workers > 1`` fans the sweep across a process pool, shipping the
+        context through the zero-copy shared-memory trace plane
+        (:mod:`repro.core.shm`); the result is bitwise-identical to a
+        serial sweep (see :func:`repro.core.optimize`).  Further keyword
+        arguments (``max_retries``, ``chunk_timeout``, ``backoff_s``,
+        ``checkpoint``, ``resume``, ``faults``, ``shm``) configure the
+        sweep's fault tolerance, checkpoint/resume behaviour, and the
+        trace plane — see :func:`repro.core.optimize` and
+        :mod:`repro.resilience`.
         """
         if space is None:
             space = self.default_space()

@@ -23,6 +23,8 @@ the exact sweep being run.
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -40,6 +42,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from ..obs import (
@@ -71,6 +74,14 @@ from ..resilience import (
 from ..resilience.checkpoint import PathLike
 from .design import DesignPoint, DesignSpace, Strategy, default_design_space
 from .evaluate import DesignEvaluation, SiteContext, evaluate_design
+from .shm import (
+    SharedContextError,
+    SharedSiteContext,
+    SiteContextHandle,
+    attach_context,
+    handle_pickle_bytes,
+    share_context,
+)
 
 _log = get_logger("core.optimizer")
 
@@ -83,6 +94,11 @@ _Chunk = Tuple[int, int, int]
 #: Called with each completed chunk: (start, evaluations, worker metrics).
 _CommitFn = Callable[[int, List[DesignEvaluation], Optional[Dict[str, Any]]], None]
 
+#: What the pool initializer ships to workers: a tiny shared-memory handle
+#: (the default trace plane) or, with ``shm=False`` / on platforms without
+#: shared memory, the full pickled context.
+_ContextPayload = Union[SiteContext, SiteContextHandle]
+
 #: The site context each worker process evaluates against, shipped once via
 #: the pool initializer instead of once per grid point.
 _worker_context: Optional[SiteContext] = None
@@ -90,15 +106,38 @@ _worker_context: Optional[SiteContext] = None
 #: Whether workers collect a per-chunk metrics snapshot for the parent.
 _worker_collect_metrics = False
 
+#: Set when this worker attached a shared segment but has not yet reported
+#: it: ``_evaluate_chunk`` resets the worker metrics registry at chunk
+#: start, so the ``context_attach_count`` increment must land *after* the
+#: first reset to survive into a merged snapshot.
+_worker_attach_unreported = False
 
-def _init_worker(context: SiteContext, collect_metrics: bool) -> None:
-    global _worker_context, _worker_collect_metrics
-    _worker_context = context
+
+def _init_worker(payload: _ContextPayload, collect_metrics: bool) -> None:
+    global _worker_context, _worker_collect_metrics, _worker_attach_unreported
+    if isinstance(payload, SiteContextHandle):
+        _worker_context = attach_context(payload)
+        _worker_attach_unreported = True
+    else:
+        _worker_context = payload
     _worker_collect_metrics = collect_metrics
     if collect_metrics:
         from ..obs import enable_metrics
 
         enable_metrics()
+
+
+def _mp_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Start-method override for sweep pools (``REPRO_MP_START_METHOD``).
+
+    Unset means the platform default.  CI sets ``spawn`` so the trace
+    plane is exercised without fork inheritance; ``fork``/``forkserver``
+    are accepted where the platform provides them.
+    """
+    method = os.environ.get("REPRO_MP_START_METHOD")
+    if not method:
+        return None
+    return multiprocessing.get_context(method)
 
 
 def _evaluate_chunk(
@@ -115,10 +154,14 @@ def _evaluate_chunk(
     ``None`` when the parent is not collecting metrics.  ``fault`` is the
     test/CI fault injected into this attempt, if any.
     """
+    global _worker_attach_unreported
     assert _worker_context is not None, "worker pool initializer did not run"
     execute_pre_fault(fault)
     if _worker_collect_metrics:
         reset_metrics()
+        if _worker_attach_unreported:
+            inc("context_attach_count")
+            _worker_attach_unreported = False
     evaluations: List[Any] = [
         evaluate_design(_worker_context, design, strategy) for design in designs
     ]
@@ -203,6 +246,7 @@ def _sweep_serial(
 
 def _sweep_parallel(
     context: SiteContext,
+    payload: _ContextPayload,
     designs: Sequence[DesignPoint],
     strategy: Strategy,
     chunks: Sequence[_Chunk],
@@ -215,14 +259,19 @@ def _sweep_parallel(
 
     Each round submits every still-pending chunk to a fresh pool (a
     ``BrokenProcessPool`` poisons the whole executor, so pools are
-    per-round).  A completed chunk is shape-validated and committed; a
-    failed one — worker crash, broken pool, validation failure, or a
-    stall in which *no* chunk completes within ``policy.chunk_timeout_s``
-    — is carried into the next round after an exponential-backoff pause.
-    Chunks still pending after ``policy.max_retries`` rounds degrade to
-    serial in-process evaluation, so the sweep always completes.
-    Completion order cannot reorder results: chunks carry their starting
-    grid index and are written back by index.
+    per-round).  ``payload`` is what each round's pool initializer ships:
+    the shared-memory :class:`SiteContextHandle` by default — every fresh
+    retry-round pool re-attaches the *same* segment — or the full pickled
+    ``context`` when the trace plane is off.  The serial fallback below
+    always uses the parent's own in-process ``context``.  A completed
+    chunk is shape-validated and committed; a failed one — worker crash,
+    broken pool, validation failure, or a stall in which *no* chunk
+    completes within ``policy.chunk_timeout_s`` — is carried into the
+    next round after an exponential-backoff pause.  Chunks still pending
+    after ``policy.max_retries`` rounds degrade to serial in-process
+    evaluation, so the sweep always completes.  Completion order cannot
+    reorder results: chunks carry their starting grid index and are
+    written back by index.
     """
     pending: List[_Chunk] = list(chunks)
     attempt = 0
@@ -242,7 +291,8 @@ def _sweep_parallel(
         pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(context, metrics_enabled()),
+            initargs=(payload, metrics_enabled()),
+            mp_context=_mp_context(),
         )
         failed: List[_Chunk] = []
         committed: set = set()
@@ -355,6 +405,7 @@ def optimize(
     checkpoint: Optional[PathLike] = None,
     resume: bool = False,
     faults: Optional[FaultPlan] = None,
+    shm: bool = True,
 ) -> OptimizationResult:
     """Exhaustively evaluate ``space`` under ``strategy`` for one site.
 
@@ -382,6 +433,16 @@ def optimize(
       progress.
     * ``faults`` injects deterministic worker kills / delays / corrupt
       payloads (tests and CI only).
+    * ``shm`` (default on) ships the context to workers through the
+      zero-copy shared-memory trace plane (:mod:`repro.core.shm`): the
+      traces are packed into one segment and each pool initializer gets a
+      <1 KB :class:`~repro.core.shm.SiteContextHandle` instead of the
+      ~850 KB context pickle.  The segment is created once per sweep,
+      re-attached by every retry-round pool, and unlinked on every exit
+      path (completion, exception, interrupt).  ``shm=False`` — or a
+      platform where segment creation fails, which logs a warning —
+      falls back to pickling the full context.  Results are bitwise
+      identical either way.
 
     Raises
     ------
@@ -431,6 +492,22 @@ def optimize(
 
     chunk_size = max(1, math.ceil(total / (max(workers, 1) * _CHUNKS_PER_WORKER)))
     chunks = _chunk_missing_indices([r is not None for r in results], chunk_size)
+
+    use_pool = workers > 1 and len(chunks) > 1
+    shared: Optional[SharedSiteContext] = None
+    payload: _ContextPayload = context
+    if use_pool:
+        if shm:
+            try:
+                shared = share_context(context)
+                payload = shared.handle
+            except SharedContextError as error:
+                _log.warning(
+                    "shared-memory trace plane unavailable (%s); "
+                    "falling back to pickling the context per worker",
+                    error,
+                )
+        set_gauge("context_pickle_bytes", handle_pickle_bytes(payload))
 
     _log.info(
         "sweep start: site=%s strategy=%s grid_points=%d workers=%d "
@@ -485,13 +562,14 @@ def optimize(
             grid_points=total,
             workers=workers,
         ):
-            if workers == 1 or len(chunks) <= 1:
+            if not use_pool:
                 _sweep_serial(
                     context, designs, strategy, chunks, write_back, on_serial_point
                 )
             else:
                 _sweep_parallel(
                     context,
+                    payload,
                     designs,
                     strategy,
                     chunks,
@@ -511,6 +589,10 @@ def optimize(
             ) from None
         raise
     finally:
+        # Deterministic trace-plane teardown: completion, exceptions, and
+        # SweepInterrupted all unlink the shared segment here.
+        if shared is not None:
+            shared.unlink()
         if journal is not None:
             journal.close()
 
@@ -545,6 +627,7 @@ def optimize_all_strategies(
     checkpoint: Optional[PathLike] = None,
     resume: bool = False,
     faults: Optional[FaultPlan] = None,
+    shm: bool = True,
 ) -> Dict[Strategy, OptimizationResult]:
     """Run the exhaustive sweep for all four strategies of Fig. 15.
 
@@ -575,6 +658,7 @@ def optimize_all_strategies(
             checkpoint=strategy_checkpoint_path(checkpoint, strategy),
             resume=resume,
             faults=faults,
+            shm=shm,
         )
         for strategy in Strategy
     }

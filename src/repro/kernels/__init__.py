@@ -25,8 +25,10 @@ traces.
 
 from .battery import (
     BatteryRunArrays,
+    BatterySeed,
     battery_import_exceeds,
     battery_run,
+    battery_run_seeded,
     renewables_only_run,
 )
 from .combined import CombinedRunArrays, combined_run
@@ -34,8 +36,10 @@ from .greedy import schedule_run
 
 __all__ = [
     "BatteryRunArrays",
+    "BatterySeed",
     "battery_import_exceeds",
     "battery_run",
+    "battery_run_seeded",
     "renewables_only_run",
     "CombinedRunArrays",
     "combined_run",

@@ -79,6 +79,44 @@ class HourlySeries:
         return cls.constant(0.0, calendar, name)
 
     @classmethod
+    def from_buffer(
+        cls,
+        values: np.ndarray,
+        calendar: YearCalendar = DEFAULT_CALENDAR,
+        name: str = "",
+    ) -> "HourlySeries":
+        """Wrap an existing float64 array without copying it.
+
+        The zero-copy construction path of the shared-memory trace plane
+        (see :mod:`repro.core.shm`): ``values`` is typically a numpy view
+        over a ``multiprocessing.shared_memory`` buffer, and the series
+        adopts it as its backing store directly.  Validation matches the
+        normal constructor (one-dimensional, calendar-length, finite); the
+        array is marked read-only in place, so the caller must not hold a
+        writable alias to the same memory.
+        """
+        array = np.asarray(values)
+        if array.dtype != np.float64:
+            raise ValueError(
+                f"from_buffer requires a float64 array, got dtype {array.dtype}"
+            )
+        if array.ndim != 1:
+            raise ValueError(f"values must be one-dimensional, got shape {array.shape}")
+        if array.shape[0] != calendar.n_hours:
+            raise ValueError(
+                f"series length {array.shape[0]} does not match calendar year "
+                f"{calendar.year} ({calendar.n_hours} hours)"
+            )
+        if not np.all(np.isfinite(array)):
+            raise ValueError("series values must be finite (no NaN/inf)")
+        array.setflags(write=False)
+        series = cls.__new__(cls)
+        series._values = array
+        series._calendar = calendar
+        series.name = name
+        return series
+
+    @classmethod
     def from_daily_profile(
         cls,
         profile: Sequence[float],

@@ -104,3 +104,63 @@ class TestAccounting:
         assert result.tons_per_mw(19.0) == pytest.approx(result.total_tons / 19.0)
         with pytest.raises(ValueError):
             result.tons_per_mw(0.0)
+
+
+class TestContextCacheBound:
+    @pytest.fixture()
+    def fresh_metrics(self):
+        from repro.obs import (
+            disable_metrics,
+            enable_metrics,
+            get_registry,
+            reset_metrics,
+        )
+
+        reset_metrics()
+        enable_metrics()
+        yield get_registry()
+        disable_metrics()
+        reset_metrics()
+
+    @pytest.fixture()
+    def restore_limit(self):
+        from repro.core import set_context_cache_limit
+
+        yield
+        set_context_cache_limit(16)
+
+    def test_limit_validation(self):
+        from repro.core import set_context_cache_limit
+
+        with pytest.raises(ValueError):
+            set_context_cache_limit(0)
+
+    def test_set_limit_returns_old_value(self, restore_limit):
+        from repro.core import set_context_cache_limit
+
+        old = set_context_cache_limit(4)
+        assert set_context_cache_limit(old) == 4
+
+    def test_shrinking_evicts_and_counts(self, restore_limit, fresh_metrics):
+        from repro.core import context_cache_size, set_context_cache_limit
+
+        build_site_context("UT", seed=101)
+        build_site_context("UT", seed=102)
+        assert context_cache_size() >= 2
+        set_context_cache_limit(1)
+        assert context_cache_size() == 1
+        assert fresh_metrics.counter_value("site_context_cache_evictions") >= 1
+
+    def test_inserting_past_limit_evicts_oldest(self, restore_limit, fresh_metrics):
+        from repro.core import context_cache_size, set_context_cache_limit
+
+        set_context_cache_limit(1)
+        a = build_site_context("UT", seed=103)
+        before = fresh_metrics.counter_value("site_context_cache_evictions")
+        b = build_site_context("UT", seed=104)
+        assert context_cache_size() == 1
+        assert fresh_metrics.counter_value("site_context_cache_evictions") > before
+        # The evicted seed rebuilds from scratch — a fresh object.
+        assert build_site_context("UT", seed=103) is not a
+        assert a.demand.power == build_site_context("UT", seed=103).demand.power
+        del b

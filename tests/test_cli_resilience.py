@@ -147,3 +147,16 @@ class TestInterrupts:
         code = main(_SMALL_OPTIMIZE)
         assert code == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestShmFlag:
+    def test_no_shm_matches_a_shared_memory_run(self, capsys):
+        clean = main(_SMALL_OPTIMIZE + ["--workers", "2"])
+        assert clean == 0
+        clean_out = capsys.readouterr().out
+        code = main(_SMALL_OPTIMIZE + ["--workers", "2", "--no-shm"])
+        assert code == 0
+        assert capsys.readouterr().out == clean_out
+
+    def test_no_shm_is_accepted_serially(self, capsys):
+        assert main(_SMALL_OPTIMIZE + ["--no-shm"]) == 0

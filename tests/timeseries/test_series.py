@@ -245,3 +245,51 @@ class TestProperties:
     def test_daily_profile_roundtrip(self, profile):
         s = HourlySeries.from_daily_profile(profile)
         assert np.allclose(s.average_day_profile(), profile)
+
+
+class TestFromBuffer:
+    def _shared_values(self):
+        return np.linspace(0.0, 50.0, N)
+
+    def test_zero_copy_shares_memory(self):
+        values = self._shared_values()
+        s = HourlySeries.from_buffer(values, DEFAULT_CALENDAR, name="shared")
+        assert s.values is values
+        assert np.shares_memory(s.values, values)
+        assert s.name == "shared"
+
+    def test_source_array_becomes_read_only(self):
+        values = self._shared_values()
+        HourlySeries.from_buffer(values, DEFAULT_CALENDAR)
+        with pytest.raises(ValueError):
+            values[0] = 1.0
+
+    def test_matches_copying_constructor(self):
+        values = self._shared_values()
+        copied = HourlySeries(values.copy(), DEFAULT_CALENDAR)
+        shared = HourlySeries.from_buffer(values, DEFAULT_CALENDAR)
+        assert shared == copied
+        assert shared.total() == copied.total()
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError, match="float64"):
+            HourlySeries.from_buffer(
+                np.zeros(N, dtype=np.float32), DEFAULT_CALENDAR
+            )
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            HourlySeries.from_buffer(np.zeros(N - 1), DEFAULT_CALENDAR)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            HourlySeries.from_buffer(np.zeros((2, N // 2)), DEFAULT_CALENDAR)
+
+    def test_rejects_nan_and_inf(self):
+        values = np.zeros(N)
+        values[3] = np.nan
+        with pytest.raises(ValueError):
+            HourlySeries.from_buffer(values, DEFAULT_CALENDAR)
+        values[3] = np.inf
+        with pytest.raises(ValueError):
+            HourlySeries.from_buffer(values, DEFAULT_CALENDAR)
