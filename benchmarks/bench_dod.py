@@ -13,6 +13,7 @@ from _common import emit, run_once
 
 from repro import CarbonExplorer, Strategy
 from repro.reporting import format_table, percent
+from repro.timeseries.stats import bitwise_equal
 
 
 def dod_table(state: str, battery_hours) -> str:
@@ -28,7 +29,7 @@ def dod_table(state: str, battery_hours) -> str:
             depth_of_discharge=dod,
         )
         best = explorer.optimize(Strategy.RENEWABLES_BATTERY, space).best
-        if dod == 1.0:
+        if bitwise_equal(dod, 1.0):
             baseline_total = best.total_tons
             baseline_battery = best.design.battery_mwh
         pack_growth = (

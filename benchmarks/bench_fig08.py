@@ -2,6 +2,7 @@
 average-day fallacy — plus the §1 claim that 95% -> 99.9% coverage costs
 more than 5x the renewables that 0% -> 95% did."""
 
+import math
 from _common import emit, run_once
 
 from repro import CarbonExplorer
@@ -58,7 +59,7 @@ def build_fig08() -> str:
             f"investment for 90.0% coverage:  {to_90:,.0f} MW",
             f"investment for 95.0% coverage:  {to_95:,.0f} MW",
             f"investment for 99.9% coverage:  "
-            + ("unreachable" if to_999 == float("inf") else f"{to_999:,.0f} MW"),
+            + ("unreachable" if math.isinf(to_999) else f"{to_999:,.0f} MW"),
             f"going 90% -> 95% costs {multiplier:.1f}x the whole 0% -> 90% build-out",
             "(paper: 95% -> 99.9% costs >5x the 0% -> 95% build-out; our synthetic",
             "Oregon has literally windless hours, so 99.9% is unreachable by wind",

@@ -1,6 +1,7 @@
 """Figure 9: battery capacity (in hours of compute) required for 24/7
 renewable coverage at different solar and wind investments, Utah."""
 
+import math
 from _common import emit, run_once
 
 from repro import CarbonExplorer
@@ -24,7 +25,7 @@ def build_fig09() -> str:
             hours = explorer.battery_hours_for_full_coverage(
                 inv, max_hours_of_load=120.0
             )
-            row.append("unreachable" if hours == float("inf") else f"{hours:.1f} h")
+            row.append("unreachable" if math.isinf(hours) else f"{hours:.1f} h")
         rows.append(row)
     table = format_table(
         header,

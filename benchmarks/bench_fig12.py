@@ -1,6 +1,7 @@
 """Figure 12: additional server capacity required to reach 24/7 carbon-free
 computation via scheduling alone (all workloads flexible), Utah."""
 
+import math
 from _common import emit, run_once
 
 from repro import CarbonExplorer
@@ -22,7 +23,7 @@ def build_fig12() -> str:
             (
                 f"{total:,.0f}",
                 percent(explorer.coverage(inv)),
-                "unreachable" if extra == float("inf") else percent(extra),
+                "unreachable" if math.isinf(extra) else percent(extra),
             )
         )
     table = format_table(

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .chemistry import LFP, CellChemistry
+from ..timeseries.stats import is_exact_zero
 
 
 @dataclass(frozen=True)
@@ -105,7 +106,7 @@ class Battery:
     @property
     def state_of_charge(self) -> float:
         """Energy content as a fraction of nameplate capacity (0..1)."""
-        if self.spec.capacity_mwh == 0.0:
+        if is_exact_zero(self.spec.capacity_mwh):
             return 0.0
         return self._energy_mwh / self.spec.capacity_mwh
 
@@ -137,7 +138,7 @@ class Battery:
         zero cycles.
         """
         usable = self.spec.usable_mwh
-        if usable == 0.0:
+        if is_exact_zero(usable):
             return 0.0
         return self._discharged_mwh / usable
 
@@ -155,7 +156,7 @@ class Battery:
             raise ValueError(f"offered power must be non-negative, got {offered_mw}")
         if duration_h <= 0:
             raise ValueError(f"duration must be positive, got {duration_h}")
-        if self.spec.capacity_mwh == 0.0 or offered_mw == 0.0:
+        if is_exact_zero(self.spec.capacity_mwh) or is_exact_zero(offered_mw):
             return 0.0
 
         eta = self.spec.chemistry.charge_efficiency
@@ -179,7 +180,7 @@ class Battery:
             raise ValueError(f"requested power must be non-negative, got {requested_mw}")
         if duration_h <= 0:
             raise ValueError(f"duration must be positive, got {duration_h}")
-        if self.spec.capacity_mwh == 0.0 or requested_mw == 0.0:
+        if is_exact_zero(self.spec.capacity_mwh) or is_exact_zero(requested_mw):
             return 0.0
 
         eta = self.spec.chemistry.discharge_efficiency

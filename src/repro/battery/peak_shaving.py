@@ -21,6 +21,7 @@ import numpy as np
 
 from ..timeseries import HourlySeries
 from .clc import Battery, BatterySpec
+from ..timeseries.stats import is_exact_zero
 
 
 @dataclass(frozen=True)
@@ -58,7 +59,7 @@ class PeakShavingResult:
 
     def shaved_successfully(self) -> bool:
         """Whether the cap held in every hour."""
-        return self.unshaved_mwh == 0.0
+        return is_exact_zero(self.unshaved_mwh)
 
 
 def simulate_peak_shaving(
@@ -147,7 +148,7 @@ def minimum_shavable_threshold(
     if tolerance_mw <= 0:
         raise ValueError(f"tolerance must be positive, got {tolerance_mw}")
     net_peak = float(np.clip(demand.values - supply.values, 0.0, None).max())
-    if net_peak == 0.0:
+    if is_exact_zero(net_peak):
         raise ValueError("net demand never exceeds zero; nothing to shave")
 
     def holds(threshold: float) -> bool:

@@ -28,6 +28,7 @@ from ..kernels.battery import (
 from ..obs import inc, span
 from ..timeseries import Histogram, HourlySeries, histogram
 from .clc import BatterySpec
+from ..timeseries.stats import is_exact_zero
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,7 @@ class BatterySimResult:
     def equivalent_full_cycles(self) -> float:
         """Equivalent full cycles accumulated over the year."""
         usable = self.spec.usable_mwh
-        if usable == 0.0:
+        if is_exact_zero(usable):
             return 0.0
         return self.discharged_mwh / usable
 
@@ -71,7 +72,7 @@ class BatterySimResult:
 
     def state_of_charge(self) -> HourlySeries:
         """Charge level normalized to nameplate capacity (0..1)."""
-        if self.spec.capacity_mwh == 0.0:
+        if is_exact_zero(self.spec.capacity_mwh):
             return HourlySeries.zeros(self.charge_level.calendar, name="soc")
         return (self.charge_level / self.spec.capacity_mwh).with_name("soc")
 
@@ -82,7 +83,7 @@ class BatterySimResult:
         "batteries are often fully charged or fully discharged", i.e. the
         histogram is U-shaped with mass at both ends.
         """
-        if self.spec.capacity_mwh == 0.0:
+        if is_exact_zero(self.spec.capacity_mwh):
             raise ValueError("charge-level histogram undefined for a zero-capacity battery")
         return histogram(self.state_of_charge().values, n_bins=n_bins)
 

@@ -22,6 +22,7 @@ from typing import Tuple
 import numpy as np
 
 from ..timeseries import MONTH_NAMES, HourlySeries
+from ..timeseries.stats import is_exact_zero
 
 
 @dataclass(frozen=True)
@@ -52,7 +53,7 @@ class RecBalance:
     @property
     def matched_fraction(self) -> float:
         """Fraction of consumption covered by credits, capped at 1."""
-        if self.consumed_mwh == 0.0:
+        if is_exact_zero(self.consumed_mwh):
             raise ValueError("matched fraction undefined for zero consumption")
         return min(self.generated_mwh / self.consumed_mwh, 1.0)
 
@@ -77,7 +78,7 @@ class MonthlyMatch:
     @property
     def matched_fraction(self) -> float:
         """Fraction of the month's consumption covered, capped at 1."""
-        if self.consumed_mwh == 0.0:
+        if is_exact_zero(self.consumed_mwh):
             return 1.0
         return min(self.generated_mwh / self.consumed_mwh, 1.0)
 
@@ -113,7 +114,7 @@ def hourly_matching_score(demand: HourlySeries, supply: HourlySeries) -> float:
     """
     _check(demand, supply)
     total = demand.total()
-    if total == 0.0:
+    if is_exact_zero(total):
         raise ValueError("matching score undefined for zero consumption")
     matched = np.minimum(demand.values, supply.values).sum()
     return float(matched / total)

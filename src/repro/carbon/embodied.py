@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from ..battery import BatterySpec
 from ..timeseries import HourlySeries
+from ..timeseries.stats import is_exact_zero
 
 #: Grams CO2eq per kWh generated over a wind farm's life (Table 2 / §5.1).
 WIND_EMBODIED_G_PER_KWH = 11.0
@@ -141,7 +142,7 @@ class EmbodiedCarbonModel:
         cycle.  Gentler duty (fewer cycles/day) stretches lifetime and
         lowers the annual charge — but never past the 27-year calendar cap.
         """
-        if spec.capacity_mwh == 0.0:
+        if is_exact_zero(spec.capacity_mwh):
             return 0.0
         # An idle battery still ages; floor the duty cycle so amortization
         # stays finite and the calendar cap binds.

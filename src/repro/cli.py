@@ -12,6 +12,8 @@ Wraps the library's main analyses for shell use:
 * ``stats``      — run a small instrumented sweep, print trace + metrics
 * ``export-grid``   — write a balancing authority's year as EIA-style CSV
 * ``export-demand`` — write a site's demand trace as CSV
+* ``lint``       — static invariant checks over the source tree
+  (also available standalone as ``python -m repro.lint``)
 
 Every command additionally accepts the observability flags ``--log-level``
 (console logging for the ``repro.*`` namespace), ``--trace-out FILE``
@@ -35,8 +37,10 @@ journal and printing how to ``--resume``.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import math
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from .battery import BatterySpec
 from .carbon import SupplyScenario, matching_gap
@@ -46,6 +50,7 @@ from .resilience import FaultPlan, SweepInterrupted
 from .datacenter import SITE_ORDER
 from .grid import RenewableInvestment, generate_grid_dataset
 from .io import write_grid_csv, write_trace_csv
+from .lint.cli import add_lint_arguments, run_from_args as run_lint_from_args
 from .obs import (
     ProgressTicker,
     configure_logging,
@@ -106,6 +111,48 @@ def _obs_parent() -> argparse.ArgumentParser:
         help="record metrics; write a JSON snapshot",
     )
     return parent
+
+
+def _enable_collectors(trace: bool, metrics: bool) -> None:
+    """Reset-and-enable the requested collectors.
+
+    One invocation = one dataset: prior in-process spans/metrics are
+    cleared so the files written at exit cover exactly this run.  Shared
+    by the flag-driven wiring in :func:`_obs_session` and the
+    force-enabled ``stats`` command.
+    """
+    if trace:
+        reset_tracing()
+        enable_tracing()
+    if metrics:
+        reset_metrics()
+        enable_metrics()
+
+
+@contextlib.contextmanager
+def _obs_session(args: argparse.Namespace) -> Iterator[None]:
+    """Wire the shared observability flags around a command invocation.
+
+    ``--log-level`` attaches a console handler to the ``repro`` logger;
+    ``--trace-out`` / ``--metrics-out`` enable the respective collectors
+    and write their JSON files when the command finishes — including on
+    domain errors, so a failed run can still be inspected.
+    """
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    _enable_collectors(
+        trace=bool(trace_out) and not tracing_enabled(),
+        metrics=bool(metrics_out) and not metrics_enabled(),
+    )
+    try:
+        yield
+    finally:
+        if trace_out:
+            save_trace(trace_out)
+        if metrics_out:
+            save_metrics(metrics_out)
 
 
 def _add_site_arguments(parser: argparse.ArgumentParser) -> None:
@@ -217,15 +264,15 @@ def cmd_battery(args: argparse.Namespace) -> None:
     hours = explorer.battery_hours_for_full_coverage(
         investment, max_hours_of_load=args.max_hours
     )
-    mwh = hours * explorer.avg_power_mw if hours != float("inf") else float("inf")
+    mwh = hours * explorer.avg_power_mw if not math.isinf(hours) else float("inf")
     print(
         format_table(
             ["site", "battery for 24/7 (hours)", "battery for 24/7 (MWh)"],
             [
                 (
                     args.state,
-                    "unreachable" if hours == float("inf") else f"{hours:.1f}",
-                    "unreachable" if hours == float("inf") else f"{mwh:,.0f}",
+                    "unreachable" if math.isinf(hours) else f"{hours:.1f}",
+                    "unreachable" if math.isinf(hours) else f"{mwh:,.0f}",
                 )
             ],
         )
@@ -398,10 +445,7 @@ def cmd_stats(args: argparse.Namespace) -> None:
     """
     was_tracing = tracing_enabled()
     was_metrics = metrics_enabled()
-    reset_tracing()
-    reset_metrics()
-    enable_tracing()
-    enable_metrics()
+    _enable_collectors(trace=True, metrics=True)
     try:
         explorer = _explorer(args)
         space = explorer.default_space(
@@ -571,53 +615,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", help="destination CSV path")
     p.set_defaults(handler=cmd_export_demand)
 
+    p = subparsers.add_parser(
+        "lint",
+        help="run the AST invariant checker over the source tree",
+        description="Check the repro invariants (determinism, shm lifecycle, "
+        "kernel purity, metric names, float equality, exception hygiene) "
+        "statically; exits 1 when findings are reported.",
+        parents=[obs],
+    )
+    add_lint_arguments(p)
+    p.set_defaults(handler=run_lint_from_args)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    Observability wiring: ``--log-level`` attaches a console handler to
-    the ``repro`` logger; ``--trace-out`` / ``--metrics-out`` enable the
-    respective collectors for this invocation (clearing any prior
-    in-process data so each invocation's output stands alone) and write
-    their JSON files when the command finishes — including on domain
-    errors, so a failed run can still be inspected.
+    Observability wiring lives in :func:`_obs_session`.  Handlers may
+    return an integer exit code (``lint`` returns 1 on findings);
+    ``None`` means success.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "log_level", None):
-        configure_logging(args.log_level)
-    trace_out = getattr(args, "trace_out", None)
-    metrics_out = getattr(args, "metrics_out", None)
-    if trace_out and not tracing_enabled():
-        reset_tracing()
-        enable_tracing()
-    if metrics_out and not metrics_enabled():
-        reset_metrics()
-        enable_metrics()
-    try:
-        args.handler(args)
-    except SweepInterrupted as interrupted:
-        print(
-            f"interrupted: {interrupted.done}/{interrupted.total} evaluations "
-            f"({interrupted.strategy}) journaled to {interrupted.checkpoint}; "
-            f"re-run with --resume to continue from there",
-            file=sys.stderr,
-        )
-        return 130
-    except KeyboardInterrupt:
-        print("interrupted (no --checkpoint, progress not saved)", file=sys.stderr)
-        return 130
-    except (ValueError, KeyError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    finally:
-        if trace_out:
-            save_trace(trace_out)
-        if metrics_out:
-            save_metrics(metrics_out)
-    return 0
+    with _obs_session(args):
+        try:
+            code = args.handler(args)
+        except SweepInterrupted as interrupted:  # repro-lint: disable=RL006 — process boundary: convert to exit code 130
+            print(
+                f"interrupted: {interrupted.done}/{interrupted.total} evaluations "
+                f"({interrupted.strategy}) journaled to {interrupted.checkpoint}; "
+                f"re-run with --resume to continue from there",
+                file=sys.stderr,
+            )
+            return 130
+        except KeyboardInterrupt:  # repro-lint: disable=RL006 — process boundary: convert to exit code 130
+            print("interrupted (no --checkpoint, progress not saved)", file=sys.stderr)
+            return 130
+        except (ValueError, KeyError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    return 0 if code is None else code
 
 
 if __name__ == "__main__":  # pragma: no cover

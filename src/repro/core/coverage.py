@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..timeseries import HourlySeries
 
 import numpy as np
+from ..timeseries.stats import is_exact_zero
 
 
 def renewable_coverage(demand: HourlySeries, supply: HourlySeries) -> float:
@@ -35,7 +36,7 @@ def renewable_coverage(demand: HourlySeries, supply: HourlySeries) -> float:
     if demand.min() < 0 or supply.min() < 0:
         raise ValueError("demand and supply must be non-negative")
     total_demand = demand.total()
-    if total_demand == 0.0:
+    if is_exact_zero(total_demand):
         raise ValueError("coverage undefined for zero total demand")
     shortfall = (demand - supply).positive_part().total()
     return 1.0 - shortfall / total_demand
@@ -53,7 +54,7 @@ def coverage_from_grid_import(demand: HourlySeries, grid_import: HourlySeries) -
     if grid_import.min() < 0:
         raise ValueError("grid import must be non-negative")
     total_demand = demand.total()
-    if total_demand == 0.0:
+    if is_exact_zero(total_demand):
         raise ValueError("coverage undefined for zero total demand")
     coverage = 1.0 - grid_import.total() / total_demand
     if coverage < -1e-9:

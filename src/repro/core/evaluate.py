@@ -30,6 +30,7 @@ from ..scheduling import schedule_carbon_aware, simulate_combined
 from ..timeseries import DEFAULT_CALENDAR, HourlySeries, YearCalendar
 from .coverage import coverage_from_grid_import
 from .design import DesignPoint, Strategy
+from ..timeseries.stats import is_exact_zero
 
 #: Guards lazy creation of per-context caches under threaded sweeps.
 _CACHE_CREATION_LOCK = threading.Lock()
@@ -354,7 +355,7 @@ class DesignEvaluation:
 
 def _extra_servers(context: SiteContext, extra_fraction: float) -> int:
     """Physical extra servers a capacity fraction buys (rounded up)."""
-    if extra_fraction == 0.0:
+    if is_exact_zero(extra_fraction):
         return 0
     return math.ceil(context.demand.fleet.n_servers * extra_fraction)
 

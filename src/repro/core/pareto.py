@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Sequence, Tuple
 
 from .evaluate import DesignEvaluation
+from ..timeseries.stats import is_exact_zero
 
 
 def pareto_frontier(
@@ -76,6 +77,6 @@ def frontier_tail_ratio(frontier: Sequence[DesignEvaluation]) -> float:
         raise ValueError("need at least two frontier points")
     knee = knee_point(frontier)
     tail = min(frontier, key=lambda e: e.operational_tons)
-    if knee.embodied_tons == 0.0:
+    if is_exact_zero(knee.embodied_tons):
         raise ValueError("knee has zero embodied carbon; ratio undefined")
     return tail.embodied_tons / knee.embodied_tons

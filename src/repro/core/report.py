@@ -9,6 +9,7 @@ paper's narrative: demand and supply characterization (§3), solution sizing
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -79,7 +80,7 @@ def _sizing_section(explorer: CarbonExplorer, options: ReportOptions) -> str:
         ("coverage of existing investment", percent(explorer.coverage_of_existing_investment())),
         (
             "battery for 100% coverage",
-            "unreachable" if battery_hours == float("inf") else f"{battery_hours:.1f} h of load",
+            "unreachable" if math.isinf(battery_hours) else f"{battery_hours:.1f} h of load",
         ),
         ("CAS energy moved / year", f"{result.moved_mwh:,.0f} MWh"),
         ("mean intensity, grid mix", f"{scenario_means['grid mix']:.0f} gCO2eq/kWh"),

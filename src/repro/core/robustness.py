@@ -20,6 +20,7 @@ from ..carbon import DEFAULT_EMBODIED_MODEL, EmbodiedCarbonModel
 from ..datacenter import UtilizationProfile
 from .design import DesignPoint, Strategy
 from .evaluate import DesignEvaluation, build_site_context, evaluate_design
+from ..timeseries.stats import is_exact_zero
 
 
 @dataclass(frozen=True)
@@ -76,7 +77,7 @@ class RobustnessReport:
         """(max - min) / mean of total carbon across years."""
         totals = self._totals()
         mean = totals.mean()
-        if mean == 0.0:
+        if is_exact_zero(mean):
             raise ValueError("spread undefined for zero mean total carbon")
         return float((totals.max() - totals.min()) / mean)
 

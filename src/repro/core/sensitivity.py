@@ -27,6 +27,7 @@ from ..carbon.embodied import (
 from .design import DesignPoint, DesignSpace, Strategy
 from .evaluate import SiteContext
 from .optimizer import OptimizationResult, optimize
+from ..timeseries.stats import is_exact_zero
 
 #: The published uncertainty range of each tunable coefficient (§5.1).
 PAPER_COEFFICIENT_RANGES: Dict[str, Tuple[float, float]] = {
@@ -71,7 +72,7 @@ class SensitivityReport:
     def max_total_swing(self) -> float:
         """Largest relative change in optimal total carbon across the study."""
         base = self.baseline.best.total_tons
-        if base == 0.0:
+        if is_exact_zero(base):
             raise ValueError("baseline total carbon is zero; swing undefined")
         return max(
             abs(record.best_total_tons - base) / base for record in self.records

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..timeseries import HourlySeries
+from ..timeseries.stats import is_exact_zero
 
 #: The paper's proxy server: HPE ProLiant DL360 Gen10, single-socket, 48 GB
 #: DRAM, 85 W TDP.  Wall power at full load exceeds CPU TDP; 250 W is a
@@ -71,7 +72,7 @@ class ServerModel:
             raise ValueError(
                 f"power {power_w} W outside server range [{self.idle_w}, {self.peak_w}]"
             )
-        if self.dynamic_range_w == 0.0:
+        if is_exact_zero(self.dynamic_range_w):
             return 0.0
         return (power_w - self.idle_w) / self.dynamic_range_w
 

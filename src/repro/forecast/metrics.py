@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+from ..timeseries.stats import is_exact_zero
 
 
 def _pair(actual, forecast) -> tuple:
@@ -34,7 +35,7 @@ def normalized_mae(actual, forecast) -> float:
     """
     a, f = _pair(actual, forecast)
     mean = a.mean()
-    if mean == 0.0:
+    if is_exact_zero(mean):
         raise ValueError("normalized MAE undefined for a zero-mean actual")
     return float(np.abs(a - f).mean() / mean)
 
@@ -46,6 +47,6 @@ def forecast_skill(actual, forecast, reference) -> float:
     """
     mae = mean_absolute_error(actual, forecast)
     mae_ref = mean_absolute_error(actual, reference)
-    if mae_ref == 0.0:
+    if is_exact_zero(mae_ref):
         raise ValueError("reference forecast is perfect; skill undefined")
     return 1.0 - mae / mae_ref

@@ -20,6 +20,7 @@ from typing import Tuple
 
 from ..timeseries import best_days_ratio, coefficient_of_variation, worst_days_ratio
 from .dataset import GridDataset, generate_grid_dataset
+from ..timeseries.stats import is_exact_zero
 
 #: Daily wind output (fraction of nameplate energy) below which a day counts
 #: as a near-zero "valley" day.
@@ -47,7 +48,7 @@ class CalibrationFingerprint:
 
     def wind_cf_error(self) -> float:
         """Relative calibration error of the wind capacity factor."""
-        if self.wind_cf_target == 0.0:
+        if is_exact_zero(self.wind_cf_target):
             return 0.0
         return abs(self.wind_capacity_factor - self.wind_cf_target) / self.wind_cf_target
 

@@ -36,6 +36,8 @@ from .synthetic import (
     wind_generation,
 )
 
+from ..timeseries.stats import is_exact_zero
+
 
 @dataclass(frozen=True)
 class GridDataset:
@@ -111,7 +113,7 @@ class GridDataset:
     def renewable_share(self) -> float:
         """Wind + solar fraction of total annual generation."""
         total = self.total_generation().total()
-        if total == 0.0:
+        if is_exact_zero(total):
             raise ValueError("dataset has no generation")
         return self.renewables().total() / total
 
@@ -135,7 +137,7 @@ class GridDataset:
         """Curtailed renewable energy as a fraction of potential renewable
         generation (delivered + curtailed) — the y-axis of Figure 4."""
         potential = self.renewables().total() + self.curtailed.total()
-        if potential == 0.0:
+        if is_exact_zero(potential):
             return 0.0
         return self.curtailed.total() / potential
 

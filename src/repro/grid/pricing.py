@@ -25,6 +25,7 @@ import numpy as np
 
 from ..timeseries import HourlySeries
 from .dataset import GridDataset
+from ..timeseries.stats import is_exact_zero
 
 
 @dataclass(frozen=True)
@@ -104,7 +105,7 @@ def price_carbon_alignment(grid: GridDataset, model: PriceModel = PriceModel()) 
     rp -= rp.mean()
     ri -= ri.mean()
     denom = np.sqrt((rp**2).sum() * (ri**2).sum())
-    if denom == 0.0:
+    if is_exact_zero(denom):
         raise ValueError("alignment undefined: a constant signal has no ranking")
     return float((rp * ri).sum() / denom)
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..timeseries import HourlySeries
 from .dataset import GridDataset
+from ..timeseries.stats import is_exact_zero
 
 
 @dataclass(frozen=True)
@@ -77,7 +78,7 @@ def scale_trace_to_capacity(trace: HourlySeries, capacity_mw: float) -> HourlySe
     """
     if capacity_mw < 0:
         raise ValueError(f"capacity must be non-negative, got {capacity_mw}")
-    if capacity_mw == 0.0:
+    if is_exact_zero(capacity_mw):
         return HourlySeries.zeros(trace.calendar, name=trace.name)
     return trace.scale_to_peak(capacity_mw)
 

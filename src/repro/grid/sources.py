@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from enum import Enum, unique
 from typing import Dict, Tuple
+from ..timeseries.stats import is_exact_zero
 
 
 @unique
@@ -104,6 +105,6 @@ def mix_intensity_g_per_kwh(generation_mwh: Dict[EnergySource, float]) -> float:
             raise ValueError(f"negative generation for {source}: {energy}")
         total += energy
         weighted += energy * CARBON_INTENSITY_G_PER_KWH[source]
-    if total == 0.0:
+    if is_exact_zero(total):
         raise ValueError("cannot compute intensity of an empty generation mix")
     return weighted / total

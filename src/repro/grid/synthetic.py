@@ -32,6 +32,7 @@ import numpy as np
 from ..obs import span
 from ..timeseries import HOURS_PER_DAY, HourlySeries, YearCalendar
 from .authorities import BalancingAuthority, SolarProfile, WindProfile
+from ..timeseries.stats import is_exact_zero
 
 #: Day-to-day autocorrelation of the solar clearness index.
 _CLEARNESS_PERSISTENCE = 0.55
@@ -80,7 +81,7 @@ def solar_generation(
     jitter for passing clouds.  Output never exceeds nameplate capacity and
     is zero whenever the sun is down.
     """
-    if profile.capacity_mw == 0.0:
+    if is_exact_zero(profile.capacity_mw):
         return HourlySeries.zeros(calendar, name="solar")
     with span("synthesize_solar", capacity_mw=profile.capacity_mw, year=calendar.year):
         envelope = _solar_elevation_factor(profile, calendar)
@@ -117,7 +118,7 @@ def wind_generation(
     output; the final series is rescaled so its mean capacity factor matches
     the profile, then capped at nameplate.
     """
-    if profile.capacity_mw == 0.0:
+    if is_exact_zero(profile.capacity_mw):
         return HourlySeries.zeros(calendar, name="wind")
     if profile.synoptic_hours <= 1.0:
         raise ValueError(f"synoptic_hours must exceed 1, got {profile.synoptic_hours}")
@@ -202,7 +203,7 @@ def hydro_generation(
 ) -> HourlySeries:
     """Hourly hydro output (MW): seasonal, peaking with spring runoff."""
     fraction = authority.dispatch.hydro_fraction
-    if fraction == 0.0:
+    if is_exact_zero(fraction):
         return HourlySeries.zeros(calendar, name="water")
     day = np.arange(calendar.n_hours) // HOURS_PER_DAY
     # Spring-runoff peak around day 135 (mid-May).

@@ -60,8 +60,8 @@ def combined_run(
     """One year of the battery-first combined heuristic on raw arrays."""
     n_hours = demand.shape[0]
 
-    if flexible_ratio == 0.0:
-        if capacity_mwh == 0.0:
+    if flexible_ratio == 0.0:  # repro-lint: disable=RL005 — exact degenerate-case guard; kernels import nothing
+        if capacity_mwh == 0.0:  # repro-lint: disable=RL005 — exact degenerate-case guard; kernels import nothing
             grid_import, surplus = renewables_only_run(demand, supply)
             return CombinedRunArrays(
                 demand.copy(), grid_import, surplus, np.zeros(n_hours),

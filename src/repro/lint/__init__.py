@@ -1,0 +1,66 @@
+"""repro.lint — AST-based invariant checker for the repro codebase.
+
+The pipeline's correctness contracts (bitwise-deterministic sweeps,
+shared-memory segment ownership, read-only kernel arguments, a checked-in
+metric-name registry) were convention-only: documented in DESIGN.md,
+enforced by review.  This package turns them into machine-checked rules
+over the stdlib :mod:`ast` — no new runtime dependencies — run in CI as a
+gating job and locally via ``repro lint`` or ``python -m repro.lint``.
+
+Rules:
+
+========  ==================  ==================================================
+code      name                invariant
+========  ==================  ==================================================
+RL001     determinism         no wall-clock or global-RNG calls in
+                              worker-reachable code
+RL002     shm-lifecycle       ``SharedMemory(create=True)`` is unlinked in a
+                              ``finally`` or context manager in the same
+                              function
+RL003     kernel-purity       kernels never mutate parameter arrays, import
+                              multiprocessing, or do I/O
+RL004     metric-names        literal metric names must be declared in
+                              ``repro/obs/metric_names.py``
+RL005     float-equality      no ``==``/``!=`` against float expressions;
+                              use the blessed stats helpers
+RL006     exception-hygiene   no bare except; interrupt-catching handlers must
+                              re-raise
+========  ==================  ==================================================
+
+Suppress a single line with ``# repro-lint: disable=RL005 — justification``;
+the justification text is required by review policy (see DESIGN.md).
+"""
+
+from .engine import (
+    JSON_FORMAT_VERSION,
+    PARSE_ERROR_RULE,
+    check_file,
+    iter_python_files,
+    load_source_file,
+    render_json,
+    render_text,
+    run_lint,
+)
+from .findings import Finding, Severity, SourceFile
+from .rules import ALL_RULES, Rule, UnknownRuleError, get_rules
+from .suppress import parse_directive, suppressed_lines
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "JSON_FORMAT_VERSION",
+    "PARSE_ERROR_RULE",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "UnknownRuleError",
+    "check_file",
+    "get_rules",
+    "iter_python_files",
+    "load_source_file",
+    "parse_directive",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "suppressed_lines",
+]

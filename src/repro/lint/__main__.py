@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` entry point."""
+
+import sys
+
+from .cli import run
+
+if __name__ == "__main__":
+    sys.exit(run())

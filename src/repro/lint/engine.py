@@ -1,0 +1,122 @@
+"""The lint engine: discover files, parse once, run rules, filter, render.
+
+The engine is deliberately boring: collect ``.py`` files from the given
+paths (skipping hidden directories and ``__pycache__``), parse each file
+exactly once into a shared :class:`~repro.lint.findings.SourceFile`,
+hand it to every selected rule whose :meth:`~repro.lint.rules.base.Rule.
+applies_to` scope matches, drop findings suppressed by inline
+``# repro-lint: disable=...`` directives, and return the sorted list.
+
+Files that fail to parse are themselves findings (rule ``RL000``,
+"parse-error") rather than crashes — a syntax error in one module must
+not hide violations in the other three hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .findings import Finding, SourceFile
+from .rules import Rule, get_rules
+from .suppress import is_suppressed, suppressed_lines
+
+#: Pseudo-rule code attributed to files the engine cannot parse.
+PARSE_ERROR_RULE = "RL000"
+
+#: Version of the ``--format json`` document shape.
+JSON_FORMAT_VERSION = 1
+
+_SKIP_DIRS = frozenset({"__pycache__"})
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[pathlib.Path]:
+    """Every ``.py`` file under ``paths``, sorted, each yielded once."""
+    seen = set()
+    for raw in paths:
+        root = pathlib.Path(raw)
+        if root.is_file():
+            candidates = [root] if root.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in root.rglob("*.py")
+                if not any(
+                    part in _SKIP_DIRS or part.startswith(".")
+                    for part in p.parts
+                )
+            )
+        for path in candidates:
+            key = str(path)
+            if key not in seen:
+                seen.add(key)
+                yield path
+
+
+def load_source_file(path: pathlib.Path) -> "SourceFile | Finding":
+    """Parse ``path`` into a :class:`SourceFile`, or a parse-error finding."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        col = getattr(exc, "offset", None) or 0
+        return Finding(
+            path=str(path),
+            line=int(line),
+            col=int(col),
+            rule=PARSE_ERROR_RULE,
+            message=f"cannot parse file: {exc}",
+        )
+    return SourceFile(path=str(path), source=source, tree=tree)
+
+
+def check_file(file: SourceFile, rules: Sequence[Rule]) -> List[Finding]:
+    """All unsuppressed findings for one parsed file."""
+    suppressions = suppressed_lines(file.source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(file):
+            continue
+        for finding in rule.check(file):
+            if not is_suppressed(suppressions, finding.line, finding.rule):
+                findings.append(finding)
+    return findings
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint ``paths`` with the selected rules; sorted findings."""
+    rules = get_rules(select=select, ignore=ignore)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        loaded = load_source_file(path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        findings.extend(check_file(loaded, rules))
+    return sorted(findings)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one ``path:line:col RULE message`` per line."""
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report for CI: versioned JSON document."""
+    document = {
+        "version": JSON_FORMAT_VERSION,
+        "count": len(findings),
+        "findings": [finding.as_json() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

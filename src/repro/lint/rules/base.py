@@ -1,0 +1,104 @@
+"""Rule base class and shared AST helpers.
+
+A rule is a small, stateless object with a ``code`` (``RL001``…), a
+``severity``, an optional path scope (:meth:`Rule.applies_to`), and a
+:meth:`Rule.check` generator producing :class:`~repro.lint.findings.Finding`
+objects from a parsed :class:`~repro.lint.findings.SourceFile`.  The
+engine parses each file once and hands the same ``SourceFile`` to every
+selected rule.
+
+The helpers here cover the two analyses almost every rule needs:
+
+* :func:`dotted_name` — resolve an ``ast.Name``/``ast.Attribute`` chain to
+  its ``"a.b.c"`` spelling (or ``None`` for dynamic expressions);
+* :class:`ImportAliases` — map local names back to the canonical module
+  path they were imported as, so ``from time import time as now`` and
+  ``import numpy as np`` are seen through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from ..findings import Finding, Severity, SourceFile
+
+
+class Rule:
+    """Base class for one invariant check."""
+
+    code: str = "RL000"
+    name: str = "base"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def applies_to(self, file: SourceFile) -> bool:
+        """Whether this rule inspects ``file`` at all (path scoping)."""
+        return True
+
+    def check(self, file: SourceFile) -> Iterator[Finding]:
+        """Yield findings for ``file``.  Subclasses must override."""
+        raise NotImplementedError
+
+    def finding(self, file: SourceFile, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` for ``node`` attributed to this rule."""
+        return Finding(
+            path=file.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+            severity=self.severity.value,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``"a.b.c"`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportAliases:
+    """Local-name → canonical-module-path map for one file.
+
+    ``import time as t`` maps ``t`` → ``time``;
+    ``from time import time as now`` maps ``now`` → ``time.time``;
+    ``from numpy import random`` maps ``random`` → ``numpy.random``.
+    Relative imports are recorded with their leading dots stripped (the
+    rules match on suffixes of well-known stdlib/numpy paths, which a
+    relative import can never be).
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds `a.b` to c.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Canonicalize the leading component of ``dotted`` through imports."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        canonical = self._aliases.get(head)
+        if canonical is None:
+            return dotted
+        return f"{canonical}.{rest}" if rest else canonical
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Canonical dotted path of a call's callee (``None`` if dynamic)."""
+        return self.resolve(dotted_name(call.func))

@@ -1,0 +1,163 @@
+"""RL001 — determinism: no wall-clock or global-RNG calls in sweep code.
+
+Every reproduced figure rests on sweeps being bitwise deterministic:
+serial == parallel == shared-memory == resumed-from-checkpoint, and the
+checkpoint fingerprint is a pure function of (site, seed, space,
+strategy).  A single ``time.time()`` or unseeded ``random``/``np.random``
+global-state call inside worker-reachable code silently breaks all four
+equalities, so this rule bans them mechanically in the packages a sweep
+worker can reach: ``kernels``, ``core``, and everything
+``evaluate_design`` fans out to (``battery``, ``scheduling``, ``carbon``,
+``datacenter``, ``grid``, ``forecast``, ``timeseries``).
+
+Explicitly seeded randomness stays legal: ``np.random.default_rng(seed)``
+and ``random.Random(seed)`` construct private generators and are how the
+synthetic grid/demand models are *supposed* to draw their noise.
+``time.sleep`` is also legal — it delays, but never feeds a result.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, SourceFile
+from .base import ImportAliases, Rule
+
+#: Directories a sweep worker's call graph can reach.
+WORKER_REACHABLE_DIRS = (
+    "kernels",
+    "core",
+    "battery",
+    "scheduling",
+    "carbon",
+    "datacenter",
+    "grid",
+    "forecast",
+    "timeseries",
+)
+
+#: Wall-clock reads whose value could leak into results.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+    }
+)
+
+#: ``datetime`` "now" constructors, matched as dotted suffixes so both
+#: ``datetime.now()`` and ``datetime.datetime.now()`` spellings hit.
+_NOW_SUFFIXES = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: ``random`` module-level functions drawing from the hidden global state.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` module-level functions drawing from the legacy global
+#: RandomState.  ``default_rng`` / ``Generator`` are deliberately absent.
+_GLOBAL_NP_RANDOM = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "exponential",
+        "gamma",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+
+class DeterminismRule(Rule):
+    code = "RL001"
+    name = "determinism"
+    description = (
+        "no wall-clock (time.time, datetime.now) or global-state RNG "
+        "(random.*, np.random.*) calls in sweep-reachable code"
+    )
+
+    def applies_to(self, file: SourceFile) -> bool:
+        return file.in_directory(*WORKER_REACHABLE_DIRS)
+
+    def check(self, file: SourceFile) -> Iterator[Finding]:
+        aliases = ImportAliases(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = aliases.resolve_call(node)
+            if callee is None:
+                continue
+            message = self._violation(callee)
+            if message is not None:
+                yield self.finding(file, node, message)
+
+    @staticmethod
+    def _violation(callee: str) -> "str | None":
+        if callee in _CLOCK_CALLS:
+            return (
+                f"{callee}() reads the wall clock inside sweep-reachable "
+                "code; results must be pure functions of (site, seed, "
+                "space, strategy)"
+            )
+        for suffix in _NOW_SUFFIXES:
+            if callee == suffix or callee.endswith("." + suffix):
+                return (
+                    f"{callee}() depends on the current date inside "
+                    "sweep-reachable code; pass timestamps in explicitly"
+                )
+        head, _, tail = callee.rpartition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM:
+            return (
+                f"random.{tail}() draws from the unseeded global RNG; use "
+                "an explicit random.Random(seed) instance"
+            )
+        if head in ("numpy.random", "np.random") and tail in _GLOBAL_NP_RANDOM:
+            return (
+                f"{callee}() draws from numpy's global RandomState; use "
+                "np.random.default_rng(seed)"
+            )
+        return None

@@ -1,0 +1,176 @@
+"""RL003 — kernel purity: array kernels are side-effect-free functions.
+
+The ``kernels`` package holds the hot year loops that PR 2 proved bitwise
+identical to the original object-based simulators.  That equivalence —
+and the safety of sharing read-only zero-copy traces across sweep
+workers (PR 4) — rests on three properties this rule enforces:
+
+* **no parameter mutation** — a kernel never writes into an array it was
+  handed (``param[...] = x``, ``param += x``, ``param[...] -= x``); the
+  shared-memory trace plane maps those arrays read-only, so a mutation
+  would crash under shm and silently corrupt sibling evaluations without;
+* **no multiprocessing** — kernels run *inside* pool workers; nesting
+  pools deadlocks and smuggles scheduling policy into numeric code;
+* **no I/O** — ``open``/``print``/``input`` in a kernel means a hidden
+  dependency on the filesystem or an interleaved-output mess across
+  worker processes.
+
+Rebinding a parameter name to a fresh object (``demand = demand.copy()``)
+ends tracking for that name: mutations of the copy are the kernel's own
+business.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Union
+
+from ..findings import Finding, SourceFile
+from .base import ImportAliases, Rule
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_BANNED_IMPORTS = ("multiprocessing",)
+
+_IO_CALLS = frozenset({"open", "print", "input"})
+
+_IO_PREFIXES = ("sys.stdout.", "sys.stderr.")
+
+
+def _parameter_names(func: _FunctionNode) -> Set[str]:
+    args = func.args
+    names = {a.arg for a in args.args}
+    names.update(a.arg for a in args.posonlyargs)
+    names.update(a.arg for a in args.kwonlyargs)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _binding_names(target: ast.AST) -> Iterator[str]:
+    """Names a plain assignment target binds fresh.
+
+    Only ``Name`` targets (possibly nested in tuple/list/starred
+    unpacking) create new bindings; ``supply[0] = x`` and ``obj.attr = x``
+    mutate the existing object and must NOT end mutation tracking.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            for name in _binding_names(elt):
+                yield name
+    elif isinstance(target, ast.Starred):
+        for name in _binding_names(target.value):
+            yield name
+
+
+def _rebound_names(func: _FunctionNode) -> Set[str]:
+    """Names assigned a fresh binding anywhere in the function body."""
+    rebound: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                rebound.update(_binding_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                rebound.add(target.id)
+        elif isinstance(node, ast.For):
+            rebound.update(_binding_names(node.target))
+    return rebound
+
+
+def _subscript_base(node: ast.AST) -> "ast.Name | None":
+    """The root ``Name`` of a (possibly nested) subscript target."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+class KernelPurityRule(Rule):
+    code = "RL003"
+    name = "kernel-purity"
+    description = (
+        "kernels may not mutate parameter arrays, import multiprocessing, "
+        "or perform I/O"
+    )
+
+    def applies_to(self, file: SourceFile) -> bool:
+        return file.in_directory("kernels")
+
+    def check(self, file: SourceFile) -> Iterator[Finding]:
+        aliases = ImportAliases(file.tree)
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_IMPORTS:
+                        yield self.finding(
+                            file,
+                            node,
+                            f"kernel module imports {alias.name!r}; kernels "
+                            "run inside pool workers and must not spawn or "
+                            "coordinate processes",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _BANNED_IMPORTS:
+                    yield self.finding(
+                        file,
+                        node,
+                        f"kernel module imports from {node.module!r}; kernels "
+                        "run inside pool workers and must not spawn or "
+                        "coordinate processes",
+                    )
+            elif isinstance(node, ast.Call):
+                callee = aliases.resolve_call(node)
+                if callee in _IO_CALLS or (
+                    callee is not None
+                    and callee.startswith(_IO_PREFIXES)
+                ):
+                    yield self.finding(
+                        file,
+                        node,
+                        f"kernel performs I/O via {callee}(); kernels must be "
+                        "pure functions of their array arguments",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for found in self._check_mutations(file, node):
+                    yield found
+
+    def _check_mutations(
+        self, file: SourceFile, func: _FunctionNode
+    ) -> Iterator[Finding]:
+        tracked = _parameter_names(func) - _rebound_names(func)
+        if not tracked:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                base = (
+                    target
+                    if isinstance(target, ast.Name)
+                    and isinstance(node, ast.AugAssign)
+                    else _subscript_base(target)
+                )
+                if base is not None and base.id in tracked:
+                    kind = (
+                        "augmented-assigns to"
+                        if isinstance(node, ast.AugAssign)
+                        else "writes into"
+                    )
+                    yield self.finding(
+                        file,
+                        node,
+                        f"kernel {func.name!r} {kind} parameter "
+                        f"{base.id!r}; parameter arrays may be read-only "
+                        "shared-memory views and must never be mutated",
+                    )

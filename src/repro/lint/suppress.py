@@ -1,0 +1,70 @@
+"""Inline suppression directives: ``# repro-lint: disable=RULE``.
+
+A finding is suppressed when the physical line it is reported on carries
+a disable comment naming its rule (or ``all``)::
+
+    if energy == capacity_mwh:  # repro-lint: disable=RL005 — exact rail check
+
+Multiple rules are comma-separated (``disable=RL001,RL005``).  Everything
+after the rule list — conventionally a justification, as in the example —
+is ignored by the parser but required by review policy: a suppression
+without a *why* is a smell (see DESIGN.md "Static analysis").
+
+Directives are extracted from real comment tokens via :mod:`tokenize`, so
+a ``repro-lint:`` inside a string literal never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: Sentinel rule name matching every rule on the line.
+ALL_RULES = "all"
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def parse_directive(comment: str) -> FrozenSet[str]:
+    """Rule codes named by one comment string (empty set when none)."""
+    match = _DIRECTIVE.search(comment)
+    if not match:
+        return frozenset()
+    return frozenset(code.strip() for code in match.group(1).split(","))
+
+
+def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map of line number to the rule codes disabled on that line.
+
+    Tokenization errors (the file may be unparseable or use an encoding
+    trick) degrade to "no suppressions" — the engine reports the parse
+    failure separately, and a file that cannot be tokenized cannot carry
+    trustworthy directives anyway.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            codes = parse_directive(token.string)
+            if codes:
+                line = token.start[0]
+                suppressions[line] = suppressions.get(line, frozenset()) | codes
+    except (tokenize.TokenError, SyntaxError, IndentationError, ValueError):
+        return {}
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule: str
+) -> bool:
+    """Whether ``rule`` is disabled on ``line``."""
+    codes = suppressions.get(line)
+    if not codes:
+        return False
+    return rule in codes or ALL_RULES in codes

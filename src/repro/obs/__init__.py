@@ -19,6 +19,14 @@ See the "Observability" section of README.md for the CLI surface
 """
 
 from .log import LOGGER_NAME, configure_logging, get_logger
+from .metric_names import (
+    COUNTERS,
+    GAUGES,
+    HISTOGRAM_PATTERNS,
+    UnknownMetricError,
+    check_metric,
+    is_known_metric,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -58,6 +66,12 @@ __all__ = [
     "LOGGER_NAME",
     "configure_logging",
     "get_logger",
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAM_PATTERNS",
+    "UnknownMetricError",
+    "check_metric",
+    "is_known_metric",
     "Counter",
     "Gauge",
     "Histogram",

@@ -31,6 +31,8 @@ import os
 import threading
 from typing import Any, Dict, List, Optional, Union
 
+from . import metric_names
+
 PathLike = Union[str, "os.PathLike[str]"]
 
 #: Upper bucket bounds for histograms: half-decade log spacing covering
@@ -122,10 +124,20 @@ class MetricsRegistry:
     Thread-safe; metric objects are created lazily on first write.  The
     module-level default registry backs the convenience functions below,
     but independent registries can be instantiated freely (tests do).
+
+    With ``validate=True`` every lazily created metric's name is checked
+    against :mod:`repro.obs.metric_names` and an unknown name raises
+    :class:`~repro.obs.metric_names.UnknownMetricError` — the runtime
+    backstop behind the static RL004 lint rule, catching dynamic names
+    the linter cannot see.  The default registry validates; ad-hoc
+    instances (tests, scratch measurements) default to ``False``.
+    Validation happens only at creation time while enabled, so the
+    disabled fast path still pays one flag check and nothing else.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, validate: bool = False) -> None:
         self.enabled = enabled
+        self.validate = validate
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
@@ -141,6 +153,8 @@ class MetricsRegistry:
         with self._lock:
             counter = self._counters.get(name)
             if counter is None:
+                if self.validate:
+                    metric_names.check_metric("counter", name)
                 counter = self._counters[name] = Counter(name)
             counter.value += amount
 
@@ -151,6 +165,8 @@ class MetricsRegistry:
         with self._lock:
             gauge = self._gauges.get(name)
             if gauge is None:
+                if self.validate:
+                    metric_names.check_metric("gauge", name)
                 gauge = self._gauges[name] = Gauge(name)
             gauge.value = value
 
@@ -161,6 +177,8 @@ class MetricsRegistry:
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
+                if self.validate:
+                    metric_names.check_metric("histogram", name)
                 histogram = self._histograms[name] = Histogram(name)
             histogram.observe(value)
 
@@ -247,8 +265,10 @@ class MetricsRegistry:
             handle.write("\n")
 
 
-#: The process-wide default registry; disabled until opted into.
-_REGISTRY = MetricsRegistry(enabled=False)
+#: The process-wide default registry; disabled until opted into.  It
+#: validates names against :mod:`repro.obs.metric_names` — the library's
+#: own instrumentation must only emit declared metrics.
+_REGISTRY = MetricsRegistry(enabled=False, validate=True)
 
 
 def get_registry() -> MetricsRegistry:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..timeseries import HourlySeries
 from .greedy import schedule_carbon_aware
+from ..timeseries.stats import is_exact_zero
 
 #: Widest capacity expansion the search considers, as a multiple of the
 #: original peak.  Fig. 12 tops out at "over 100%" additional capacity, i.e.
@@ -62,7 +63,7 @@ def additional_capacity_for_full_coverage(
         raise ValueError(f"max_multiple must be >= 1, got {max_multiple}")
 
     base_peak = demand.max()
-    if base_peak == 0.0:
+    if is_exact_zero(base_peak):
         raise ValueError("demand trace is identically zero")
 
     def deficit(multiple: float) -> float:

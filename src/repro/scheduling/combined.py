@@ -29,6 +29,7 @@ from ..battery import BatterySpec
 from ..kernels.combined import combined_run
 from ..obs import inc, span
 from ..timeseries import HourlySeries
+from ..timeseries.stats import is_exact_zero
 
 
 @dataclass(frozen=True)
@@ -78,7 +79,7 @@ class CombinedResult:
     def equivalent_full_cycles(self) -> float:
         """Equivalent full battery cycles accumulated over the year."""
         usable = self.battery_spec.usable_mwh
-        if usable == 0.0:
+        if is_exact_zero(usable):
             return 0.0
         return self.discharged_mwh / usable
 

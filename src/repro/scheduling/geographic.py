@@ -22,6 +22,7 @@ from typing import Dict, Mapping, Sequence, Tuple
 import numpy as np
 
 from ..timeseries import HourlySeries
+from ..timeseries.stats import is_exact_zero
 
 _EPSILON_MW = 1e-9
 
@@ -84,7 +85,7 @@ class MigrationResult:
 
     def deficit_reduction(self) -> float:
         """Fraction of the fleet deficit removed by migration."""
-        if self.deficit_before_mwh == 0.0:
+        if is_exact_zero(self.deficit_before_mwh):
             return 0.0
         return 1.0 - self.deficit_after_mwh / self.deficit_before_mwh
 

@@ -30,6 +30,7 @@ import numpy as np
 from ..kernels.greedy import schedule_run
 from ..obs import inc, span
 from ..timeseries import HOURS_PER_DAY, HourlySeries
+from ..timeseries.stats import is_exact_zero
 
 #: FWR may be one number for every hour or a 24-value hour-of-day profile
 #: (the paper: "flexible workload ratio for each hour of the day").
@@ -87,7 +88,7 @@ class ScheduleResult:
     def moved_fraction(self) -> float:
         """Moved energy as a fraction of total annual demand."""
         total = self.original_demand.total()
-        if total == 0.0:
+        if is_exact_zero(total):
             return 0.0
         return self.moved_mwh / total
 
@@ -99,7 +100,7 @@ class ScheduleResult:
         hours need additional provisioned servers.
         """
         base_peak = self.original_demand.max()
-        if base_peak == 0.0:
+        if is_exact_zero(base_peak):
             return 0.0
         return max(self.peak_power_mw - base_peak, 0.0) / base_peak
 

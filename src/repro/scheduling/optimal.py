@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..timeseries import HOURS_PER_DAY, HourlySeries
+from ..timeseries.stats import is_exact_zero
 
 _H = HOURS_PER_DAY
 
@@ -181,8 +182,8 @@ def greedy_optimality_gap(
     optimal = schedule_optimal(demand, supply, capacity_mw, flexible_ratio)
     greedy_deficit = (greedy.shifted_demand - supply).positive_part().total()
     optimal_deficit = optimal.deficit_mwh(supply)
-    if optimal_deficit == 0.0:
-        if greedy_deficit == 0.0:
+    if is_exact_zero(optimal_deficit):
+        if is_exact_zero(greedy_deficit):
             return 0.0
         raise ValueError("optimal schedule reaches zero deficit but greedy does not")
     return greedy_deficit / optimal_deficit - 1.0

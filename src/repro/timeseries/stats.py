@@ -15,6 +15,29 @@ import numpy as np
 from .series import HourlySeries
 
 
+def is_exact_zero(value: float) -> bool:
+    """Whether ``value`` is exactly ``0.0`` (or ``-0.0``), bitwise.
+
+    The blessed spelling of the degenerate-case guards scattered through
+    the pipeline (``capacity == 0.0``, ``mean == 0.0``): the name records
+    that an exact — not approximate — comparison is intended, which is
+    why the ``repro lint`` float-equality rule (RL005) points here.
+    Tolerance checks belong in ``math.isclose``/``np.isclose`` instead.
+    """
+    return value == 0.0  # repro-lint: disable=RL005 — the blessed exact check itself
+
+
+def bitwise_equal(a: float, b: float) -> bool:
+    """Whether ``a`` and ``b`` are the same IEEE-754 value.
+
+    The blessed spelling for the repo's bitwise-determinism assertions
+    (serial == parallel == shm == resumed): plain ``==`` semantics, but
+    the name makes "exactly equal, no tolerance" reviewable.  Note the
+    usual IEEE caveats apply: ``NaN != NaN`` and ``0.0 == -0.0``.
+    """
+    return a == b
+
+
 @dataclass(frozen=True)
 class Histogram:
     """A simple fixed-bin histogram.
@@ -77,7 +100,7 @@ def peak_to_trough_swing(series: HourlySeries) -> float:
     (Fig. 1); this is the statistic behind those numbers.
     """
     mean = series.mean()
-    if mean == 0.0:
+    if is_exact_zero(mean):
         raise ValueError("swing undefined for a zero-mean series")
     return (series.max() - series.min()) / mean
 
@@ -94,7 +117,7 @@ def best_days_ratio(series: HourlySeries, n_days: int = 10) -> float:
     if n_days > totals.size:
         raise ValueError(f"n_days {n_days} exceeds days in year {totals.size}")
     mean = totals.mean()
-    if mean == 0.0:
+    if is_exact_zero(mean):
         raise ValueError("ratio undefined when the yearly mean daily total is zero")
     best = np.sort(totals)[-n_days:]
     return float(best.mean() / mean)
@@ -112,7 +135,7 @@ def worst_days_ratio(series: HourlySeries, n_days: int = 10) -> float:
     if n_days > totals.size:
         raise ValueError(f"n_days {n_days} exceeds days in year {totals.size}")
     mean = totals.mean()
-    if mean == 0.0:
+    if is_exact_zero(mean):
         raise ValueError("ratio undefined when the yearly mean daily total is zero")
     worst = np.sort(totals)[:n_days]
     return float(worst.mean() / mean)
@@ -122,7 +145,7 @@ def coefficient_of_variation(samples: Sequence[float]) -> float:
     """Standard deviation over mean — day-to-day volatility fingerprint."""
     array = np.asarray(samples, dtype=float)
     mean = array.mean()
-    if mean == 0.0:
+    if is_exact_zero(mean):
         raise ValueError("coefficient of variation undefined for zero mean")
     return float(array.std() / mean)
 
@@ -139,6 +162,6 @@ def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
         raise ValueError(f"shape mismatch: {ax.shape} vs {ay.shape}")
     if ax.size < 2:
         raise ValueError("need at least two samples for a correlation")
-    if ax.std() == 0.0 or ay.std() == 0.0:
+    if is_exact_zero(ax.std()) or is_exact_zero(ay.std()):
         raise ValueError("correlation undefined for a constant vector")
     return float(np.corrcoef(ax, ay)[0, 1])

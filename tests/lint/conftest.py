@@ -1,0 +1,18 @@
+"""Shared paths for the lint test suite."""
+
+import pathlib
+
+import pytest
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fixtures():
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root():
+    return REPO_ROOT

@@ -1,0 +1,22 @@
+"""RL006 fixture: swallowed interrupts and a bare except."""
+
+
+def swallow_bare(work):
+    try:
+        return work()
+    except:
+        return None
+
+
+def swallow_interrupt(work):
+    try:
+        return work()
+    except KeyboardInterrupt:
+        return 130
+
+
+def swallow_in_tuple(work):
+    try:
+        return work()
+    except (ValueError, BaseException) as error:
+        return error

@@ -1,0 +1,11 @@
+"""RL005 fixture: float-shaped equality comparisons."""
+
+
+def guards(capacity, hours, ratio):
+    if capacity == 0.0:
+        return None
+    if hours != float("inf"):
+        return hours
+    if ratio == -1.5:
+        return 0.0
+    return 1.0 if 0.5 == ratio else capacity

@@ -1,0 +1,8 @@
+"""RL004 fixture: literal metric names absent from the registry."""
+
+
+def instrumented(registry):
+    registry.inc("designs_evaluted")
+    registry.set_gauge("grid_points_total", 7)
+    registry.observe("evaluate.seconds", 0.25)
+    return registry.counter_value("design_evaluations")

@@ -1,0 +1,4 @@
+"""Parse-error fixture: the engine must report RL000, not crash."""
+
+def incomplete(:
+    return None

@@ -1,0 +1,24 @@
+"""RL001 fixture: every call below reads global nondeterministic state."""
+
+import random
+import time
+from datetime import date, datetime
+from time import time as now
+
+import numpy as np
+
+
+def wall_clock():
+    a = time.time()
+    b = now()
+    c = datetime.now()
+    d = date.today()
+    return a, b, c, d
+
+
+def global_rng():
+    x = random.random()
+    y = np.random.rand(3)
+    np.random.seed(7)
+    random.shuffle([1, 2, 3])
+    return x, y

@@ -1,0 +1,17 @@
+"""RL001 fixture: explicitly seeded or harmless time/randomness only."""
+
+import random
+import time
+
+import numpy as np
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)
+    private = random.Random(seed)
+    return rng.normal(), private.random()
+
+
+def throttle():
+    time.sleep(0.01)
+    return time.perf_counter() - time.perf_counter()

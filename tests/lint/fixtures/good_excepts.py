@@ -1,0 +1,23 @@
+"""RL006 fixture: re-raised interrupts and ordinary exception handling."""
+
+
+def reraises(work, cleanup):
+    try:
+        return work()
+    except KeyboardInterrupt:
+        cleanup()
+        raise
+
+
+def converts(work):
+    try:
+        return work()
+    except BaseException as error:
+        raise RuntimeError("wrapped") from error
+
+
+def ordinary(work):
+    try:
+        return work()
+    except ValueError:
+        return None

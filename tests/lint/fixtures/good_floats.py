@@ -1,0 +1,15 @@
+"""RL005 fixture: blessed spellings and non-float comparisons."""
+
+import math
+
+
+def guards(capacity, hours, count, is_exact_zero):
+    if is_exact_zero(capacity):
+        return None
+    if math.isinf(hours):
+        return hours
+    if count == 0:
+        return "zero"
+    if capacity < 0.0:
+        return -capacity
+    return capacity == hours

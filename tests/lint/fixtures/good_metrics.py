@@ -1,0 +1,14 @@
+"""RL004 fixture: registered names, dynamic names, unrelated calls."""
+
+
+def instrumented(registry, span_name):
+    registry.inc("designs_evaluated")
+    registry.set_gauge("sweep_grid_points", 40)
+    registry.observe("span.optimize.seconds", 0.5)
+    registry.observe(f"span.{span_name}.seconds", 0.5)
+    return registry.counter_value("sweeps_completed")
+
+
+def unrelated(histogram, value):
+    # Histogram.observe(value) takes no name; not the metrics API shape.
+    histogram.observe(value)

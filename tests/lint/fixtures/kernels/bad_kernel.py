@@ -1,0 +1,18 @@
+"""RL003 fixture: mutation, multiprocessing, and I/O inside a kernel."""
+
+import multiprocessing
+
+import numpy as np
+
+
+def mutating_kernel(supply, demand):
+    supply[0] = 0.0
+    demand += 1.0
+    total = float(np.sum(supply))
+    print(total)
+    return total
+
+
+def io_kernel(path, values):
+    with open(path) as handle:
+        return handle.read(), multiprocessing.cpu_count(), values

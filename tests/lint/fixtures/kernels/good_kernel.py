@@ -1,0 +1,21 @@
+"""RL003 fixture: pure kernels — rebinding and local mutation are fine."""
+
+import numpy as np
+
+
+def pure_kernel(supply, demand):
+    deficit = np.maximum(demand - supply, 0.0)
+    return float(deficit.sum())
+
+
+def copy_then_mutate(supply):
+    supply = supply.copy()
+    supply[0] = 0.0
+    return supply
+
+
+def local_accumulator(values):
+    out = np.zeros_like(values)
+    out += values
+    out[0] = 1.0
+    return out

@@ -1,0 +1,10 @@
+"""Suppression fixture: each violation carries a disable directive."""
+
+
+def guards(capacity, registry):
+    if capacity == 0.0:  # repro-lint: disable=RL005 — fixture justification
+        return None
+    registry.inc("totally_unknown")  # repro-lint: disable=RL004, RL005 — list form
+    if capacity == 1.0:  # repro-lint: disable=all — sledgehammer form
+        return 1.0
+    return capacity == 2.0  # repro-lint: disable=RL006 — wrong rule, still reported

@@ -1,0 +1,106 @@
+"""Per-rule behavior over the checked-in fixture trees.
+
+Each rule gets one bad-fixture test asserting the exact ``(line, rule)``
+pairs it reports and one good-fixture test asserting silence.  The
+fixtures live under directory names (``core/``, ``kernels/``) that
+trigger the same path scoping as the real source tree.
+"""
+
+from repro.lint import run_lint
+
+
+def findings_for(path, rule):
+    return [(f.line, f.rule) for f in run_lint([str(path)], select=[rule])]
+
+
+class TestDeterminismRL001:
+    def test_flags_clock_and_global_rng_calls(self, fixtures):
+        assert findings_for(fixtures / "core" / "bad_determinism.py", "RL001") == [
+            (12, "RL001"),  # time.time()
+            (13, "RL001"),  # now() aliased from time.time
+            (14, "RL001"),  # datetime.now()
+            (15, "RL001"),  # date.today()
+            (20, "RL001"),  # random.random()
+            (21, "RL001"),  # np.random.rand()
+            (22, "RL001"),  # np.random.seed()
+            (23, "RL001"),  # random.shuffle()
+        ]
+
+    def test_seeded_and_sleep_are_legal(self, fixtures):
+        assert findings_for(fixtures / "core" / "good_determinism.py", "RL001") == []
+
+    def test_scoped_to_worker_reachable_directories(self, fixtures, tmp_path):
+        # The same source outside core/kernels/... is out of scope.
+        copy = tmp_path / "elsewhere" / "bad_determinism.py"
+        copy.parent.mkdir()
+        copy.write_text((fixtures / "core" / "bad_determinism.py").read_text())
+        assert run_lint([str(copy)], select=["RL001"]) == []
+
+
+class TestShmLifecycleRL002:
+    def test_flags_unmanaged_creations(self, fixtures):
+        assert findings_for(fixtures / "core" / "bad_shm.py", "RL002") == [
+            (8, "RL002"),
+            (13, "RL002"),
+        ]
+
+    def test_finally_with_and_attach_only_pass(self, fixtures):
+        assert findings_for(fixtures / "core" / "good_shm.py", "RL002") == []
+
+
+class TestKernelPurityRL003:
+    def test_flags_mutation_multiprocessing_and_io(self, fixtures):
+        assert findings_for(fixtures / "kernels" / "bad_kernel.py", "RL003") == [
+            (3, "RL003"),   # import multiprocessing
+            (9, "RL003"),   # supply[0] = ...
+            (10, "RL003"),  # demand += ...
+            (12, "RL003"),  # print(...)
+            (17, "RL003"),  # open(...)
+        ]
+
+    def test_rebinding_and_local_mutation_pass(self, fixtures):
+        assert findings_for(fixtures / "kernels" / "good_kernel.py", "RL003") == []
+
+    def test_scoped_to_kernels_directories(self, fixtures, tmp_path):
+        copy = tmp_path / "helpers" / "bad_kernel.py"
+        copy.parent.mkdir()
+        copy.write_text((fixtures / "kernels" / "bad_kernel.py").read_text())
+        assert run_lint([str(copy)], select=["RL003"]) == []
+
+
+class TestMetricNamesRL004:
+    def test_flags_unregistered_literal_names(self, fixtures):
+        assert findings_for(fixtures / "bad_metrics.py", "RL004") == [
+            (5, "RL004"),  # inc typo
+            (6, "RL004"),  # set_gauge unknown
+            (7, "RL004"),  # observe non-span name
+            (8, "RL004"),  # counter_value unknown
+        ]
+
+    def test_registered_dynamic_and_unrelated_calls_pass(self, fixtures):
+        assert findings_for(fixtures / "good_metrics.py", "RL004") == []
+
+
+class TestFloatEqualityRL005:
+    def test_flags_float_shaped_comparisons(self, fixtures):
+        assert findings_for(fixtures / "bad_floats.py", "RL005") == [
+            (5, "RL005"),   # == 0.0
+            (7, "RL005"),   # != float("inf")
+            (9, "RL005"),   # == -1.5
+            (11, "RL005"),  # literal on the left
+        ]
+
+    def test_blessed_helpers_ints_and_orderings_pass(self, fixtures):
+        assert findings_for(fixtures / "good_floats.py", "RL005") == []
+
+
+class TestExceptionHygieneRL006:
+    def test_flags_swallowed_interrupts(self, fixtures):
+        assert findings_for(fixtures / "bad_excepts.py", "RL006") == [
+            (7, "RL006"),   # bare except
+            (14, "RL006"),  # except KeyboardInterrupt: return
+            (21, "RL006"),  # BaseException inside a tuple
+        ]
+
+    def test_reraise_wrap_and_ordinary_handlers_pass(self, fixtures):
+        assert findings_for(fixtures / "good_excepts.py", "RL006") == []

@@ -1,0 +1,52 @@
+"""Inline ``# repro-lint: disable=...`` directive handling."""
+
+from repro.lint import parse_directive, run_lint, suppressed_lines
+from repro.lint.suppress import is_suppressed
+
+
+class TestParseDirective:
+    def test_single_rule(self):
+        assert parse_directive("# repro-lint: disable=RL005 — why") == {"RL005"}
+
+    def test_comma_separated_list(self):
+        assert parse_directive("# repro-lint: disable=RL001, RL005") == {
+            "RL001",
+            "RL005",
+        }
+
+    def test_all_sentinel(self):
+        assert parse_directive("# repro-lint: disable=all") == {"all"}
+
+    def test_ordinary_comment_is_not_a_directive(self):
+        assert parse_directive("# disable the frobnicator") == frozenset()
+
+    def test_spacing_variants(self):
+        assert parse_directive("#repro-lint:disable=RL002") == {"RL002"}
+
+
+class TestSuppressedLines:
+    def test_maps_line_numbers_to_codes(self):
+        source = "x = 1\ny = 2  # repro-lint: disable=RL005 — reason\n"
+        assert suppressed_lines(source) == {2: frozenset({"RL005"})}
+
+    def test_directive_inside_string_literal_is_ignored(self):
+        source = 's = "# repro-lint: disable=RL005"\n'
+        assert suppressed_lines(source) == {}
+
+    def test_unparseable_source_degrades_to_no_suppressions(self):
+        assert suppressed_lines("def broken(:\n") == {}
+
+    def test_is_suppressed_matches_rule_or_all(self):
+        lines = {3: frozenset({"RL001"}), 7: frozenset({"all"})}
+        assert is_suppressed(lines, 3, "RL001")
+        assert not is_suppressed(lines, 3, "RL002")
+        assert is_suppressed(lines, 7, "RL999")
+        assert not is_suppressed(lines, 4, "RL001")
+
+
+class TestSuppressionFixture:
+    def test_directives_silence_only_their_rules(self, fixtures):
+        findings = run_lint([str(fixtures / "suppressed.py")])
+        # Lines 5 (RL005), 7 (RL004 via list), 8 (all) are suppressed;
+        # line 10 disables the wrong rule and must still be reported.
+        assert [(f.line, f.rule) for f in findings] == [(10, "RL005")]

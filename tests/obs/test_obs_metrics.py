@@ -116,10 +116,10 @@ class TestGlobalHelpers:
 
     def test_save_metrics_writes_snapshot(self, tmp_path):
         enable_metrics()
-        inc("c")
+        inc("sweeps_completed")
         path = tmp_path / "m.json"
         save_metrics(path)
-        assert json.loads(path.read_text())["counters"]["c"] == 1
+        assert json.loads(path.read_text())["counters"]["sweeps_completed"] == 1
 
 
 class TestMergeCounters:

@@ -64,14 +64,14 @@ class TestEmit:
         from repro.obs import inc
 
         def work():
-            inc("bench_common_test_counter", 3)
+            inc("sweeps_completed", 3)
             return "x"
 
-        inc("bench_common_test_counter", 100)  # pre-run noise, must not leak
+        inc("sweeps_completed", 100)  # pre-run noise, must not leak
         bench_common.run_once(FakeBenchmark(), work)
         bench_common.emit("fig15", "rows")
         sidecar = json.loads((bench_common.OUT_DIR / "fig15.json").read_text())
-        assert sidecar["metrics"]["counters"]["bench_common_test_counter"] == 3
+        assert sidecar["metrics"]["counters"]["sweeps_completed"] == 3
 
 
 class TestRunOnce:
