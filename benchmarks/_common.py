@@ -6,7 +6,9 @@ reproduced artifacts survive the run (pytest captures stdout by default).
 Alongside each text artifact, :func:`emit` writes a machine-readable
 ``benchmarks/out/<name>.json`` recording the wall-clock seconds of the
 :func:`run_once` call that produced it plus the :mod:`repro.obs` metrics
-that run generated — the feed for the perf trajectory.
+that run generated — the feed for the perf trajectory — and a
+``benchmarks/out/<name>.prom`` Prometheus text-format exposition of the
+same snapshot, scrape-ready for a node-exporter textfile collector.
 
 The two calls form a strict pair: :func:`run_once` captures the wall time
 *and* a metrics snapshot atomically at the end of the timed run (metrics
@@ -29,6 +31,7 @@ from repro.obs import (
     enable_metrics,
     metrics_enabled,
     metrics_snapshot,
+    render_prometheus,
     reset_metrics,
 )
 
@@ -52,9 +55,10 @@ def bench_workers() -> int:
 def emit(name: str, text: str) -> pathlib.Path:
     """Print a reproduced table/series and persist it under benchmarks/out/.
 
-    Writes ``<name>.txt`` (the human artifact) and ``<name>.json`` (wall
-    time and metrics of the preceding :func:`run_once`), and returns the
-    path of the text artifact so benches can assert on it.
+    Writes ``<name>.txt`` (the human artifact), ``<name>.json`` (wall
+    time and metrics of the preceding :func:`run_once`), and
+    ``<name>.prom`` (the same metrics as a Prometheus exposition), and
+    returns the path of the text artifact so benches can assert on it.
 
     Raises
     ------
@@ -90,6 +94,7 @@ def emit(name: str, text: str) -> pathlib.Path:
     (OUT_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
+    (OUT_DIR / f"{name}.prom").write_text(render_prometheus(metrics))
     print(f"\n{text}\n[written to {path}]")
     return path
 

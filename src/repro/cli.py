@@ -18,8 +18,16 @@ Wraps the library's main analyses for shell use:
 Every command additionally accepts the observability flags ``--log-level``
 (console logging for the ``repro.*`` namespace), ``--trace-out FILE``
 (record spans, write a span-tree JSON — or Chrome ``trace_event`` JSON
-when the filename contains ``chrome``), and ``--metrics-out FILE``
-(record counters/histograms, write a JSON snapshot).
+when the filename contains ``chrome``), ``--metrics-out FILE``
+(record counters/histograms, write a JSON snapshot), and
+``--metrics-prom FILE`` (write a Prometheus text-format exposition,
+atomically, on exit).
+
+The sweep commands further accept ``--metrics-port PORT`` (serve live
+Prometheus ``/metrics`` over HTTP while the command runs; ``0`` picks a
+free port) and ``--events-out FILE`` (stream the sweep's lifecycle
+events — ``sweep_started``, ``chunk_completed``, ``frontier_updated``,
+... — to a JSONL file as they happen).
 
 The sweep commands (``optimize``, ``rank``, ``stats``) also accept the
 resilience flags ``--checkpoint FILE`` (journal completed chunks as the
@@ -52,7 +60,9 @@ from .grid import RenewableInvestment, generate_grid_dataset
 from .io import write_grid_csv, write_trace_csv
 from .lint.cli import add_lint_arguments, run_from_args as run_lint_from_args
 from .obs import (
+    JsonlSink,
     ProgressTicker,
+    SweepEvents,
     configure_logging,
     disable_metrics,
     disable_tracing,
@@ -64,7 +74,9 @@ from .obs import (
     reset_metrics,
     reset_tracing,
     save_metrics,
+    save_prometheus,
     save_trace,
+    start_metrics_server,
     tracing_enabled,
 )
 from .reporting import format_table, percent
@@ -110,7 +122,34 @@ def _obs_parent() -> argparse.ArgumentParser:
         default=None,
         help="record metrics; write a JSON snapshot",
     )
+    group.add_argument(
+        "--metrics-prom",
+        metavar="FILE",
+        default=None,
+        help="record metrics; write a Prometheus text-format exposition "
+        "(atomically, for the node-exporter textfile collector)",
+    )
     return parent
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Live-telemetry flags for the sweep commands (optimize/rank/stats)."""
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live Prometheus metrics on http://127.0.0.1:PORT/metrics "
+        "while the command runs (0 picks a free port, printed on stderr)",
+    )
+    group.add_argument(
+        "--events-out",
+        metavar="FILE",
+        default=None,
+        help="stream sweep lifecycle events (sweep_started, chunk_completed, "
+        "frontier_updated, ...) to FILE as JSON lines while the sweep runs",
+    )
 
 
 def _enable_collectors(trace: bool, metrics: bool) -> None:
@@ -134,25 +173,51 @@ def _obs_session(args: argparse.Namespace) -> Iterator[None]:
     """Wire the shared observability flags around a command invocation.
 
     ``--log-level`` attaches a console handler to the ``repro`` logger;
-    ``--trace-out`` / ``--metrics-out`` enable the respective collectors
-    and write their JSON files when the command finishes — including on
-    domain errors, so a failed run can still be inspected.
+    ``--trace-out`` / ``--metrics-out`` / ``--metrics-prom`` enable the
+    respective collectors and write their files when the command finishes
+    — including on domain errors, so a failed run can still be inspected.
+    ``--metrics-port`` serves live ``/metrics`` for the duration of the
+    command; ``--events-out`` opens a :class:`~repro.obs.JsonlSink` on a
+    fresh :class:`~repro.obs.SweepEvents` bus, published to the sweep
+    handlers as ``args.events_bus``.
     """
     if getattr(args, "log_level", None):
         configure_logging(args.log_level)
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    metrics_prom = getattr(args, "metrics_prom", None)
+    metrics_port = getattr(args, "metrics_port", None)
+    events_out = getattr(args, "events_out", None)
+    want_metrics = bool(metrics_out or metrics_prom or metrics_port is not None)
     _enable_collectors(
         trace=bool(trace_out) and not tracing_enabled(),
-        metrics=bool(metrics_out) and not metrics_enabled(),
+        metrics=want_metrics and not metrics_enabled(),
     )
+    server = None
+    sink = None
+    args.events_bus = None
+    if metrics_port is not None:
+        server = start_metrics_server(port=metrics_port)
+        print(f"serving metrics on {server.url}", file=sys.stderr)
+    if events_out:
+        sink = JsonlSink(events_out)
+        args.events_bus = SweepEvents()
+        args.events_bus.subscribe(sink)
     try:
         yield
     finally:
+        if args.events_bus is not None:
+            args.events_bus.close()
+        if sink is not None:
+            sink.close()
+        if server is not None:
+            server.close()
         if trace_out:
             save_trace(trace_out)
         if metrics_out:
             save_metrics(metrics_out)
+        if metrics_prom:
+            save_prometheus(metrics_prom)
 
 
 def _add_site_arguments(parser: argparse.ArgumentParser) -> None:
@@ -224,6 +289,7 @@ def _resilience_kwargs(args: argparse.Namespace) -> dict:
         "chunk_timeout": args.chunk_timeout,
         "resume": args.resume,
         "shm": not getattr(args, "no_shm", False),
+        "events": getattr(args, "events_bus", None),
     }
     if args.fault_plan:
         kwargs["faults"] = FaultPlan.from_spec(args.fault_plan)
@@ -555,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0, 0.5])
     _add_workers_argument(p)
     _add_resilience_arguments(p)
+    _add_telemetry_arguments(p)
     p.set_defaults(handler=cmd_optimize)
 
     p = subparsers.add_parser("rank", help="rank all 13 sites", parents=[obs])
@@ -563,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_workers_argument(p)
     _add_resilience_arguments(p)
+    _add_telemetry_arguments(p)
     p.set_defaults(handler=cmd_rank)
 
     p = subparsers.add_parser("scenarios", help="Fig. 6 intensity summary", parents=[obs])
@@ -601,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--extra-capacity", type=float, nargs="+", default=[0.0])
     _add_workers_argument(p)
     _add_resilience_arguments(p)
+    _add_telemetry_arguments(p)
     p.set_defaults(handler=cmd_stats)
 
     p = subparsers.add_parser("export-grid", help="write EIA-style grid CSV", parents=[obs])
@@ -619,8 +688,8 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="run the AST invariant checker over the source tree",
         description="Check the repro invariants (determinism, shm lifecycle, "
-        "kernel purity, metric names, float equality, exception hygiene) "
-        "statically; exits 1 when findings are reported.",
+        "kernel purity, metric names, float equality, exception hygiene, "
+        "event names) statically; exits 1 when findings are reported.",
         parents=[obs],
     )
     add_lint_arguments(p)
@@ -638,23 +707,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    with _obs_session(args):
-        try:
-            code = args.handler(args)
-        except SweepInterrupted as interrupted:  # repro-lint: disable=RL006 — process boundary: convert to exit code 130
-            print(
-                f"interrupted: {interrupted.done}/{interrupted.total} evaluations "
-                f"({interrupted.strategy}) journaled to {interrupted.checkpoint}; "
-                f"re-run with --resume to continue from there",
-                file=sys.stderr,
-            )
-            return 130
-        except KeyboardInterrupt:  # repro-lint: disable=RL006 — process boundary: convert to exit code 130
-            print("interrupted (no --checkpoint, progress not saved)", file=sys.stderr)
-            return 130
-        except (ValueError, KeyError) as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 1
+    try:
+        with _obs_session(args):
+            try:
+                code = args.handler(args)
+            except SweepInterrupted as interrupted:  # repro-lint: disable=RL006 — process boundary: convert to exit code 130
+                print(
+                    f"interrupted: {interrupted.done}/{interrupted.total} evaluations "
+                    f"({interrupted.strategy}) journaled to {interrupted.checkpoint}; "
+                    f"re-run with --resume to continue from there",
+                    file=sys.stderr,
+                )
+                return 130
+            except KeyboardInterrupt:  # repro-lint: disable=RL006 — process boundary: convert to exit code 130
+                print("interrupted (no --checkpoint, progress not saved)", file=sys.stderr)
+                return 130
+            except (ValueError, KeyError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+    except OSError as error:
+        # Malformed output paths (--metrics-out, --events-out, a taken
+        # --metrics-port, ...) must fail loudly but cleanly: a clear
+        # message and a non-zero exit, not a traceback and not a swallow.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0 if code is None else code
 
 

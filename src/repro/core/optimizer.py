@@ -47,14 +47,19 @@ from typing import (
 
 from ..obs import (
     ProgressCallback,
+    SweepEvents,
+    export_spans,
     get_logger,
+    get_tracer,
     inc,
-    merge_counters,
+    merge_snapshot,
     metrics_enabled,
     metrics_snapshot,
     reset_metrics,
+    reset_tracing,
     set_gauge,
     span,
+    tracing_enabled,
 )
 from ..resilience import (
     CheckpointJournal,
@@ -85,13 +90,22 @@ from .shm import (
 
 _log = get_logger("core.optimizer")
 
-#: Chunks submitted per worker; >1 so a slow chunk doesn't straggle the pool.
-_CHUNKS_PER_WORKER = 4
+#: Target number of grid chunks per sweep.  Deliberately a pure function
+#: of the grid size, *not* of ``workers``: identical chunk boundaries
+#: serial vs. parallel are what make the sweep-event stream (one
+#: ``chunk_completed`` per chunk), the checkpoint journal granularity,
+#: and the per-chunk span histograms worker-count independent.  32 keeps
+#: ≥4 chunks in flight per worker for pools of up to 8, so a slow chunk
+#: still cannot straggle the pool.
+_TARGET_CHUNKS = 32
 
 #: A chunk of contiguous grid work: (ordinal, start index, stop index).
 _Chunk = Tuple[int, int, int]
 
-#: Called with each completed chunk: (start, evaluations, worker metrics).
+#: Called with each completed chunk: (start, evaluations, worker telemetry).
+#: Telemetry is a worker's metrics snapshot, optionally extended with a
+#: ``"spans"`` record list and the worker ``"pid"`` (see
+#: :func:`_evaluate_chunk`); ``None`` when nothing was collected.
 _CommitFn = Callable[[int, List[DesignEvaluation], Optional[Dict[str, Any]]], None]
 
 #: What the pool initializer ships to workers: a tiny shared-memory handle
@@ -106,6 +120,10 @@ _worker_context: Optional[SiteContext] = None
 #: Whether workers collect a per-chunk metrics snapshot for the parent.
 _worker_collect_metrics = False
 
+#: Whether workers record spans and ship them back per chunk (set when the
+#: parent's tracer is enabled at pool creation).
+_worker_collect_spans = False
+
 #: Set when this worker attached a shared segment but has not yet reported
 #: it: ``_evaluate_chunk`` resets the worker metrics registry at chunk
 #: start, so the ``context_attach_count`` increment must land *after* the
@@ -113,18 +131,26 @@ _worker_collect_metrics = False
 _worker_attach_unreported = False
 
 
-def _init_worker(payload: _ContextPayload, collect_metrics: bool) -> None:
-    global _worker_context, _worker_collect_metrics, _worker_attach_unreported
+def _init_worker(
+    payload: _ContextPayload, collect_metrics: bool, collect_spans: bool = False
+) -> None:
+    global _worker_context, _worker_collect_metrics, _worker_collect_spans
+    global _worker_attach_unreported
     if isinstance(payload, SiteContextHandle):
         _worker_context = attach_context(payload)
         _worker_attach_unreported = True
     else:
         _worker_context = payload
     _worker_collect_metrics = collect_metrics
+    _worker_collect_spans = collect_spans
     if collect_metrics:
         from ..obs import enable_metrics
 
         enable_metrics()
+    if collect_spans:
+        from ..obs import enable_tracing
+
+        enable_tracing()
 
 
 def _mp_context() -> Optional[multiprocessing.context.BaseContext]:
@@ -148,11 +174,14 @@ def _evaluate_chunk(
 ) -> Tuple[int, List[DesignEvaluation], Optional[Dict[str, Any]]]:
     """Evaluate one contiguous slice of the grid in a worker process.
 
-    Returns ``(start, evaluations, metrics)`` where ``metrics`` is this
-    chunk's worker-registry snapshot (reset at chunk start so snapshots
-    are disjoint and the parent can merge counters additively), or
-    ``None`` when the parent is not collecting metrics.  ``fault`` is the
-    test/CI fault injected into this attempt, if any.
+    Returns ``(start, evaluations, telemetry)`` where ``telemetry`` is
+    this chunk's worker-registry metrics snapshot (reset at chunk start
+    so snapshots are disjoint and the parent can merge counters and
+    histogram buckets additively), extended — when the parent was tracing
+    at pool creation — with the chunk's exported span records under
+    ``"spans"`` and this worker's ``"pid"`` so the parent can render them
+    on a per-process Chrome lane.  ``None`` when nothing is collected.
+    ``fault`` is the test/CI fault injected into this attempt, if any.
     """
     global _worker_attach_unreported
     assert _worker_context is not None, "worker pool initializer did not run"
@@ -162,13 +191,24 @@ def _evaluate_chunk(
         if _worker_attach_unreported:
             inc("context_attach_count")
             _worker_attach_unreported = False
-    evaluations: List[Any] = [
-        evaluate_design(_worker_context, design, strategy) for design in designs
-    ]
-    snapshot = metrics_snapshot() if _worker_collect_metrics else None
+    if _worker_collect_spans:
+        # drop_open: a fork-started worker inherits the parent's open
+        # span stack; without dropping it our spans never become roots.
+        reset_tracing(drop_open=True)
+    with span("evaluate_chunk", start=start, n_designs=len(designs)):
+        evaluations: List[Any] = [
+            evaluate_design(_worker_context, design, strategy) for design in designs
+        ]
+    telemetry: Optional[Dict[str, Any]] = (
+        metrics_snapshot() if _worker_collect_metrics else None
+    )
+    if _worker_collect_spans:
+        telemetry = dict(telemetry) if telemetry is not None else {}
+        telemetry["spans"] = export_spans()
+        telemetry["pid"] = os.getpid()
     if fault is not None and fault.kind is FaultKind.CORRUPT:
         evaluations = corrupt_payload(evaluations)
-    return start, evaluations, snapshot
+    return start, evaluations, telemetry
 
 
 @dataclass(frozen=True)
@@ -234,13 +274,16 @@ def _sweep_serial(
 
     ``point_progress`` preserves the historical serial behaviour of one
     progress callback per grid point (parallel sweeps report per chunk).
+    Each chunk is wrapped in the same ``evaluate_chunk`` span a worker
+    process opens, so span histograms are identical serial vs. parallel.
     """
     for _, start, stop in chunks:
         evaluations = []
-        for index in range(start, stop):
-            evaluations.append(evaluate_design(context, designs[index], strategy))
-            if point_progress is not None:
-                point_progress()
+        with span("evaluate_chunk", start=start, n_designs=stop - start):
+            for index in range(start, stop):
+                evaluations.append(evaluate_design(context, designs[index], strategy))
+                if point_progress is not None:
+                    point_progress()
         commit(start, evaluations, None)
 
 
@@ -254,6 +297,9 @@ def _sweep_parallel(
     policy: RetryPolicy,
     faults: Optional[FaultPlan],
     commit: _CommitFn,
+    events: Optional[SweepEvents] = None,
+    site: str = "",
+    strategy_label: str = "",
 ) -> None:
     """Fan chunks across a process pool, surviving chunk/worker failures.
 
@@ -278,6 +324,17 @@ def _sweep_parallel(
     while pending and attempt <= policy.max_retries:
         if attempt > 0:
             inc("chunk_retries", len(pending))
+            if events is not None:
+                for ordinal, start, stop in pending:
+                    events.emit(
+                        "chunk_retried",
+                        site=site,
+                        strategy=strategy_label,
+                        ordinal=ordinal,
+                        start=start,
+                        stop=stop,
+                        attempt=attempt,
+                    )
             pause = policy.backoff_s(attempt)
             _log.info(
                 "retry round %d/%d: re-submitting %d chunks after %.2fs backoff",
@@ -291,7 +348,7 @@ def _sweep_parallel(
         pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(payload, metrics_enabled()),
+            initargs=(payload, metrics_enabled(), tracing_enabled()),
             mp_context=_mp_context(),
         )
         failed: List[_Chunk] = []
@@ -406,6 +463,7 @@ def optimize(
     resume: bool = False,
     faults: Optional[FaultPlan] = None,
     shm: bool = True,
+    events: Optional[SweepEvents] = None,
 ) -> OptimizationResult:
     """Exhaustively evaluate ``space`` under ``strategy`` for one site.
 
@@ -414,6 +472,17 @@ def optimize(
     position; see :class:`repro.obs.ProgressCallback` for the exact
     semantics (serial sweeps report per point, parallel sweeps per
     completed chunk, resumed sweeps start at the checkpointed count).
+
+    ``events``, when given, receives the sweep's lifecycle on a
+    :class:`repro.obs.SweepEvents` bus: ``sweep_started``, one
+    ``chunk_completed`` per committed chunk (chunks restored from a
+    resumed journal are mirrored with ``resumed: true`` before any live
+    chunk), ``chunk_retried`` per re-submitted parallel chunk,
+    ``frontier_updated`` whenever a committed chunk lowers the running
+    best total carbon, and ``sweep_finished`` with the optimum.  Grid
+    chunking is a pure function of the grid size, so the
+    ``chunk_completed`` count is identical serial vs. parallel; the bus
+    is never closed here (callers may run several sweeps over one bus).
 
     Resilience (see :mod:`repro.resilience`):
 
@@ -467,12 +536,28 @@ def optimize(
     designs = list(space.points(strategy))
     results: List[Optional[DesignEvaluation]] = [None] * total
 
+    if events is not None:
+        events.emit(
+            "sweep_started",
+            site=context.site_state,
+            strategy=strategy.value,
+            total=total,
+            workers=workers,
+        )
+
     journal: Optional[CheckpointJournal] = None
     skipped = 0
     if checkpoint is not None:
         fingerprint = sweep_fingerprint(context, space, strategy)
         if resume:
-            restored = load_resumable_chunks(checkpoint, fingerprint, strategy, total)
+            restored = load_resumable_chunks(
+                checkpoint,
+                fingerprint,
+                strategy,
+                total,
+                events=events,
+                site=context.site_state,
+            )
             for start, evaluations in restored.items():
                 results[start : start + len(evaluations)] = evaluations
             skipped = sum(len(e) for e in restored.values())
@@ -490,7 +575,9 @@ def optimize(
             truncate=not resume,
         )
 
-    chunk_size = max(1, math.ceil(total / (max(workers, 1) * _CHUNKS_PER_WORKER)))
+    # Worker-independent chunking: boundaries depend only on the grid, so
+    # serial and parallel sweeps journal and narrate identical chunks.
+    chunk_size = max(1, math.ceil(total / _TARGET_CHUNKS))
     chunks = _chunk_missing_indices([r is not None for r in results], chunk_size)
 
     use_pool = workers > 1 and len(chunks) > 1
@@ -524,18 +611,55 @@ def optimize(
     if progress is not None and skipped:
         progress(done, total, strategy.value)
 
+    # Running best across everything committed so far (seeded with any
+    # resumed evaluations) — what frontier_updated events compare against.
+    best_tons = min(
+        (r.total_tons for r in results if r is not None), default=math.inf
+    )
+
     def write_back(
         start: int,
         evaluations: List[DesignEvaluation],
-        worker_metrics: Optional[Dict[str, Any]],
+        telemetry: Optional[Dict[str, Any]],
     ) -> None:
-        """Commit one completed chunk: results, merged metrics, journal."""
+        """Commit one completed chunk: results, telemetry, journal, events.
+
+        ``telemetry`` is a worker's metrics snapshot (counters and
+        histogram buckets fold into the parent registry) optionally
+        carrying the worker's exported ``"spans"``, which are ingested
+        into the parent tracer under the worker's ``"pid"`` lane.
+        """
+        nonlocal best_tons
         results[start : start + len(evaluations)] = evaluations
-        if worker_metrics is not None:
-            merge_counters(worker_metrics)
+        if telemetry is not None:
+            merge_snapshot(telemetry)
+            worker_spans = telemetry.get("spans")
+            if worker_spans:
+                get_tracer().ingest_spans(
+                    worker_spans, pid=telemetry.get("pid", 0)
+                )
         if journal is not None:
             journal.append_chunk(start, evaluations)
             inc("checkpoint_chunks_written")
+        if events is not None:
+            events.emit(
+                "chunk_completed",
+                site=context.site_state,
+                strategy=strategy.value,
+                start=start,
+                count=len(evaluations),
+            )
+            chunk_best = min(evaluations, key=lambda e: e.total_tons)
+            if chunk_best.total_tons < best_tons:
+                best_tons = chunk_best.total_tons
+                events.emit(
+                    "frontier_updated",
+                    site=context.site_state,
+                    strategy=strategy.value,
+                    total_tons=chunk_best.total_tons,
+                    coverage=chunk_best.coverage,
+                    design=chunk_best.design.describe(),
+                )
 
     def commit_parallel(
         start: int,
@@ -577,6 +701,9 @@ def optimize(
                     policy,
                     faults,
                     commit_parallel,
+                    events=events,
+                    site=context.site_state,
+                    strategy_label=strategy.value,
                 )
     except KeyboardInterrupt:
         if journal is not None:
@@ -604,6 +731,15 @@ def optimize(
     best = min(evaluations, key=lambda e: e.total_tons)  # type: ignore[union-attr]
     inc("sweeps_completed")
     set_gauge("sweep_grid_points", total)
+    if events is not None:
+        events.emit(
+            "sweep_finished",
+            site=context.site_state,
+            strategy=strategy.value,
+            total=total,
+            best_total_tons=best.total_tons,
+            best_coverage=best.coverage,
+        )
     _log.info(
         "sweep done: site=%s strategy=%s best_total_tons=%.1f coverage=%.3f",
         context.site_state,
@@ -628,6 +764,7 @@ def optimize_all_strategies(
     resume: bool = False,
     faults: Optional[FaultPlan] = None,
     shm: bool = True,
+    events: Optional[SweepEvents] = None,
 ) -> Dict[Strategy, OptimizationResult]:
     """Run the exhaustive sweep for all four strategies of Fig. 15.
 
@@ -659,6 +796,7 @@ def optimize_all_strategies(
             resume=resume,
             faults=faults,
             shm=shm,
+            events=events,
         )
         for strategy in Strategy
     }

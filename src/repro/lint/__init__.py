@@ -25,6 +25,9 @@ RL005     float-equality      no ``==``/``!=`` against float expressions;
                               use the blessed stats helpers
 RL006     exception-hygiene   no bare except; interrupt-catching handlers must
                               re-raise
+RL007     event-names         literal event kinds emitted on a SweepEvents bus
+                              must be declared in the ``EVENTS`` registry in
+                              ``repro/obs/metric_names.py``
 ========  ==================  ==================================================
 
 Suppress a single line with ``# repro-lint: disable=RL005 — justification``;

@@ -12,6 +12,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .base import Rule
 from .determinism import DeterminismRule
+from .events import EventNamesRule
 from .exceptions import ExceptionHygieneRule
 from .float_equality import FloatEqualityRule
 from .kernel_purity import KernelPurityRule
@@ -26,6 +27,7 @@ ALL_RULES: Tuple[type, ...] = (
     MetricNamesRule,
     FloatEqualityRule,
     ExceptionHygieneRule,
+    EventNamesRule,
 )
 
 
@@ -84,4 +86,5 @@ __all__ = [
     "MetricNamesRule",
     "FloatEqualityRule",
     "ExceptionHygieneRule",
+    "EventNamesRule",
 ]

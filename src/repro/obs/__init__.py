@@ -12,15 +12,38 @@ opts in.  Three independent facilities:
   CLI's stderr ticker;
 * :mod:`~repro.obs.log` — stdlib ``logging`` helpers for the ``repro.*``
   namespace (the library never installs handlers; applications call
-  :func:`configure_logging`).
+  :func:`configure_logging`);
+* :mod:`~repro.obs.export` — Prometheus text-format exposition of the
+  metrics registry: :func:`render_prometheus`, atomic
+  :func:`save_prometheus`, a live ``/metrics`` endpoint
+  (:class:`MetricsServer`), and the pure-python
+  :func:`validate_exposition` checker;
+* :mod:`~repro.obs.events` — the :class:`SweepEvents` bus: typed,
+  ordered sweep lifecycle events with subscribe/stream APIs and a JSONL
+  sink.
 
 See the "Observability" section of README.md for the CLI surface
 (``--log-level``, ``--trace-out``, ``--metrics-out``, ``repro stats``).
 """
 
+from .events import (
+    EVENTS_FORMAT,
+    JsonlSink,
+    SweepEvent,
+    SweepEvents,
+    read_events_jsonl,
+)
+from .export import (
+    MetricsServer,
+    render_prometheus,
+    save_prometheus,
+    start_metrics_server,
+    validate_exposition,
+)
 from .log import LOGGER_NAME, configure_logging, get_logger
 from .metric_names import (
     COUNTERS,
+    EVENTS,
     GAUGES,
     HISTOGRAM_PATTERNS,
     UnknownMetricError,
@@ -28,6 +51,7 @@ from .metric_names import (
     is_known_metric,
 )
 from .metrics import (
+    BUCKET_BOUNDS,
     Counter,
     Gauge,
     Histogram,
@@ -37,6 +61,7 @@ from .metrics import (
     get_registry,
     inc,
     merge_counters,
+    merge_snapshot,
     metrics_enabled,
     metrics_snapshot,
     observe,
@@ -52,7 +77,9 @@ from .trace import (
     Tracer,
     disable_tracing,
     enable_tracing,
+    export_spans,
     get_tracer,
+    ingest_spans,
     render_trace,
     reset_tracing,
     save_trace,
@@ -66,7 +93,22 @@ __all__ = [
     "LOGGER_NAME",
     "configure_logging",
     "get_logger",
+    "EVENTS_FORMAT",
+    "JsonlSink",
+    "SweepEvent",
+    "SweepEvents",
+    "read_events_jsonl",
+    "MetricsServer",
+    "render_prometheus",
+    "save_prometheus",
+    "start_metrics_server",
+    "validate_exposition",
+    "BUCKET_BOUNDS",
+    "merge_snapshot",
+    "export_spans",
+    "ingest_spans",
     "COUNTERS",
+    "EVENTS",
     "GAUGES",
     "HISTOGRAM_PATTERNS",
     "UnknownMetricError",

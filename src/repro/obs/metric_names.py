@@ -84,6 +84,21 @@ HISTOGRAM_PATTERNS: Tuple[re.Pattern, ...] = (
     re.compile(r"^span\.[A-Za-z0-9_.\-]+\.seconds$"),
 )
 
+#: Every sweep-event kind the pipeline may emit onto a
+#: :class:`repro.obs.events.SweepEvents` bus.  Same single-source pattern
+#: as :data:`COUNTERS`: the static RL007 lint rule checks literal kinds in
+#: ``emit()`` calls against this set, and a validating bus raises
+#: :class:`UnknownMetricError` on dynamic kinds at runtime.
+EVENTS: FrozenSet[str] = frozenset(
+    {
+        "sweep_started",
+        "chunk_completed",
+        "chunk_retried",
+        "frontier_updated",
+        "sweep_finished",
+    }
+)
+
 
 class UnknownMetricError(KeyError):
     """A metric name was used that is not declared in this module."""
@@ -104,9 +119,9 @@ class UnknownMetricError(KeyError):
 def is_known_metric(kind: str, name: str) -> bool:
     """Whether ``name`` is a declared metric of ``kind``.
 
-    ``kind`` is one of ``"counter"``, ``"gauge"``, ``"histogram"``.
-    Unrecognized kinds return ``False`` (there is nothing they could
-    legitimately name).
+    ``kind`` is one of ``"counter"``, ``"gauge"``, ``"histogram"``,
+    ``"event"``.  Unrecognized kinds return ``False`` (there is nothing
+    they could legitimately name).
     """
     if kind == "counter":
         return name in COUNTERS
@@ -114,6 +129,8 @@ def is_known_metric(kind: str, name: str) -> bool:
         return name in GAUGES
     if kind == "histogram":
         return any(pattern.match(name) for pattern in HISTOGRAM_PATTERNS)
+    if kind == "event":
+        return name in EVENTS
     return False
 
 

@@ -37,9 +37,22 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 #: Upper bucket bounds for histograms: half-decade log spacing covering
 #: microseconds to megaseconds (durations) and unit-scale quantities.
-_BUCKET_BOUNDS: List[float] = [
+#: Shared by every histogram, which is what makes cross-process merging
+#: (:meth:`Histogram.merge_json`) and Prometheus exposition
+#: (:mod:`repro.obs.export`) a straight bucket-by-bucket sum.
+BUCKET_BOUNDS: List[float] = [
     10.0 ** (exponent / 2.0) for exponent in range(-12, 13)
 ]
+
+_BUCKET_BOUNDS = BUCKET_BOUNDS
+
+#: Snapshot bucket keys (the ``le`` bound rendered with ``%.6g``) mapped
+#: back to their bucket index — the decoder for :meth:`Histogram.as_json`'s
+#: sparse ``buckets`` dict.
+_BOUND_KEY_TO_INDEX: Dict[str, int] = {
+    f"{bound:.6g}": index for index, bound in enumerate(BUCKET_BOUNDS)
+}
+_BOUND_KEY_TO_INDEX["inf"] = len(BUCKET_BOUNDS)
 
 
 class Counter:
@@ -95,6 +108,70 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Standard bucketed-histogram estimation (what Prometheus'
+        ``histogram_quantile`` computes): find the bucket holding the
+        ``q * count``-th observation and interpolate linearly inside it,
+        then clamp to the exactly-tracked observed ``[min, max]`` so
+        estimates never exceed the data.  Returns ``nan`` for an empty
+        histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else self.max
+                )
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * max(fraction, 0.0)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - target <= count always lands
+
+    def merge_json(self, stats: Dict[str, Any]) -> None:
+        """Fold an :meth:`as_json` snapshot from another registry into this
+        histogram — how worker-process span/distribution data is made
+        exact across a parallel sweep (bucket counts are additive because
+        every histogram shares :data:`BUCKET_BOUNDS`).
+
+        Raises
+        ------
+        ValueError
+            If the snapshot references a bucket bound this build does not
+            have (a snapshot from an incompatible version).
+        """
+        count = int(stats.get("count", 0))
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(stats.get("sum", 0.0))
+        low = stats.get("min")
+        high = stats.get("max")
+        if low is not None and low < self.min:
+            self.min = low
+        if high is not None and high > self.max:
+            self.max = high
+        for key, bucket_count in stats.get("buckets", {}).items():
+            index = _BOUND_KEY_TO_INDEX.get(str(key))
+            if index is None:
+                raise ValueError(
+                    f"histogram {self.name!r}: snapshot bucket bound {key!r} "
+                    "does not match this build's BUCKET_BOUNDS"
+                )
+            self.bucket_counts[index] += int(bucket_count)
 
     def as_json(self) -> Dict[str, Any]:
         """Snapshot including only non-empty buckets (keyed by ``le`` bound)."""
@@ -221,6 +298,36 @@ class MetricsRegistry:
         for name, value in counters.items():
             self.inc(name, value)
 
+    def merge_histograms(self, histograms: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another registry's histogram snapshots into this one.
+
+        ``histograms`` is the ``"histograms"`` section of a
+        :meth:`snapshot`.  Counts, sums, min/max, and per-bucket counts
+        are all additive/order-free (shared :data:`BUCKET_BOUNDS`), so
+        merging worker snapshots chunk by chunk reproduces exactly the
+        histogram a serial run would have built.  No-op while disabled.
+        """
+        if not self.enabled:
+            return
+        for name, stats in histograms.items():
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    if self.validate:
+                        metric_names.check_metric("histogram", name)
+                    histogram = self._histograms[name] = Histogram(name)
+                histogram.merge_json(stats)
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a full :meth:`snapshot` into this registry.
+
+        Counters and histograms merge additively; gauges are
+        point-in-time values and are deliberately *not* merged (a worker's
+        last-written gauge has no meaning in the parent).
+        """
+        self.merge_counters(snapshot.get("counters", {}))
+        self.merge_histograms(snapshot.get("histograms", {}))
+
     def reset(self) -> None:
         """Drop every metric (names included)."""
         with self._lock:
@@ -245,11 +352,19 @@ class MetricsRegistry:
         if snap["histograms"]:
             lines.append("histograms:")
             width = max(len(name) for name in snap["histograms"])
+            with self._lock:
+                quantiles = {
+                    name: (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99))
+                    for name, h in self._histograms.items()
+                    if h.count
+                }
             for name, stats in snap["histograms"].items():
+                p50, p95, p99 = quantiles.get(name, (math.nan,) * 3)
                 lines.append(
                     f"  {name:<{width}}  n={stats['count']} "
-                    f"mean={stats['mean']:.6g} min={stats['min']:.6g} "
-                    f"max={stats['max']:.6g}"
+                    f"mean={stats['mean']:.6g} p50={p50:.6g} "
+                    f"p95={p95:.6g} p99={p99:.6g} "
+                    f"min={stats['min']:.6g} max={stats['max']:.6g}"
                 )
         if len(lines) == 1:
             lines.append("(empty)")
@@ -319,6 +434,15 @@ def merge_counters(snapshot: Dict[str, Any]) -> None:
     if not _REGISTRY.enabled:
         return
     _REGISTRY.merge_counters(snapshot.get("counters", {}))
+
+
+def merge_snapshot(snapshot: Dict[str, Any]) -> None:
+    """Fold a :func:`metrics_snapshot`-shaped dict's counters *and*
+    histograms into the default registry (no-op when disabled; see
+    :meth:`MetricsRegistry.merge_snapshot`)."""
+    if not _REGISTRY.enabled:
+        return
+    _REGISTRY.merge_snapshot(snapshot)
 
 
 def metrics_snapshot() -> Dict[str, Any]:

@@ -30,6 +30,17 @@ Finished trees export two ways:
 The tracer is thread-safe: each thread keeps its own span stack, so
 concurrent sweeps produce parallel root spans instead of corrupting each
 other's ancestry.
+
+**Cross-process aggregation.**  A sweep worker's spans would otherwise
+die with the worker, so a tracer can :meth:`~Tracer.export_spans` its
+finished trees as flat records stamped with *absolute* (unix-epoch)
+start times, and a parent tracer :meth:`~Tracer.ingest_spans` them under
+the worker's pid.  Chrome export then renders local spans on the parent
+pid and every ingested batch on its own pid lane — one Perfetto timeline
+for the whole parallel sweep.  Each process anchors ``perf_counter`` to
+``time.time`` exactly once per tracer epoch, so lanes line up to within
+wall-clock skew (sub-millisecond on one host); span *durations* are
+always pure ``perf_counter`` deltas.
 """
 
 from __future__ import annotations
@@ -147,7 +158,20 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._roots: List[Span] = []
+        #: Foreign (ingested) span records grouped per source pid.
+        self._foreign: List[Tuple[int, List[Dict[str, Any]]]] = []
+        self._anchor()
+
+    def _anchor(self) -> None:
+        """Pin this tracer's epoch on both clocks.
+
+        ``_epoch`` (``perf_counter``) is what local span timestamps are
+        relative to; ``_epoch_abs`` (``time.time``) is the same instant
+        in unix time, the shared axis that lets spans exported by other
+        processes land on this tracer's timeline.
+        """
         self._epoch = time.perf_counter()
+        self._epoch_abs = time.time()
 
     # ------------------------------------------------------------------
     # Span lifecycle
@@ -206,21 +230,89 @@ class Tracer:
                 return found
         return None
 
-    def reset(self) -> None:
-        """Drop all finished spans (open spans are unaffected)."""
+    def reset(self, drop_open: bool = False) -> None:
+        """Drop all finished and ingested spans (open spans unaffected).
+
+        ``drop_open=True`` also discards every thread's open span stack.
+        A fork-started worker inherits the parent's stack with the
+        sweep's ``optimize`` span still open; anything the worker records
+        would nest under that never-closing ghost and never reach
+        :meth:`roots`, so worker processes reset with ``drop_open=True``
+        before recording.
+        """
         with self._lock:
             self._roots.clear()
-        self._epoch = time.perf_counter()
+            self._foreign.clear()
+        if drop_open:
+            self._local = threading.local()
+        self._anchor()
 
     def to_tree(self) -> Dict[str, Any]:
-        """Nested span-tree document (JSON-serializable)."""
+        """Nested span-tree document (JSON-serializable, local spans only)."""
         return {
             "format": TREE_FORMAT,
             "spans": [root.to_dict() for root in self.roots()],
         }
 
+    # ------------------------------------------------------------------
+    # Cross-process span aggregation
+    # ------------------------------------------------------------------
+    def export_spans(self) -> List[Dict[str, Any]]:
+        """Flatten the finished local trees into portable span records.
+
+        Each record carries the span name/attrs, its thread id, its
+        *absolute* start time (unix seconds, via this tracer's clock
+        anchor), and wall/CPU durations — everything a parent-process
+        tracer needs to :meth:`ingest_spans` and re-render them on a
+        worker pid lane.  Children follow their parent in the list, so
+        nesting survives the flattening (Chrome reconstructs it from the
+        overlapping intervals).
+        """
+        records: List[Dict[str, Any]] = []
+
+        def add(span: Span) -> None:
+            records.append(
+                {
+                    "name": span.name,
+                    "attrs": span.attrs,
+                    "tid": span.thread_id,
+                    "start_s": self._epoch_abs + (span.start_wall - self._epoch),
+                    "wall_s": span.wall_s,
+                    "cpu_s": span.cpu_s,
+                }
+            )
+            for child in span.children:
+                add(child)
+
+        for root in self.roots():
+            add(root)
+        return records
+
+    def ingest_spans(self, records: List[Dict[str, Any]], pid: int) -> None:
+        """Adopt span records exported by another process (no-op when
+        disabled — mirrors how a disabled tracer records nothing local).
+
+        ``pid`` labels the Chrome lane the records render on.  Records
+        are stored as-is; malformed ones surface at export time.
+        """
+        if not self.enabled or not records:
+            return
+        with self._lock:
+            self._foreign.append((int(pid), list(records)))
+
+    def foreign_spans(self) -> Tuple[Tuple[int, List[Dict[str, Any]]], ...]:
+        """Ingested (pid, records) batches, in ingestion order."""
+        with self._lock:
+            return tuple((pid, list(records)) for pid, records in self._foreign)
+
     def to_chrome_trace(self) -> Dict[str, Any]:
-        """Chrome ``trace_event`` document for chrome://tracing / Perfetto."""
+        """Chrome ``trace_event`` document for chrome://tracing / Perfetto.
+
+        Local spans render on this process' pid; spans ingested from
+        workers render on their own pid lanes, mapped onto this tracer's
+        epoch through their absolute start stamps.  ``process_name``
+        metadata events label the lanes.
+        """
         events: List[Dict[str, Any]] = []
         pid = os.getpid()
 
@@ -241,6 +333,42 @@ class Tracer:
 
         for root in self.roots():
             add(root)
+        foreign = self.foreign_spans()
+        if foreign:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": "sweep parent"},
+                }
+            )
+        named_pids = set()
+        for worker_pid, records in foreign:
+            if worker_pid not in named_pids:
+                named_pids.add(worker_pid)
+                events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": worker_pid,
+                        "tid": 0,
+                        "args": {"name": f"sweep worker {worker_pid}"},
+                    }
+                )
+            for record in records:
+                events.append(
+                    {
+                        "name": str(record["name"]),
+                        "ph": "X",
+                        "ts": (float(record["start_s"]) - self._epoch_abs) * 1e6,
+                        "dur": float(record["wall_s"]) * 1e6,
+                        "pid": worker_pid,
+                        "tid": int(record["tid"]),
+                        "args": dict(record.get("attrs", {})),
+                    }
+                )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def render_text(self, max_depth: Optional[int] = None) -> str:
@@ -330,14 +458,26 @@ def tracing_enabled() -> bool:
     return _TRACER.enabled
 
 
-def reset_tracing() -> None:
-    """Drop the default tracer's finished spans."""
-    _TRACER.reset()
+def reset_tracing(drop_open: bool = False) -> None:
+    """Drop the default tracer's finished spans (see :meth:`Tracer.reset`)."""
+    _TRACER.reset(drop_open=drop_open)
 
 
 def trace_roots() -> Tuple[Span, ...]:
     """Finished top-level spans of the default tracer."""
     return _TRACER.roots()
+
+
+def export_spans() -> List[Dict[str, Any]]:
+    """Portable records of the default tracer's finished spans
+    (see :meth:`Tracer.export_spans`)."""
+    return _TRACER.export_spans()
+
+
+def ingest_spans(records: List[Dict[str, Any]], pid: int) -> None:
+    """Adopt another process' exported spans into the default tracer
+    (no-op when tracing is disabled; see :meth:`Tracer.ingest_spans`)."""
+    _TRACER.ingest_spans(records, pid)
 
 
 def trace_tree() -> Dict[str, Any]:

@@ -27,6 +27,7 @@ from typing import IO, Any, Dict, List, Optional, Tuple, Union
 from ..core.design import DesignSpace, Strategy
 from ..core.evaluate import DesignEvaluation, SiteContext
 from ..obs import get_logger
+from ..obs.events import SweepEvents
 from .serialize import evaluation_from_json, evaluation_to_json
 
 _log = get_logger("resilience.checkpoint")
@@ -202,6 +203,8 @@ def load_resumable_chunks(
     fingerprint: str,
     strategy: Strategy,
     total: int,
+    events: Optional["SweepEvents"] = None,
+    site: str = "",
 ) -> Dict[int, List[DesignEvaluation]]:
     """Journaled chunks safe to splice into the sweep being resumed.
 
@@ -209,6 +212,11 @@ def load_resumable_chunks(
     with ``resume=True`` is allowed).  Raises
     :class:`CheckpointMismatchError` when the journal belongs to a
     different sweep, :class:`CheckpointError` on damage.
+
+    ``events``, when given, mirrors every restored journal entry onto the
+    bus as a ``chunk_completed`` event tagged ``resumed: true`` (in grid
+    order, before the sweep emits any live chunk), so a subscriber sees
+    the sweep's complete chunk history whether or not it was interrupted.
     """
     if not os.path.exists(path):
         _log.info("checkpoint %s: no journal yet, starting fresh", path)
@@ -233,6 +241,17 @@ def load_resumable_chunks(
         len(chunks),
         sum(len(c) for c in chunks.values()),
     )
+    if events is not None:
+        for start in sorted(chunks):
+            events.emit(
+                "chunk_completed",
+                site=site,
+                strategy=strategy.value,
+                start=start,
+                count=len(chunks[start]),
+                resumed=True,
+                journal=str(path),
+            )
     return chunks
 
 

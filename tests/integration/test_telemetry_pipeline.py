@@ -1,0 +1,242 @@
+"""End-to-end telemetry: events, merged spans, and histograms across sweeps.
+
+The contract under test is worker-count independence: a sweep narrates the
+same ``chunk_completed`` stream and aggregates the same histogram totals
+whether it runs serially, on a fork pool, or on a spawn pool — and a
+parallel sweep's Chrome trace carries every worker's spans on its own pid
+lane, merged onto the parent's timeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Strategy, optimize
+from repro.core.design import DesignSpace
+from repro.core.optimizer import optimize_all_strategies
+from repro.obs import (
+    SweepEvents,
+    enable_metrics,
+    enable_tracing,
+    get_tracer,
+    metrics_snapshot,
+    reset_metrics,
+    reset_tracing,
+)
+from repro.resilience.checkpoint import (
+    JOURNAL_VERSION,
+    JournalHeader,
+    CheckpointJournal,
+    load_resumable_chunks,
+    sweep_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def small_space() -> DesignSpace:
+    return DesignSpace(
+        solar_mw=(0.0, 30.0),
+        wind_mw=(0.0, 30.0),
+        battery_mwh=(0.0, 50.0),
+        extra_capacity_fractions=(0.0,),
+    )
+
+
+@pytest.fixture(autouse=True)
+def telemetry_on():
+    """Collectors enabled and empty for each test, restored after."""
+    from repro.obs import disable_metrics, disable_tracing
+
+    enable_metrics()
+    enable_tracing()
+    reset_metrics()
+    reset_tracing()
+    yield
+    disable_tracing()
+    disable_metrics()
+    reset_tracing()
+    reset_metrics()
+
+
+def run_sweep(context, space, workers):
+    reset_metrics()
+    reset_tracing()
+    bus = SweepEvents()
+    result = optimize(
+        context, space, Strategy.RENEWABLES_BATTERY, workers=workers, events=bus
+    )
+    return result, bus, metrics_snapshot()
+
+
+class TestEventStream:
+    def test_lifecycle_events_bracket_the_sweep(self, ut_context, small_space):
+        _, bus, _ = run_sweep(ut_context, small_space, workers=1)
+        kinds = [event.kind for event in bus.events()]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
+        assert "chunk_completed" in kinds
+        seqs = [event.seq for event in bus.events()]
+        assert seqs == list(range(len(seqs)))
+
+    def test_started_and_finished_payloads(self, ut_context, small_space):
+        result, bus, _ = run_sweep(ut_context, small_space, workers=1)
+        started = bus.events()[0]
+        finished = bus.events()[-1]
+        assert started.payload["total"] == result.n_evaluated
+        assert started.payload["site"] == "UT"
+        assert finished.payload["best_total_tons"] == result.best.total_tons
+
+    def test_chunk_completed_counts_cover_the_grid(self, ut_context, small_space):
+        result, bus, _ = run_sweep(ut_context, small_space, workers=1)
+        completed = [e for e in bus.events() if e.kind == "chunk_completed"]
+        assert sum(e.payload["count"] for e in completed) == result.n_evaluated
+
+    def test_event_stream_is_identical_serial_vs_parallel(
+        self, ut_context, small_space
+    ):
+        _, serial_bus, _ = run_sweep(ut_context, small_space, workers=1)
+        _, parallel_bus, _ = run_sweep(ut_context, small_space, workers=2)
+        serial = serial_bus.counts()
+        parallel = parallel_bus.counts()
+        assert serial["chunk_completed"] == parallel["chunk_completed"]
+        assert serial["sweep_started"] == parallel["sweep_started"] == 1
+        assert serial["sweep_finished"] == parallel["sweep_finished"] == 1
+        # Chunk identity, not just count: same (start, count) pairs.
+        chunk_set = lambda bus: sorted(  # noqa: E731
+            (e.payload["start"], e.payload["count"])
+            for e in bus.events()
+            if e.kind == "chunk_completed"
+        )
+        assert chunk_set(serial_bus) == chunk_set(parallel_bus)
+
+    def test_optimize_all_strategies_shares_one_bus(self, ut_context, small_space):
+        bus = SweepEvents()
+        optimize_all_strategies(ut_context, small_space, events=bus)
+        assert bus.counts()["sweep_started"] == len(Strategy)
+        assert bus.counts()["sweep_finished"] == len(Strategy)
+        assert not bus.closed  # optimize never closes the caller's bus
+
+    def test_optimize_without_bus_still_works(self, ut_context, small_space):
+        result = optimize(ut_context, small_space, Strategy.RENEWABLES_BATTERY)
+        assert result.best is not None
+
+
+class TestHistogramAggregation:
+    def test_parallel_histograms_equal_serial_exactly(
+        self, ut_context, small_space
+    ):
+        _, _, serial = run_sweep(ut_context, small_space, workers=1)
+        _, _, parallel = run_sweep(ut_context, small_space, workers=2)
+        for name, stats in serial["histograms"].items():
+            # Durations are wall-clock so bucket placement varies run to
+            # run; the observation *count* per histogram must not.
+            assert parallel["histograms"][name]["count"] == stats["count"], name
+            assert sum(parallel["histograms"][name]["buckets"].values()) == (
+                stats["count"]
+            ), name
+
+    def test_worker_chunk_spans_match_serial(self, ut_context, small_space):
+        _, _, serial = run_sweep(ut_context, small_space, workers=1)
+        _, _, parallel = run_sweep(ut_context, small_space, workers=2)
+        assert (
+            serial["histograms"]["span.evaluate_chunk.seconds"]["count"]
+            == parallel["histograms"]["span.evaluate_chunk.seconds"]["count"]
+        )
+
+
+class TestSpanMerging:
+    def test_parallel_trace_has_worker_pid_lanes(self, ut_context, small_space):
+        run_sweep(ut_context, small_space, workers=2)
+        trace = get_tracer().to_chrome_trace()
+        pids = {event["pid"] for event in trace["traceEvents"]}
+        assert len(pids) >= 2  # parent plus at least one worker
+        names = {
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event.get("ph") == "M"
+        }
+        assert "sweep parent" in names
+        assert any(name.startswith("sweep worker") for name in names)
+
+    def test_worker_spans_land_inside_the_parent_window(
+        self, ut_context, small_space
+    ):
+        run_sweep(ut_context, small_space, workers=2)
+        trace = get_tracer().to_chrome_trace()
+        optimize_spans = [
+            e for e in trace["traceEvents"] if e.get("name") == "optimize"
+        ]
+        assert optimize_spans, "parent optimize span missing"
+        window_end = max(e["ts"] + e["dur"] for e in optimize_spans)
+        worker_chunks = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("name") == "evaluate_chunk" and e.get("ph") == "X"
+        ]
+        assert worker_chunks
+        for chunk in worker_chunks:
+            assert chunk["ts"] >= -1e6  # within a second of the anchor
+            assert chunk["ts"] <= window_end + 1e6
+
+    def test_trace_document_is_json_serializable(self, ut_context, small_space):
+        run_sweep(ut_context, small_space, workers=2)
+        document = get_tracer().to_chrome_trace()
+        assert json.loads(json.dumps(document)) == document
+
+    def test_spawn_mode_produces_the_same_merged_telemetry(
+        self, ut_context, small_space, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+        result, bus, snapshot = run_sweep(ut_context, small_space, workers=2)
+        monkeypatch.delenv("REPRO_MP_START_METHOD")
+        serial_result, serial_bus, serial_snapshot = run_sweep(
+            ut_context, small_space, workers=1
+        )
+        assert result.evaluations == serial_result.evaluations
+        assert bus.counts()["chunk_completed"] == (
+            serial_bus.counts()["chunk_completed"]
+        )
+        assert (
+            snapshot["histograms"]["span.evaluate_chunk.seconds"]["count"]
+            == serial_snapshot["histograms"]["span.evaluate_chunk.seconds"]["count"]
+        )
+
+
+class TestJournalMirroring:
+    def test_resumed_chunks_replay_as_events(self, ut_context, small_space, tmp_path):
+        strategy = Strategy.RENEWABLES_BATTERY
+        fingerprint = sweep_fingerprint(ut_context, small_space, strategy)
+        result = optimize(ut_context, small_space, strategy)
+        total = result.n_evaluated
+        path = tmp_path / "sweep.ckpt"
+        header = JournalHeader(
+            version=JOURNAL_VERSION,
+            fingerprint=fingerprint,
+            strategy=strategy.name,
+            total=total,
+        )
+        with CheckpointJournal(path, header, truncate=True) as journal:
+            journal.append_chunk(0, list(result.evaluations[:2]))
+            journal.append_chunk(2, list(result.evaluations[2:4]))
+        bus = SweepEvents()
+        chunks = load_resumable_chunks(
+            path, fingerprint, strategy, total, events=bus, site="UT"
+        )
+        assert sorted(chunks) == [0, 2]
+        replayed = [e for e in bus.events() if e.kind == "chunk_completed"]
+        assert [(e.payload["start"], e.payload["count"]) for e in replayed] == [
+            (0, 2),
+            (2, 2),
+        ]
+        assert all(e.payload["resumed"] is True for e in replayed)
+        assert all(e.payload["journal"] == str(path) for e in replayed)
+
+    def test_no_bus_means_no_mirroring(self, ut_context, small_space, tmp_path):
+        strategy = Strategy.RENEWABLES_BATTERY
+        fingerprint = sweep_fingerprint(ut_context, small_space, strategy)
+        assert (
+            load_resumable_chunks(tmp_path / "missing.ckpt", fingerprint, strategy, 4)
+            == {}
+        )

@@ -104,3 +104,20 @@ class TestExceptionHygieneRL006:
 
     def test_reraise_wrap_and_ordinary_handlers_pass(self, fixtures):
         assert findings_for(fixtures / "good_excepts.py", "RL006") == []
+
+
+class TestEventNamesRL007:
+    def test_flags_unregistered_literal_kinds(self, fixtures):
+        assert findings_for(fixtures / "bad_events.py", "RL007") == [
+            (5, "RL007"),  # events.emit typo
+            (6, "RL007"),  # bus.emit unknown
+            (7, "RL007"),  # nested events_bus receiver
+            (8, "RL007"),  # bare emit_event
+        ]
+
+    def test_registered_dynamic_and_unrelated_emits_pass(self, fixtures):
+        assert findings_for(fixtures / "good_events.py", "RL007") == []
+
+    def test_source_tree_is_clean(self, repo_root):
+        src = repo_root / "src" / "repro"
+        assert run_lint([str(src)], select=["RL007"]) == []

@@ -1,0 +1,169 @@
+"""Tests for the sweep event bus (:mod:`repro.obs.events`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    EVENTS_FORMAT,
+    JsonlSink,
+    SweepEvent,
+    SweepEvents,
+    read_events_jsonl,
+)
+from repro.obs.metric_names import EVENTS, UnknownMetricError
+
+
+class TestSweepEventsBus:
+    def test_emit_stamps_consecutive_seq(self):
+        bus = SweepEvents()
+        first = bus.emit("sweep_started", total=8)
+        second = bus.emit("chunk_completed", start=0, count=4)
+        assert (first.seq, second.seq) == (0, 1)
+        assert [e.kind for e in bus.events()] == [
+            "sweep_started",
+            "chunk_completed",
+        ]
+        assert second.payload == {"start": 0, "count": 4}
+
+    def test_unknown_kind_raises_on_validating_bus(self):
+        bus = SweepEvents()
+        with pytest.raises(UnknownMetricError):
+            bus.emit("chunk_complete")  # typo'd kind
+        assert bus.events() == ()
+
+    def test_validation_can_be_disabled(self):
+        bus = SweepEvents(validate=False)
+        event = bus.emit("anything_goes", x=1)
+        assert event.kind == "anything_goes"
+
+    def test_every_declared_kind_is_emittable(self):
+        bus = SweepEvents()
+        for kind in sorted(EVENTS):
+            bus.emit(kind)
+        assert sum(bus.counts().values()) == len(EVENTS)
+
+    def test_emit_after_close_raises(self):
+        bus = SweepEvents()
+        bus.close()
+        bus.close()  # idempotent
+        assert bus.closed
+        with pytest.raises(RuntimeError):
+            bus.emit("sweep_started")
+
+    def test_subscribers_see_events_in_order(self):
+        bus = SweepEvents()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.emit("sweep_started")
+        bus.emit("sweep_finished")
+        assert [e.kind for e in seen] == ["sweep_started", "sweep_finished"]
+        unsubscribe()
+        bus.emit("frontier_updated")
+        assert len(seen) == 2
+
+    def test_counts_tallies_by_kind(self):
+        bus = SweepEvents()
+        bus.emit("sweep_started")
+        bus.emit("chunk_completed", start=0)
+        bus.emit("chunk_completed", start=4)
+        assert bus.counts() == {"sweep_started": 1, "chunk_completed": 2}
+
+    def test_stream_yields_backlog_then_live_then_ends(self):
+        bus = SweepEvents()
+        bus.emit("sweep_started")
+        received = []
+        ready = threading.Event()
+
+        def consume():
+            ready.set()
+            for event in bus.stream():
+                received.append(event.kind)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        ready.wait()
+        bus.emit("chunk_completed", start=0)
+        bus.emit("sweep_finished")
+        bus.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert received == ["sweep_started", "chunk_completed", "sweep_finished"]
+
+    def test_stream_on_closed_bus_yields_backlog_only(self):
+        bus = SweepEvents()
+        bus.emit("sweep_started")
+        bus.close()
+        assert [e.kind for e in bus.stream()] == ["sweep_started"]
+
+    def test_event_as_json_round_trips(self):
+        event = SweepEvent(seq=3, kind="chunk_retried", time_s=12.5, payload={"a": 1})
+        clone = json.loads(json.dumps(event.as_json()))
+        assert clone == {
+            "seq": 3,
+            "kind": "chunk_retried",
+            "time_s": 12.5,
+            "payload": {"a": 1},
+        }
+
+
+class TestJsonlSink:
+    def test_writes_header_and_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = SweepEvents()
+        with JsonlSink(path) as sink:
+            bus.subscribe(sink)
+            bus.emit("sweep_started", total=4)
+            bus.emit("sweep_finished")
+            assert sink.events_written == 2
+            assert sink.path == str(path)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"format": EVENTS_FORMAT}
+        assert [json.loads(line)["kind"] for line in lines[1:]] == [
+            "sweep_started",
+            "sweep_finished",
+        ]
+
+    def test_read_events_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = SweepEvents()
+        with JsonlSink(path) as sink:
+            bus.subscribe(sink)
+            bus.emit("sweep_started", site="UT")
+            bus.emit("chunk_completed", start=0, count=2)
+        records = read_events_jsonl(path)
+        assert [r["kind"] for r in records] == ["sweep_started", "chunk_completed"]
+        assert records[0]["payload"] == {"site": "UT"}
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_read_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "sweep_started"}\n')
+        with pytest.raises(ValueError, match="format header"):
+            read_events_jsonl(path)
+
+    def test_read_rejects_damaged_line(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps({"format": EVENTS_FORMAT})
+            + "\n"
+            + '{"kind": "sweep_started"'
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_events_jsonl(path)
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_events_jsonl(path)
+
+    def test_sink_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "events.jsonl"
+        with JsonlSink(path):
+            pass
+        assert path.exists()

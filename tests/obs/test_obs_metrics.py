@@ -4,11 +4,14 @@ import json
 import threading
 
 from repro.obs import (
+    BUCKET_BOUNDS,
+    Histogram,
     MetricsRegistry,
     enable_metrics,
     get_registry,
     inc,
     merge_counters,
+    merge_snapshot,
     metrics_enabled,
     metrics_snapshot,
     observe,
@@ -176,3 +179,107 @@ class TestRendering:
     def test_render_empty(self):
         reset_metrics()
         assert "(empty)" in render_metrics()
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_returns_nan(self):
+        import math
+
+        assert math.isnan(Histogram("h").quantile(0.5))
+
+    def test_out_of_range_quantile_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_quantiles_are_clamped_to_observed_range(self):
+        histogram = Histogram("h")
+        for value in (0.02, 0.025, 0.03):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.02
+        assert histogram.quantile(1.0) == 0.03
+        assert 0.02 <= histogram.quantile(0.5) <= 0.03
+
+    def test_median_lands_in_the_right_bucket(self):
+        histogram = Histogram("h")
+        for value in (0.001,) * 50 + (10.0,) * 50:
+            histogram.observe(value)
+        # p25 must come from the low bucket, p75 from the high one.
+        assert histogram.quantile(0.25) <= 0.001
+        assert histogram.quantile(0.75) > 1.0
+
+    def test_render_text_reports_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.01, 0.02, 2.0):
+            registry.observe("span.optimize.seconds", value)
+        text = registry.render_text()
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+
+class TestHistogramMerge:
+    def test_merging_a_snapshot_twice_doubles_everything(self):
+        source = MetricsRegistry()
+        for value in (0.0005, 0.004, 0.25, 3.0):
+            source.observe("span.optimize.seconds", value)
+        stats = source.snapshot()["histograms"]["span.optimize.seconds"]
+        target = MetricsRegistry()
+        target.merge_histograms({"span.optimize.seconds": stats})
+        target.merge_histograms({"span.optimize.seconds": stats})
+        merged = target.snapshot()["histograms"]["span.optimize.seconds"]
+        assert merged["count"] == 2 * stats["count"]
+        assert merged["sum"] == 2 * stats["sum"]
+        assert merged["min"] == stats["min"]
+        assert merged["max"] == stats["max"]
+        assert merged["buckets"] == {
+            key: 2 * count for key, count in stats["buckets"].items()
+        }
+
+    def test_split_observations_merge_to_the_serial_histogram(self):
+        values = [0.0005, 0.004, 0.004, 0.25, 3.0, 40.0]
+        serial = MetricsRegistry()
+        for value in values:
+            serial.observe("span.optimize.seconds", value)
+        parent = MetricsRegistry()
+        for half in (values[:3], values[3:]):
+            worker = MetricsRegistry()
+            for value in half:
+                worker.observe("span.optimize.seconds", value)
+            parent.merge_snapshot(worker.snapshot())
+        assert (
+            parent.snapshot()["histograms"]
+            == serial.snapshot()["histograms"]
+        )
+
+    def test_unknown_bucket_bound_raises(self):
+        import pytest
+
+        histogram = Histogram("h")
+        with pytest.raises(ValueError, match="BUCKET_BOUNDS"):
+            histogram.merge_json({"count": 1, "sum": 1.0, "buckets": {"0.123": 1}})
+
+    def test_empty_snapshot_merge_is_noop(self):
+        histogram = Histogram("h")
+        histogram.merge_json({"count": 0, "sum": 0.0, "buckets": {}})
+        assert histogram.count == 0
+
+    def test_merge_snapshot_skips_gauges(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.inc("designs_evaluated", 4)
+        worker.set_gauge("sweep_grid_points", 40)
+        worker.observe("span.optimize.seconds", 0.5)
+        parent.merge_snapshot(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"] == {"designs_evaluated": 4}
+        assert snap["gauges"] == {}
+        assert snap["histograms"]["span.optimize.seconds"]["count"] == 1
+
+    def test_module_merge_snapshot_respects_disabled(self):
+        reset_metrics()
+        merge_snapshot({"counters": {"designs_evaluated": 3}, "histograms": {}})
+        assert get_registry().counter_value("designs_evaluated") == 0.0
+
+    def test_bucket_bounds_are_shared_and_sorted(self):
+        assert BUCKET_BOUNDS == sorted(BUCKET_BOUNDS)
+        assert len(set(BUCKET_BOUNDS)) == len(BUCKET_BOUNDS)
