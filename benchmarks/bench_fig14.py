@@ -3,9 +3,9 @@ strategies in Oregon, North Carolina, and Utah (FWR = 40%)."""
 
 import json
 
-from _common import bench_workers, emit, run_once
+from _common import bench_batch_size, bench_workers, emit, run_once
 
-from repro import CarbonExplorer, Strategy
+from repro import CarbonExplorer, Strategy, optimize_fleet
 from repro.core import frontier_tail_ratio, knee_point, pareto_frontier
 from repro.reporting import format_table, percent
 
@@ -16,24 +16,58 @@ REGIONS = (
 )
 
 
-def frontier_for(explorer, strategy):
-    space = explorer.default_space(
+def fig14_space(explorer):
+    return explorer.default_space(
         n_renewable_steps=5,
         battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
         extra_capacity_fractions=(0.0, 0.25, 0.5),
     )
+
+
+def frontier_for(explorer, strategy):
     return pareto_frontier(
-        explorer.optimize(strategy, space, workers=bench_workers()).evaluations
+        explorer.optimize(
+            strategy,
+            fig14_space(explorer),
+            workers=bench_workers(),
+            batch_size=bench_batch_size(),
+        ).evaluations
     )
 
 
+def sweep_regions(explorers, strategy):
+    """One sweep per region; fleet-merged into one kernel block when serial."""
+    workers = bench_workers()
+    batch_size = bench_batch_size()
+    if workers == 1 and batch_size is not None:
+        sites = [(explorer.context, fig14_space(explorer)) for explorer in explorers]
+        return optimize_fleet(sites, strategy)
+    return [
+        explorer.optimize(
+            strategy,
+            fig14_space(explorer),
+            workers=workers,
+            batch_size=batch_size,
+        )
+        for explorer in explorers
+    ]
+
+
 def build_fig14() -> str:
+    explorers = [CarbonExplorer(state) for state, _ in REGIONS]
+    frontiers_by_strategy = {
+        strategy: [
+            pareto_frontier(result.evaluations)
+            for result in sweep_regions(explorers, strategy)
+        ]
+        for strategy in Strategy
+    }
     sections = []
-    for state, label in REGIONS:
-        explorer = CarbonExplorer(state)
+    for index, (state, label) in enumerate(REGIONS):
         rows = []
+        frontiers = {}
         for strategy in Strategy:
-            frontier = frontier_for(explorer, strategy)
+            frontier = frontiers[strategy] = frontiers_by_strategy[strategy][index]
             knee = knee_point(frontier)
             lowest_op = min(frontier, key=lambda e: e.operational_tons)
             rows.append(
@@ -61,8 +95,9 @@ def build_fig14() -> str:
             title=f"Figure 14 — Pareto frontier summary, {label}",
         )
 
-        # Print the combined strategy's frontier explicitly (the full curve).
-        frontier = frontier_for(explorer, Strategy.RENEWABLES_BATTERY_CAS)
+        # Print the combined strategy's frontier explicitly (the full
+        # curve) — reusing the sweep the summary table already ran.
+        frontier = frontiers[Strategy.RENEWABLES_BATTERY_CAS]
         curve = format_table(
             ["embodied tCO2/yr", "operational tCO2/yr", "coverage", "design"],
             [

@@ -4,9 +4,9 @@ all thirteen regions — with coverage annotations (stars = 100%)."""
 
 import json
 
-from _common import bench_workers, emit, run_once
+from _common import bench_batch_size, bench_workers, emit, run_once
 
-from repro import CarbonExplorer, SITE_ORDER, Strategy
+from repro import CarbonExplorer, SITE_ORDER, Strategy, optimize_fleet
 from repro.reporting import format_table, percent
 
 _STRATEGY_LABELS = {
@@ -17,18 +17,43 @@ _STRATEGY_LABELS = {
 }
 
 
+def fig15_space(explorer):
+    return explorer.default_space(
+        n_renewable_steps=4,
+        battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
+        extra_capacity_fractions=(0.0, 0.5),
+    )
+
+
 def build_fig15() -> str:
+    workers = bench_workers()
+    batch_size = bench_batch_size()
+    explorers = [CarbonExplorer(state) for state in SITE_ORDER]
+    spaces = [fig15_space(explorer) for explorer in explorers]
+    if workers == 1 and batch_size is not None:
+        # Serial batched runs fold all thirteen regions into one merged
+        # (design × hour) block per strategy (bitwise-identical to the
+        # per-region sweeps below — see repro.core.optimize_fleet).
+        sites = [
+            (explorer.context, space)
+            for explorer, space in zip(explorers, spaces)
+        ]
+        per_site = [{} for _ in explorers]
+        for strategy in Strategy:
+            for site_results, result in zip(
+                per_site, optimize_fleet(sites, strategy)
+            ):
+                site_results[strategy] = result
+    else:
+        per_site = [
+            explorer.optimize_all(space, workers=workers, batch_size=batch_size)
+            for explorer, space in zip(explorers, spaces)
+        ]
+
     rows = []
-    for state in SITE_ORDER:
-        explorer = CarbonExplorer(state)
-        space = explorer.default_space(
-            n_renewable_steps=4,
-            battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
-            extra_capacity_fractions=(0.0, 0.5),
-        )
-        results = explorer.optimize_all(space, workers=bench_workers())
+    for explorer, results in zip(explorers, per_site):
         row = [
-            state,
+            explorer.context.site_state,
             explorer.context.grid.authority.renewable_class.value,
         ]
         for strategy in Strategy:

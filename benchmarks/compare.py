@@ -1,0 +1,158 @@
+"""Diff two benchmark JSON artifacts (the perf-regression gate).
+
+Every bench writes ``benchmarks/out/<name>.json`` with the wall-clock
+seconds of the run and its :mod:`repro.obs` metrics snapshot (see
+``_common.emit``).  This tool compares two such artifacts — a baseline and
+a candidate, typically the same figure regenerated on two commits or two
+configurations — and prints the wall-time delta plus every counter/gauge
+that moved.
+
+Exit status is 0 when the candidate's wall time is within ``--threshold``
+percent of the baseline (faster is always fine), 1 when it regressed past
+the threshold, 2 on malformed input.  CI runs it non-gating (the delta is
+uploaded as an artifact); locally it doubles as a quick A/B check::
+
+    python benchmarks/compare.py out/fig14.json /tmp/baseline/fig14.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Tuple
+
+
+def load_artifact(path: pathlib.Path) -> Dict[str, Any]:
+    """Read one ``out/<name>.json`` payload, validating the shape."""
+    payload = json.loads(path.read_text())
+    for key in ("name", "wall_s", "metrics"):
+        if key not in payload:
+            raise ValueError(f"{path}: missing {key!r} — not a bench artifact")
+    if payload["wall_s"] is None:
+        raise ValueError(f"{path}: null wall_s — artifact written without a timed run")
+    return payload
+
+
+def percent_delta(baseline: float, candidate: float) -> float:
+    """Signed percent change from ``baseline`` to ``candidate``."""
+    if baseline <= 0.0:
+        return 0.0 if candidate <= 0.0 else float("inf")
+    return (candidate - baseline) / baseline * 100.0
+
+
+def metric_deltas(
+    baseline: Dict[str, Any], candidate: Dict[str, Any]
+) -> List[Tuple[str, float, float, float]]:
+    """Changed metrics as ``(key, base, cand, %delta)``, sorted by |%delta|.
+
+    Counters and gauges are flattened into one namespace (``counter/x``,
+    ``gauge/y``); metrics present on only one side diff against zero.
+    """
+    rows = []
+    for kind in ("counters", "gauges"):
+        base_metrics = baseline.get("metrics", {}).get(kind, {})
+        cand_metrics = candidate.get("metrics", {}).get(kind, {})
+        for key in sorted(set(base_metrics) | set(cand_metrics)):
+            base_value = float(base_metrics.get(key, 0))
+            cand_value = float(cand_metrics.get(key, 0))
+            if abs(cand_value - base_value) < 1e-12:
+                continue
+            rows.append(
+                (
+                    f"{kind[:-1]}/{key}",
+                    base_value,
+                    cand_value,
+                    percent_delta(base_value, cand_value),
+                )
+            )
+    rows.sort(key=lambda row: -abs(row[3]))
+    return rows
+
+
+def format_report(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    threshold_pct: float,
+) -> Tuple[str, bool]:
+    """The human-readable diff and whether the wall time regressed."""
+    base_wall = float(baseline["wall_s"])
+    cand_wall = float(candidate["wall_s"])
+    delta = percent_delta(base_wall, cand_wall)
+    regressed = delta > threshold_pct
+    speedup = base_wall / cand_wall if cand_wall > 0.0 else float("inf")
+    lines = [
+        f"bench compare: {baseline['name']} (baseline) vs {candidate['name']} (candidate)",
+        f"  wall time  {base_wall:9.4f}s -> {cand_wall:9.4f}s  "
+        f"{delta:+7.1f}%  ({speedup:.2f}x)  threshold {threshold_pct:+.1f}%"
+        f"  [{'REGRESSED' if regressed else 'ok'}]",
+    ]
+    rows = metric_deltas(baseline, candidate)
+    if rows:
+        lines.append("  changed metrics:")
+        width = max(len(key) for key, *_ in rows)
+        for key, base_value, cand_value, metric_delta in rows:
+            lines.append(
+                f"    {key:<{width}}  {base_value:14,.2f} -> {cand_value:14,.2f}"
+                f"  {metric_delta:+8.1f}%"
+            )
+    else:
+        lines.append("  changed metrics: none")
+    return "\n".join(lines), regressed
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two benchmarks/out/<name>.json artifacts."
+    )
+    parser.add_argument("baseline", type=pathlib.Path, help="baseline artifact")
+    parser.add_argument("candidate", type=pathlib.Path, help="candidate artifact")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="max tolerated wall-time regression in percent (default 10)",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also write the comparison as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_artifact(args.baseline)
+        candidate = load_artifact(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"compare: {error}", file=sys.stderr)
+        return 2
+
+    report, regressed = format_report(baseline, candidate, args.threshold)
+    print(report)
+
+    if args.json is not None:
+        payload = {
+            "baseline": {"name": baseline["name"], "wall_s": baseline["wall_s"]},
+            "candidate": {"name": candidate["name"], "wall_s": candidate["wall_s"]},
+            "wall_delta_pct": percent_delta(
+                float(baseline["wall_s"]), float(candidate["wall_s"])
+            ),
+            "threshold_pct": args.threshold,
+            "regressed": regressed,
+            "metric_deltas": [
+                {"metric": key, "baseline": base, "candidate": cand, "delta_pct": pct}
+                for key, base, cand, pct in metric_deltas(baseline, candidate)
+            ],
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from .core import (
     knee_point,
     optimize,
     optimize_all_strategies,
+    optimize_fleet,
     pareto_frontier,
     renewable_coverage,
 )
@@ -112,6 +113,7 @@ __all__ = [
     "knee_point",
     "optimize",
     "optimize_all_strategies",
+    "optimize_fleet",
     "pareto_frontier",
     "renewable_coverage",
     "DATACENTER_SITES",

@@ -240,6 +240,15 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         "shared-memory trace plane (escape hatch for platforms without "
         "POSIX shared memory; results are identical either way)",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tensorize sweep chunks of at least N designs into one "
+        "(design x hour) kernel call (results are bitwise-identical to "
+        "the default per-design evaluation; try a few hundred)",
+    )
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -290,6 +299,7 @@ def _resilience_kwargs(args: argparse.Namespace) -> dict:
         "resume": args.resume,
         "shm": not getattr(args, "no_shm", False),
         "events": getattr(args, "events_bus", None),
+        "batch_size": getattr(args, "batch_size", None),
     }
     if args.fault_plan:
         kwargs["faults"] = FaultPlan.from_spec(args.fault_plan)

@@ -29,6 +29,7 @@ from .optimizer import (
     OptimizationResult,
     optimize,
     optimize_all_strategies,
+    optimize_fleet,
     strategy_checkpoint_path,
 )
 from .shm import (
@@ -40,7 +41,12 @@ from .shm import (
     shared_memory_available,
 )
 from .pareto import dominates, frontier_tail_ratio, knee_point, pareto_frontier
-from .refine import RefinementResult, refine_optimize
+from .refine import (
+    FrontierRefinementResult,
+    RefinementResult,
+    refine_frontier,
+    refine_optimize,
+)
 from .report import ReportOptions, site_report
 from .robustness import RobustnessReport, evaluate_across_years
 from .sensitivity import (
@@ -75,6 +81,7 @@ __all__ = [
     "OptimizationResult",
     "optimize",
     "optimize_all_strategies",
+    "optimize_fleet",
     "strategy_checkpoint_path",
     "SharedContextError",
     "SharedSiteContext",
@@ -82,7 +89,9 @@ __all__ = [
     "attach_context",
     "share_context",
     "shared_memory_available",
+    "FrontierRefinementResult",
     "RefinementResult",
+    "refine_frontier",
     "refine_optimize",
     "ReportOptions",
     "site_report",

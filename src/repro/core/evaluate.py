@@ -11,10 +11,13 @@ the design buys.
 from __future__ import annotations
 
 import math
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..battery import BatterySeed, simulate_battery
 from ..carbon import DEFAULT_EMBODIED_MODEL, EmbodiedCarbonModel, operational_carbon_tons
@@ -25,9 +28,14 @@ from ..datacenter import (
     synthesize_demand,
 )
 from ..grid import GridDataset, generate_grid_dataset, scale_trace_to_capacity
-from ..obs import inc, span
+from ..kernels.batch import (
+    battery_run_batch,
+    combined_run_batch,
+    schedule_run_batch,
+)
+from ..obs import gauge_value, inc, set_gauge, span
 from ..scheduling import schedule_carbon_aware, simulate_combined
-from ..timeseries import DEFAULT_CALENDAR, HourlySeries, YearCalendar
+from ..timeseries import DEFAULT_CALENDAR, HOURS_PER_DAY, HourlySeries, YearCalendar
 from .coverage import coverage_from_grid_import
 from .design import DesignPoint, Strategy
 from ..timeseries.stats import is_exact_zero
@@ -459,3 +467,451 @@ def evaluate_design(
         moved_mwh=moved_mwh,
         battery_cycles_per_day=battery_cycles_per_day,
     )
+
+
+#: Smallest block (rows) worth routing through a batched kernel, per
+#: strategy.  The batched hour loop has a near-constant per-sweep cost
+#: (~8760 iterations of numpy dispatch regardless of D), so tiny blocks
+#: are faster through the serial per-design kernels; these floors were
+#: calibrated on the CI container against the serial kernels at the
+#: block sizes real sweeps produce.  ``REPRO_BATCH_MIN_ROWS`` overrides
+#: all three (the env var reaches spawned workers, which a monkeypatched
+#: module global would not).
+_BATCH_MIN_ROWS = {
+    Strategy.RENEWABLES_BATTERY: 48,
+    Strategy.RENEWABLES_CAS: 8,
+    Strategy.RENEWABLES_BATTERY_CAS: 48,
+}
+
+#: Deferral deadline for the combined battery + CAS strategy, hours.
+COMBINED_DEADLINE_HOURS = 24
+
+
+def _batch_min_rows(strategy: Strategy) -> int:
+    override = os.environ.get("REPRO_BATCH_MIN_ROWS")
+    if override:
+        return max(1, int(override))
+    return _BATCH_MIN_ROWS.get(strategy, 1)
+
+
+def _finish_evaluation(
+    context: SiteContext,
+    design: DesignPoint,
+    strategy: Strategy,
+    solar_trace: HourlySeries,
+    wind_trace: HourlySeries,
+    grid_import: HourlySeries,
+    surplus: HourlySeries,
+    moved_mwh: float,
+    battery_cycles_per_day: float,
+) -> DesignEvaluation:
+    """The strategy-independent tail of :func:`evaluate_design`.
+
+    Shared between the per-design path and the batched path so both run
+    the identical carbon-accounting operations on identical inputs.
+    """
+    demand_power = context.demand.power
+    operational = operational_carbon_tons(grid_import, context.grid_intensity)
+    renewables_embodied = context.embodied.renewables_annual_tons(
+        solar_trace, wind_trace
+    )
+    battery_embodied = context.embodied.battery_annual_tons(
+        design.battery_spec(), cycles_per_day=max(battery_cycles_per_day, 1e-3)
+    )
+    servers_embodied = context.embodied.servers_annual_tons(
+        _extra_servers(context, design.extra_capacity_fraction)
+    )
+    inc("designs_evaluated")
+    return DesignEvaluation(
+        design=design,
+        strategy=strategy,
+        coverage=coverage_from_grid_import(demand_power, grid_import),
+        operational_tons=operational,
+        renewables_embodied_tons=renewables_embodied,
+        battery_embodied_tons=battery_embodied,
+        servers_embodied_tons=servers_embodied,
+        grid_import_mwh=grid_import.total(),
+        surplus_mwh=surplus.total(),
+        moved_mwh=moved_mwh,
+        battery_cycles_per_day=battery_cycles_per_day,
+    )
+
+
+def _batch_cycles_per_day(design: DesignPoint, discharged_mwh, calendar) -> float:
+    """Replicate ``BatterySimResult.cycles_per_day`` on a batch row."""
+    usable = design.battery_spec().usable_mwh
+    if is_exact_zero(usable):
+        cycles = 0.0
+    else:
+        cycles = float(discharged_mwh) / usable
+    return cycles / calendar.n_days
+
+
+def _batch_preconditions_hold(
+    context: SiteContext, designs: Sequence[DesignPoint]
+) -> bool:
+    """Whether the serial wrappers' validation would pass for every row.
+
+    The batched kernels skip per-call validation, so any row that a
+    serial wrapper would reject (negative demand, FWR outside [0, 1],
+    capacity below the demand peak) sends the whole block down the
+    per-design path, where the original error surfaces unchanged.
+    """
+    if context.demand.power.min() < 0:
+        return False
+    for design in designs:
+        if not 0.0 <= design.flexible_ratio <= 1.0:
+            return False
+        if design.extra_capacity_fraction < 0.0:
+            return False
+    return True
+
+
+def evaluate_block(
+    context: SiteContext,
+    designs: Sequence[DesignPoint],
+    strategy: Strategy,
+    *,
+    min_rows: Optional[int] = None,
+) -> List[DesignEvaluation]:
+    """Evaluate a block of designs, batching the design axis when it pays.
+
+    Semantically identical to ``[evaluate_design(context, d, strategy)
+    for d in designs]`` — every returned float is bitwise-equal to the
+    per-design result — but the year-long simulation loop runs *once*
+    over a ``(D, H)`` block (:mod:`repro.kernels.batch`) instead of once
+    per design.  The per-design path remains both the fallback and the
+    bitwise oracle:
+
+    * ``RENEWABLES_ONLY`` blocks always take it (the strategy is already
+      a couple of vectorized array ops — there is no loop to batch);
+    * blocks smaller than the per-strategy :data:`_BATCH_MIN_ROWS` floor
+      (``min_rows`` or ``REPRO_BATCH_MIN_ROWS`` override it) take it,
+      because the batched hour loop costs roughly the same for 1 row as
+      for 100;
+    * blocks violating a serial wrapper's preconditions take it so the
+      wrapper's validation error surfaces exactly as before.
+
+    Observability differences from the per-design path are deliberate
+    and bounded: batched blocks emit one ``evaluate_block`` span instead
+    of D ``evaluate_design``/``simulate_*`` spans, count rows into
+    ``designs_batched`` and the ``batch_rows_peak`` gauge, and skip the
+    battery seed cache (``battery_runs_seeded``/``battery_seed_cache_*``
+    stay flat: a batched run visits each supply row once, so there is no
+    repeated pre-pass to share).  All simulation counters
+    (``designs_evaluated``, ``battery_sims``, ``schedules_run``,
+    ``combined_sims``, MWh/hour totals, …) match the per-design path
+    exactly.
+    """
+    designs = list(designs)
+    if not designs:
+        return []
+    floor_rows = _batch_min_rows(strategy) if min_rows is None else max(1, min_rows)
+    constrained = [design.constrained_to(strategy) for design in designs]
+    if (
+        strategy is Strategy.RENEWABLES_ONLY
+        or len(designs) < floor_rows
+        or not _batch_preconditions_hold(context, constrained)
+    ):
+        return [evaluate_design(context, design, strategy) for design in designs]
+    demand_power = context.demand.power
+    calendar = demand_power.calendar
+    n_hours = calendar.n_hours
+    peak = demand_power.max()
+
+    projections = [
+        context.supply_cache.project(d.investment.solar_mw, d.investment.wind_mw)
+        for d in constrained
+    ]
+    supply_block = np.stack([supply.values for _, _, supply in projections])
+    if float(supply_block.min()) < 0.0:
+        return [evaluate_design(context, design, strategy) for design in designs]
+
+    specs = [d.battery_spec() for d in constrained]
+    capacities = [peak * (1.0 + d.extra_capacity_fraction) for d in constrained]
+    n_rows = len(constrained)
+
+    with span(
+        "evaluate_block",
+        strategy=strategy.value,
+        site=context.site_state,
+        n_designs=n_rows,
+    ):
+        inc("designs_batched", n_rows)
+        set_gauge("batch_rows_peak", max(gauge_value("batch_rows_peak"), n_rows))
+        evaluations: List[Optional[DesignEvaluation]] = [None] * n_rows
+
+        if strategy is Strategy.RENEWABLES_BATTERY:
+            run = battery_run_batch(
+                demand_power.values,
+                supply_block,
+                **_battery_columns(specs),
+                charge_plane=False,
+            )
+            evaluations = _finish_battery_rows(
+                context, constrained, projections, run, 0
+            )
+
+        elif strategy is Strategy.RENEWABLES_CAS:
+            # schedule_run_batch shares one 24-hour FWR profile across the
+            # block, so rows are grouped by their exact flexible_ratio
+            # (sweep grids almost always hold it constant — one group).
+            groups: Dict[float, List[int]] = {}
+            for i, design in enumerate(constrained):
+                groups.setdefault(design.flexible_ratio, []).append(i)
+            for ratio, rows in groups.items():
+                shifted_rows = schedule_run_batch(
+                    demand_power.values,
+                    supply_block[rows] if len(rows) < n_rows else supply_block,
+                    context.grid_intensity.values,
+                    np.array([capacities[i] for i in rows]),
+                    np.full(HOURS_PER_DAY, float(ratio)),
+                )
+                for j, i in enumerate(rows):
+                    design = constrained[i]
+                    supply = projections[i][2]
+                    shifted = HourlySeries(
+                        shifted_rows.shifted[j], calendar, name="shifted demand"
+                    )
+                    inc("schedules_run")
+                    inc("schedule_days", calendar.n_days)
+                    inc("schedule_moved_mwh", float(shifted_rows.moved_mwh[j]))
+                    evaluations[i] = _finish_evaluation(
+                        context,
+                        design,
+                        strategy,
+                        projections[i][0],
+                        projections[i][1],
+                        (shifted - supply).positive_part(),
+                        (supply - shifted).positive_part(),
+                        float(shifted_rows.moved_mwh[j]),
+                        0.0,
+                    )
+
+        else:  # Strategy.RENEWABLES_BATTERY_CAS
+            run = combined_run_batch(
+                demand_power.values,
+                supply_block,
+                **_battery_columns(specs),
+                capacity_mw=np.array(capacities),
+                flexible_ratio=np.array([d.flexible_ratio for d in constrained]),
+                deadline_hours=COMBINED_DEADLINE_HOURS,
+                charge_plane=False,
+            )
+            evaluations = _finish_combined_rows(
+                context, constrained, projections, run, 0
+            )
+
+    return [evaluation for evaluation in evaluations if evaluation is not None]
+
+
+def _battery_columns(specs) -> Dict[str, np.ndarray]:
+    """Per-row battery parameter columns shared by both battery kernels.
+
+    ``initial_energy_mwh`` replicates the serial wrappers' default
+    ``initial_soc=1.0`` arithmetic (``floor + soc * (cap - floor)``)
+    bitwise.
+    """
+    caps = np.array([spec.capacity_mwh for spec in specs])
+    floors = np.array([spec.floor_mwh for spec in specs])
+    return dict(
+        capacity_mwh=caps,
+        floor_mwh=floors,
+        max_charge_mw=np.array([spec.max_charge_mw for spec in specs]),
+        max_discharge_mw=np.array([spec.max_discharge_mw for spec in specs]),
+        charge_efficiency=np.array(
+            [spec.chemistry.charge_efficiency for spec in specs]
+        ),
+        discharge_efficiency=np.array(
+            [spec.chemistry.discharge_efficiency for spec in specs]
+        ),
+        initial_energy_mwh=floors + 1.0 * (caps - floors),
+    )
+
+
+def _finish_battery_rows(
+    context: SiteContext,
+    designs: Sequence[DesignPoint],
+    projections,
+    run,
+    offset: int,
+) -> List[DesignEvaluation]:
+    """Carbon-account one site's rows of a batched battery run.
+
+    ``run`` may hold rows for several sites (the fleet path); ``offset``
+    is where this site's rows start.
+    """
+    calendar = context.demand.power.calendar
+    n_hours = calendar.n_hours
+    out: List[DesignEvaluation] = []
+    for j, design in enumerate(designs):
+        i = offset + j
+        inc("battery_sims")
+        inc("battery_sim_hours", n_hours)
+        out.append(
+            _finish_evaluation(
+                context,
+                design,
+                Strategy.RENEWABLES_BATTERY,
+                projections[j][0],
+                projections[j][1],
+                HourlySeries(run.grid_import[i], calendar, name="grid import"),
+                HourlySeries(run.surplus[i], calendar, name="surplus"),
+                0.0,
+                _batch_cycles_per_day(design, run.discharged_mwh[i], calendar),
+            )
+        )
+    return out
+
+
+def _finish_combined_rows(
+    context: SiteContext,
+    designs: Sequence[DesignPoint],
+    projections,
+    run,
+    offset: int,
+) -> List[DesignEvaluation]:
+    """Carbon-account one site's rows of a batched combined run."""
+    calendar = context.demand.power.calendar
+    n_hours = calendar.n_hours
+    out: List[DesignEvaluation] = []
+    for j, design in enumerate(designs):
+        i = offset + j
+        inc("combined_sims")
+        inc("combined_sim_hours", n_hours)
+        inc("schedule_deferrals", int(run.deferral_events[i]))
+        inc("combined_deferred_mwh", float(run.deferred_mwh[i]))
+        out.append(
+            _finish_evaluation(
+                context,
+                design,
+                Strategy.RENEWABLES_BATTERY_CAS,
+                projections[j][0],
+                projections[j][1],
+                HourlySeries(run.grid_import[i], calendar, name="grid import"),
+                HourlySeries(run.surplus[i], calendar, name="surplus"),
+                float(run.deferred_mwh[i]),
+                _batch_cycles_per_day(design, run.discharged_mwh[i], calendar),
+            )
+        )
+    return out
+
+
+def evaluate_block_sites(
+    blocks: Sequence[Tuple[SiteContext, Sequence[DesignPoint]]],
+    strategy: Strategy,
+    *,
+    min_rows: Optional[int] = None,
+) -> List[List[DesignEvaluation]]:
+    """Evaluate several sites' design blocks through one merged kernel call.
+
+    The batched kernels' per-hour cost is numpy dispatch overhead, nearly
+    independent of the number of rows — so a sweep over many sites pays
+    that cost once per *site* even though the rows would happily share a
+    block.  This merges the site axis into the design axis: ``demand``
+    becomes a ``(D, H)`` block with each row carrying its own site's
+    trace, and one kernel call covers every site.  Bitwise identical to
+    calling :func:`evaluate_block` per site (property: the kernels are
+    pure row-wise lockstep; a row never observes its neighbours).
+
+    Only the hour-loop strategies gain (``RENEWABLES_BATTERY`` and
+    ``RENEWABLES_BATTERY_CAS``); other strategies — and any site block
+    that fails the batch preconditions — fall back to per-site
+    :func:`evaluate_block`, which preserves its own routing rules.
+    """
+    blocks = [(context, list(designs)) for context, designs in blocks]
+    mergeable = strategy in (
+        Strategy.RENEWABLES_BATTERY,
+        Strategy.RENEWABLES_BATTERY_CAS,
+    )
+    total_rows = sum(len(designs) for _, designs in blocks)
+    floor_rows = _batch_min_rows(strategy) if min_rows is None else max(1, min_rows)
+    if not mergeable or len(blocks) < 2 or total_rows < floor_rows:
+        return [
+            evaluate_block(context, designs, strategy, min_rows=min_rows)
+            for context, designs in blocks
+        ]
+
+    segments = []  # (context, constrained, projections, specs, capacities)
+    for context, designs in blocks:
+        if not designs:
+            segments.append((context, [], [], [], []))
+            continue
+        constrained = [design.constrained_to(strategy) for design in designs]
+        if not _batch_preconditions_hold(context, constrained):
+            return [
+                evaluate_block(context, designs, strategy, min_rows=min_rows)
+                for context, designs in blocks
+            ]
+        projections = [
+            context.supply_cache.project(d.investment.solar_mw, d.investment.wind_mw)
+            for d in constrained
+        ]
+        peak = context.demand.power.max()
+        segments.append(
+            (
+                context,
+                constrained,
+                projections,
+                [d.battery_spec() for d in constrained],
+                [peak * (1.0 + d.extra_capacity_fraction) for d in constrained],
+            )
+        )
+
+    n_hours = blocks[0][0].demand.power.calendar.n_hours
+    supply_block = np.empty((total_rows, n_hours))
+    demand_block = np.empty((total_rows, n_hours))
+    offsets = []
+    row = 0
+    for context, constrained, projections, _, _ in segments:
+        offsets.append(row)
+        demand_values = context.demand.power.values
+        for _, _, supply in projections:
+            supply_block[row] = supply.values
+            demand_block[row] = demand_values
+            row += 1
+    if float(supply_block.min()) < 0.0:
+        return [
+            evaluate_block(context, designs, strategy, min_rows=min_rows)
+            for context, designs in blocks
+        ]
+
+    all_specs = [spec for seg in segments for spec in seg[3]]
+    with span(
+        "evaluate_block_sites",
+        strategy=strategy.value,
+        n_sites=len(blocks),
+        n_designs=total_rows,
+    ):
+        inc("designs_batched", total_rows)
+        set_gauge("batch_rows_peak", max(gauge_value("batch_rows_peak"), total_rows))
+        if strategy is Strategy.RENEWABLES_BATTERY:
+            run = battery_run_batch(
+                demand_block,
+                supply_block,
+                **_battery_columns(all_specs),
+                charge_plane=False,
+            )
+            return [
+                _finish_battery_rows(context, constrained, projections, run, offset)
+                for (context, constrained, projections, _, _), offset in zip(
+                    segments, offsets
+                )
+            ]
+        run = combined_run_batch(
+            demand_block,
+            supply_block,
+            **_battery_columns(all_specs),
+            capacity_mw=np.array([c for seg in segments for c in seg[4]]),
+            flexible_ratio=np.array(
+                [d.flexible_ratio for seg in segments for d in seg[1]]
+            ),
+            deadline_hours=COMBINED_DEADLINE_HOURS,
+            charge_plane=False,
+        )
+        return [
+            _finish_combined_rows(context, constrained, projections, run, offset)
+            for (context, constrained, projections, _, _), offset in zip(
+                segments, offsets
+            )
+        ]

@@ -78,7 +78,13 @@ from ..resilience import (
 )
 from ..resilience.checkpoint import PathLike
 from .design import DesignPoint, DesignSpace, Strategy, default_design_space
-from .evaluate import DesignEvaluation, SiteContext, evaluate_design
+from .evaluate import (
+    DesignEvaluation,
+    SiteContext,
+    evaluate_block,
+    evaluate_block_sites,
+    evaluate_design,
+)
 from .shm import (
     SharedContextError,
     SharedSiteContext,
@@ -171,6 +177,7 @@ def _evaluate_chunk(
     designs: Sequence[DesignPoint],
     strategy: Strategy,
     fault: Optional[FaultAction] = None,
+    batched: bool = False,
 ) -> Tuple[int, List[DesignEvaluation], Optional[Dict[str, Any]]]:
     """Evaluate one contiguous slice of the grid in a worker process.
 
@@ -182,6 +189,8 @@ def _evaluate_chunk(
     ``"spans"`` and this worker's ``"pid"`` so the parent can render them
     on a per-process Chrome lane.  ``None`` when nothing is collected.
     ``fault`` is the test/CI fault injected into this attempt, if any.
+    ``batched`` routes the slice through :func:`evaluate_block` (bitwise
+    identical to the per-design loop; see ``optimize(batch_size=...)``).
     """
     global _worker_attach_unreported
     assert _worker_context is not None, "worker pool initializer did not run"
@@ -196,9 +205,14 @@ def _evaluate_chunk(
         # span stack; without dropping it our spans never become roots.
         reset_tracing(drop_open=True)
     with span("evaluate_chunk", start=start, n_designs=len(designs)):
-        evaluations: List[Any] = [
-            evaluate_design(_worker_context, design, strategy) for design in designs
-        ]
+        evaluations: List[Any]
+        if batched:
+            evaluations = list(evaluate_block(_worker_context, designs, strategy))
+        else:
+            evaluations = [
+                evaluate_design(_worker_context, design, strategy)
+                for design in designs
+            ]
     telemetry: Optional[Dict[str, Any]] = (
         metrics_snapshot() if _worker_collect_metrics else None
     )
@@ -269,21 +283,33 @@ def _sweep_serial(
     chunks: Sequence[_Chunk],
     commit: _CommitFn,
     point_progress: Optional[Callable[[], None]],
+    batched: bool = False,
 ) -> None:
     """Evaluate chunks in-process, committing (journaling) chunk by chunk.
 
     ``point_progress`` preserves the historical serial behaviour of one
-    progress callback per grid point (parallel sweeps report per chunk).
-    Each chunk is wrapped in the same ``evaluate_chunk`` span a worker
+    progress callback per grid point (parallel sweeps report per chunk;
+    a batched chunk reports its points as the block completes).  Each
+    chunk is wrapped in the same ``evaluate_chunk`` span a worker
     process opens, so span histograms are identical serial vs. parallel.
     """
     for _, start, stop in chunks:
         evaluations = []
         with span("evaluate_chunk", start=start, n_designs=stop - start):
-            for index in range(start, stop):
-                evaluations.append(evaluate_design(context, designs[index], strategy))
+            if batched:
+                evaluations = list(
+                    evaluate_block(context, designs[start:stop], strategy)
+                )
                 if point_progress is not None:
-                    point_progress()
+                    for _ in evaluations:
+                        point_progress()
+            else:
+                for index in range(start, stop):
+                    evaluations.append(
+                        evaluate_design(context, designs[index], strategy)
+                    )
+                    if point_progress is not None:
+                        point_progress()
         commit(start, evaluations, None)
 
 
@@ -300,6 +326,7 @@ def _sweep_parallel(
     events: Optional[SweepEvents] = None,
     site: str = "",
     strategy_label: str = "",
+    batched: bool = False,
 ) -> None:
     """Fan chunks across a process pool, surviving chunk/worker failures.
 
@@ -360,7 +387,12 @@ def _sweep_parallel(
                 fault = faults.action_for(ordinal, attempt) if faults else None
                 futures[
                     pool.submit(
-                        _evaluate_chunk, start, designs[start:stop], strategy, fault
+                        _evaluate_chunk,
+                        start,
+                        designs[start:stop],
+                        strategy,
+                        fault,
+                        batched,
                     )
                 ] = chunk
             not_done = set(futures)
@@ -443,10 +475,13 @@ def _sweep_parallel(
             stop,
             policy.max_retries,
         )
-        evaluations = [
-            evaluate_design(context, designs[index], strategy)
-            for index in range(start, stop)
-        ]
+        if batched:
+            evaluations = list(evaluate_block(context, designs[start:stop], strategy))
+        else:
+            evaluations = [
+                evaluate_design(context, designs[index], strategy)
+                for index in range(start, stop)
+            ]
         commit(start, evaluations, None)
 
 
@@ -464,6 +499,7 @@ def optimize(
     faults: Optional[FaultPlan] = None,
     shm: bool = True,
     events: Optional[SweepEvents] = None,
+    batch_size: Optional[int] = None,
 ) -> OptimizationResult:
     """Exhaustively evaluate ``space`` under ``strategy`` for one site.
 
@@ -512,12 +548,21 @@ def optimize(
       platform where segment creation fails, which logs a warning —
       falls back to pickling the full context.  Results are bitwise
       identical either way.
+    * ``batch_size`` routes every path — serial, parallel workers, the
+      post-retry serial fallback, and resumed sweeps — through
+      :func:`repro.core.evaluate.evaluate_block`, which tensorizes each
+      chunk's design axis into one ``(design, hour)`` kernel call
+      (:mod:`repro.kernels.batch`).  Chunks are widened to at least
+      ``batch_size`` grid points (still a pure function of the grid and
+      this argument, never of ``workers``), and every evaluation stays
+      bitwise-identical to the default per-design loop.  ``None`` (the
+      default) keeps the legacy per-design path and chunking exactly.
 
     Raises
     ------
     ValueError
-        If ``workers < 1``, ``resume`` is requested without a
-        ``checkpoint``, or the constrained space is empty.
+        If ``workers < 1``, ``batch_size < 1``, ``resume`` is requested
+        without a ``checkpoint``, or the constrained space is empty.
     repro.resilience.CheckpointError
         If the checkpoint file is damaged.
     repro.resilience.CheckpointMismatchError
@@ -525,6 +570,8 @@ def optimize(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint path")
     policy = RetryPolicy(
@@ -575,9 +622,15 @@ def optimize(
             truncate=not resume,
         )
 
-    # Worker-independent chunking: boundaries depend only on the grid, so
-    # serial and parallel sweeps journal and narrate identical chunks.
+    # Worker-independent chunking: boundaries depend only on the grid (and
+    # an explicit batch_size), so serial and parallel sweeps journal and
+    # narrate identical chunks.  Batched sweeps widen chunks to at least
+    # batch_size rows — a (design, hour) kernel call amortizes its hour
+    # loop over the whole chunk, so bigger blocks are faster until memory
+    # bandwidth pushes back.
     chunk_size = max(1, math.ceil(total / _TARGET_CHUNKS))
+    if batch_size is not None:
+        chunk_size = max(chunk_size, batch_size)
     chunks = _chunk_missing_indices([r is not None for r in results], chunk_size)
 
     use_pool = workers > 1 and len(chunks) > 1
@@ -688,7 +741,13 @@ def optimize(
         ):
             if not use_pool:
                 _sweep_serial(
-                    context, designs, strategy, chunks, write_back, on_serial_point
+                    context,
+                    designs,
+                    strategy,
+                    chunks,
+                    write_back,
+                    on_serial_point,
+                    batched=batch_size is not None,
                 )
             else:
                 _sweep_parallel(
@@ -704,6 +763,7 @@ def optimize(
                     events=events,
                     site=context.site_state,
                     strategy_label=strategy.value,
+                    batched=batch_size is not None,
                 )
     except KeyboardInterrupt:
         if journal is not None:
@@ -765,6 +825,7 @@ def optimize_all_strategies(
     faults: Optional[FaultPlan] = None,
     shm: bool = True,
     events: Optional[SweepEvents] = None,
+    batch_size: Optional[int] = None,
 ) -> Dict[Strategy, OptimizationResult]:
     """Run the exhaustive sweep for all four strategies of Fig. 15.
 
@@ -797,9 +858,107 @@ def optimize_all_strategies(
             faults=faults,
             shm=shm,
             events=events,
+            batch_size=batch_size,
         )
         for strategy in Strategy
     }
+
+
+def optimize_fleet(
+    sites: Sequence[Tuple[SiteContext, DesignSpace]],
+    strategy: Strategy,
+    *,
+    batch_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[OptimizationResult]:
+    """Sweep several sites under one strategy through merged kernel blocks.
+
+    A multi-site study (Fig. 14's three-site column, Fig. 15's thirteen
+    regions) runs the same grid at every site.  Per-site sweeps pay the
+    batched kernels' near-constant hour-loop dispatch cost once per site;
+    this entry point folds the site axis into the design axis instead —
+    :func:`repro.core.evaluate.evaluate_block_sites` stacks each site's
+    demand trace into a ``(design, hour)`` block row-for-row with its
+    supply — so the whole fleet pays that cost once.  Results are
+    bitwise-identical to ``[optimize(context, space, strategy,
+    batch_size=...) for context, space in sites]``: the kernels are pure
+    row-wise lockstep, and strategies (or blocks) that cannot merge fall
+    back to per-site evaluation inside ``evaluate_block_sites``.
+
+    ``batch_size`` caps the rows merged into one kernel call (``None``,
+    the default, merges the entire fleet — at thirteen sites × a few
+    hundred designs the block is tens of MB, far below memory pressure,
+    and fewer calls is strictly faster).  ``progress`` receives ``(done,
+    total, strategy_name)`` with ``total`` counting rows fleet-wide.
+
+    This is a serial, in-process path: it composes with ``workers=1``
+    sweeps only.  Multi-process fleets should keep per-site
+    :func:`optimize` calls (the trace plane ships one site per worker).
+    """
+    sites = [(context, space) for context, space in sites]
+    if not sites:
+        return []
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    per_site_designs = [
+        list(space.points(strategy)) for _, space in sites
+    ]
+    if any(not designs for designs in per_site_designs):
+        raise ValueError("design space produced no points")
+    totals = [len(designs) for designs in per_site_designs]
+    total = sum(totals)
+    rows = [
+        (site_index, design)
+        for site_index, designs in enumerate(per_site_designs)
+        for design in designs
+    ]
+    chunk_size = total if batch_size is None else batch_size
+
+    collected: List[List[DesignEvaluation]] = [[] for _ in sites]
+    done = 0
+    with span(
+        "optimize_fleet",
+        strategy=strategy.value,
+        n_sites=len(sites),
+        grid_points=total,
+    ):
+        for start in range(0, total, chunk_size):
+            chunk = rows[start : start + chunk_size]
+            segments: List[Tuple[SiteContext, List[DesignPoint]]] = []
+            segment_sites: List[int] = []
+            for site_index, design in chunk:
+                if not segment_sites or segment_sites[-1] != site_index:
+                    segments.append((sites[site_index][0], []))
+                    segment_sites.append(site_index)
+                segments[-1][1].append(design)
+            evaluated = evaluate_block_sites(segments, strategy)
+            for site_index, evaluations in zip(segment_sites, evaluated):
+                collected[site_index].extend(evaluations)
+                done += len(evaluations)
+            if progress is not None:
+                progress(done, total, strategy.value)
+
+    results: List[OptimizationResult] = []
+    for (context, _), evaluations, site_total in zip(sites, collected, totals):
+        if len(evaluations) != site_total:  # pragma: no cover
+            raise AssertionError("fleet sweep left unevaluated grid points")
+        best = min(evaluations, key=lambda e: e.total_tons)
+        inc("sweeps_completed")
+        set_gauge("sweep_grid_points", site_total)
+        _log.info(
+            "fleet sweep done: site=%s strategy=%s best_total_tons=%.1f "
+            "coverage=%.3f",
+            context.site_state,
+            strategy.value,
+            best.total_tons,
+            best.coverage,
+        )
+        results.append(
+            OptimizationResult(
+                strategy=strategy, best=best, evaluations=tuple(evaluations)
+            )
+        )
+    return results
 
 
 def strategy_checkpoint_path(

@@ -23,6 +23,14 @@ them cheap to property-test against the reference implementations on short
 traces.
 """
 
+from .batch import (
+    BatteryRunBatch,
+    CombinedRunBatch,
+    ScheduleRunBatch,
+    battery_run_batch,
+    combined_run_batch,
+    schedule_run_batch,
+)
 from .battery import (
     BatteryRunArrays,
     BatterySeed,
@@ -44,4 +52,10 @@ __all__ = [
     "CombinedRunArrays",
     "combined_run",
     "schedule_run",
+    "BatteryRunBatch",
+    "CombinedRunBatch",
+    "ScheduleRunBatch",
+    "battery_run_batch",
+    "combined_run_batch",
+    "schedule_run_batch",
 ]

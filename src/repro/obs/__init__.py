@@ -58,6 +58,7 @@ from .metrics import (
     MetricsRegistry,
     disable_metrics,
     enable_metrics,
+    gauge_value,
     get_registry,
     inc,
     merge_counters,
@@ -120,6 +121,7 @@ __all__ = [
     "MetricsRegistry",
     "disable_metrics",
     "enable_metrics",
+    "gauge_value",
     "get_registry",
     "inc",
     "merge_counters",

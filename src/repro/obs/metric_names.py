@@ -51,6 +51,7 @@ COUNTERS: FrozenSet[str] = frozenset(
         # sweep engine / resilience
         "sweeps_completed",
         "designs_evaluated",
+        "designs_batched",
         "chunk_retries",
         "chunk_failures",
         "serial_fallbacks",
@@ -76,6 +77,7 @@ GAUGES: FrozenSet[str] = frozenset(
     {
         "context_pickle_bytes",
         "sweep_grid_points",
+        "batch_rows_peak",
     }
 )
 

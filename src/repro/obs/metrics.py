@@ -268,6 +268,12 @@ class MetricsRegistry:
             counter = self._counters.get(name)
             return counter.value if counter is not None else 0.0
 
+    def gauge_value(self, name: str) -> float:
+        """Current value of a gauge (0 if it was never set)."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            return gauge.value if gauge is not None else 0.0
+
     def snapshot(self) -> Dict[str, Any]:
         """A point-in-time copy as a plain JSON-serializable dict.
 
@@ -418,6 +424,11 @@ def set_gauge(name: str, value: float) -> None:
     if not _REGISTRY.enabled:
         return
     _REGISTRY.set_gauge(name, value)
+
+
+def gauge_value(name: str) -> float:
+    """Current value of a gauge in the default registry (0 if never set)."""
+    return _REGISTRY.gauge_value(name)
 
 
 def observe(name: str, value: float) -> None:
