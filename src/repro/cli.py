@@ -10,6 +10,8 @@ Wraps the library's main analyses for shell use:
 * ``scenarios``  — grid-mix / Net-Zero / 24-7 intensity summary (Fig. 6)
 * ``gap``        — annual vs monthly vs hourly matching (§3.2)
 * ``stats``      — run a small instrumented sweep, print trace + metrics
+* ``journal``    — inspect checkpoint journals (fingerprint, progress,
+  resumability verdict)
 * ``export-grid``   — write a balancing authority's year as EIA-style CSV
 * ``export-demand`` — write a site's demand trace as CSV
 * ``lint``       — static invariant checks over the source tree
@@ -36,6 +38,15 @@ interrupted run), ``--max-retries N`` and ``--chunk-timeout S`` (parallel
 fault tolerance), and ``--fault-plan SPEC`` (deterministic fault
 injection for testing, e.g. ``kill=0;delay=1:0.5;corrupt=2``).
 
+``rank`` runs the whole fleet through one shared worker pool
+(:func:`repro.core.sweep_fleet`): every site is an isolated fault
+domain, ``--deadline SECONDS`` bounds the fleet's wall clock (unfinished
+sites report ``deadline_exceeded`` with partial results), ``--stream``
+prints frontier/quarantine/deadline events live as JSON lines, and
+``--site-fault-plan SPEC`` injects site-scoped faults (e.g.
+``UT:kill@0.5;OR:shm;attempts=1``).  A Ctrl-C prints the partial rank
+table for the sites that finished before exiting 130.
+
 Every command prints a plain-text table and exits 0 on success; argument
 errors exit 2 (argparse) and domain errors exit 1 with a message on
 stderr.  An interrupted checkpointed sweep exits 130 after flushing the
@@ -46,15 +57,16 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import math
 import sys
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .battery import BatterySpec
 from .carbon import SupplyScenario, matching_gap
-from .core import CarbonExplorer, Strategy
+from .core import CarbonExplorer, FleetInterrupted, SiteSweep, Strategy, sweep_fleet
 from .core.optimizer import optimize_all_strategies, strategy_checkpoint_path
-from .resilience import FaultPlan, SweepInterrupted
+from .resilience import FaultPlan, FleetFaultPlan, SweepInterrupted, inspect_journal
 from .datacenter import SITE_ORDER
 from .grid import RenewableInvestment, generate_grid_dataset
 from .io import write_grid_csv, write_trace_csv
@@ -432,40 +444,174 @@ def cmd_optimize(args: argparse.Namespace) -> None:
     )
 
 
-def cmd_rank(args: argparse.Namespace) -> None:
-    strategy = _STRATEGY_BY_NAME[args.strategy]
-    resilience = _resilience_kwargs(args)
+#: Event kinds ``rank --stream`` narrates.  ``chunk_completed`` is left
+#: out deliberately — hundreds of lines of chunk bookkeeping would bury
+#: the frontier improvements the stream exists to surface.
+_STREAMED_KINDS = frozenset(
+    {
+        "sweep_started",
+        "frontier_updated",
+        "chunk_retried",
+        "site_quarantined",
+        "sweep_degraded",
+        "deadline_exceeded",
+        "sweep_finished",
+    }
+)
+
+
+def _stream_printer(event) -> None:
+    """Print one bus event as a greppable, JSON-payload stream line.
+
+    The payload is emitted as JSON (full float precision), so a consumer
+    can reconstruct per-site frontiers from the ``frontier_updated``
+    lines and diff them against the final table — the fleet-chaos CI
+    smoke does exactly that.
+    """
+    if event.kind not in _STREAMED_KINDS:
+        return
+    print(
+        f"stream {event.kind} {json.dumps(event.payload, sort_keys=True)}",
+        flush=True,
+    )
+
+
+def _parse_rank_sites(spec: Optional[str]) -> List[str]:
+    if not spec:
+        return list(SITE_ORDER)
+    sites = [token.strip().upper() for token in spec.split(",") if token.strip()]
+    unknown = [site for site in sites if site not in SITE_ORDER]
+    if unknown:
+        raise ValueError(
+            f"unknown site(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(SITE_ORDER)}"
+        )
+    if not sites:
+        raise ValueError("--sites needs at least one site code")
+    return sites
+
+
+def _print_rank_table(
+    strategy: Strategy,
+    explorers: Dict[str, CarbonExplorer],
+    sweeps: Sequence[SiteSweep],
+    partial: bool = False,
+) -> None:
+    """The rank table, tolerant of unfinished sites.
+
+    An unfinished site's ``best`` is the best over what it committed — a
+    provisional number — so its row carries the non-``complete`` status
+    that says how far it got.
+    """
     rows = []
-    for state in SITE_ORDER:
+    for sweep in sweeps:
+        explorer = explorers[sweep.site]
+        best = sweep.best
+        per_mw = best.total_tons / explorer.avg_power_mw if best else math.inf
+        rows.append(
+            (
+                sweep.site,
+                explorer.context.grid.authority.renewable_class.value,
+                sweep.status.value,
+                f"{per_mw:,.0f}" if best else "--",
+                percent(best.coverage) if best else "--",
+                per_mw,
+            )
+        )
+    rows.sort(key=lambda r: r[-1])
+    title = f"Site ranking, strategy: {strategy.value}"
+    if partial:
+        title += " (partial: interrupted)"
+    print(
+        format_table(
+            ["site", "region type", "status", "tCO2/yr per MW", "coverage"],
+            [r[:-1] for r in rows],
+            title=title,
+        )
+    )
+
+
+def cmd_rank(args: argparse.Namespace) -> Optional[int]:
+    strategy = _STRATEGY_BY_NAME[args.strategy]
+    if args.fault_plan:
+        raise ValueError(
+            "rank sweeps the whole fleet; --fault-plan addresses chunks of "
+            "one sweep and is ambiguous across thirteen — use the "
+            "site-scoped --site-fault-plan "
+            "(e.g. 'UT:kill@0.5;OR:shm;attempts=1') instead"
+        )
+    faults = (
+        FleetFaultPlan.from_spec(args.site_fault_plan)
+        if args.site_fault_plan
+        else None
+    )
+    if faults is not None and args.workers < 2:
+        print(
+            "note: --site-fault-plan fires in pool workers; "
+            "with --workers 1 the sweep runs in-process and injects nothing",
+            file=sys.stderr,
+        )
+    sites = _parse_rank_sites(args.sites)
+    explorers: Dict[str, CarbonExplorer] = {}
+    fleet_sites = []
+    for state in sites:
         explorer = CarbonExplorer(state, year=args.year, seed=args.seed)
         space = explorer.default_space(
             n_renewable_steps=4,
             battery_hours=(0.0, 2.0, 5.0, 10.0, 16.0),
             extra_capacity_fractions=(0.0, 0.5),
         )
-        if args.checkpoint:
-            # One journal per site, suffixed off the base the user gave.
-            resilience["checkpoint"] = f"{args.checkpoint}.{state.lower()}"
-        best = explorer.optimize(
-            strategy, space, workers=args.workers, **resilience
-        ).best
-        rows.append(
-            (
-                state,
-                explorer.context.grid.authority.renewable_class.value,
-                f"{best.total_tons / explorer.avg_power_mw:,.0f}",
-                percent(best.coverage),
-                best.total_tons / explorer.avg_power_mw,
-            )
+        explorers[state] = explorer
+        fleet_sites.append((state, explorer.context, space))
+
+    bus = args.events_bus
+    unsubscribe = None
+    if args.stream:
+        if bus is None:
+            bus = SweepEvents()
+        unsubscribe = bus.subscribe(_stream_printer)
+    try:
+        fleet = sweep_fleet(
+            fleet_sites,
+            strategy,
+            workers=args.workers,
+            deadline_s=args.deadline,
+            max_retries=args.max_retries,
+            chunk_timeout=args.chunk_timeout,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            faults=faults,
+            shm=not args.no_shm,
+            events=bus,
+            batch_size=args.batch_size,
         )
-    rows.sort(key=lambda r: r[-1])
-    print(
-        format_table(
-            ["site", "region type", "tCO2/yr per MW", "coverage"],
-            [r[:-1] for r in rows],
-            title=f"Site ranking, strategy: {strategy.value}",
+    except FleetInterrupted as interrupted:  # repro-lint: disable=RL006 — process boundary: partial table + exit code 130
+        _print_rank_table(strategy, explorers, interrupted.completed, partial=True)
+        hint = (
+            f"; journals under {interrupted.checkpoint}.<site> resume with "
+            "--resume"
+            if interrupted.checkpoint
+            else "; re-run with --checkpoint to make interrupts resumable"
         )
-    )
+        print(
+            f"interrupted: {len(interrupted.completed)}/{len(sites)} sites "
+            f"finished ({interrupted.strategy}){hint}",
+            file=sys.stderr,
+        )
+        return 130
+    finally:
+        if unsubscribe is not None:
+            unsubscribe()
+    _print_rank_table(strategy, explorers, fleet.sites)
+    if args.deadline is not None:
+        unfinished = sum(1 for s in fleet.sites if s.result is None)
+        print(
+            f"fleet finished in {fleet.elapsed_s:.1f}s of the "
+            f"{args.deadline:.1f}s budget"
+            + (f"; {unfinished} site(s) cut off" if unfinished else ""),
+            file=sys.stderr,
+        )
+    return None
 
 
 def cmd_scenarios(args: argparse.Namespace) -> None:
@@ -566,6 +712,36 @@ def cmd_stats(args: argparse.Namespace) -> None:
             disable_metrics()
 
 
+def cmd_journal(args: argparse.Namespace) -> None:
+    """Describe checkpoint journals: identity, progress, resumability.
+
+    Built for the "is this interrupted rank worth resuming?" question:
+    point it at ``<base>.<site>`` journals (globs expand in the shell)
+    and read the verdict column.  Damaged journals are described, not
+    fatal — the command never raises on journal contents.
+    """
+    rows = []
+    for path in args.journals:
+        info = inspect_journal(path)
+        rows.append(
+            (
+                info.path,
+                info.fingerprint[:12] if info.fingerprint else "--",
+                info.strategy or "--",
+                str(info.chunks),
+                f"{info.evaluations_done}/{info.total}" if info.total else "--",
+                info.verdict(),
+            )
+        )
+    print(
+        format_table(
+            ["journal", "fingerprint", "strategy", "chunks", "evaluations", "verdict"],
+            rows,
+            title="Checkpoint journals",
+        )
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     from .core.report import ReportOptions, site_report
 
@@ -634,10 +810,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arguments(p)
     p.set_defaults(handler=cmd_optimize)
 
-    p = subparsers.add_parser("rank", help="rank all 13 sites", parents=[obs])
+    p = subparsers.add_parser(
+        "rank",
+        help="rank all 13 sites (fleet sweep: fault domains, deadline, streaming)",
+        parents=[obs],
+    )
     p.add_argument("--strategy", choices=list(_STRATEGY_BY_NAME), default="all")
     p.add_argument("--year", type=int, default=2020)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--sites",
+        metavar="LIST",
+        default=None,
+        help="comma-separated subset of Table-1 sites to rank (default: all 13)",
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="print frontier/quarantine/deadline events live as "
+        "'stream <kind> <json>' lines while the fleet sweeps",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="global wall-clock budget for the whole fleet; unfinished "
+        "sites are reported as deadline_exceeded with partial results",
+    )
+    p.add_argument(
+        "--site-fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="site-scoped fault injection for testing, e.g. "
+        "'UT:kill@0.5;OR:delay=1.0@0.5;TX:shm;attempts=1;seed=7'",
+    )
     _add_workers_argument(p)
     _add_resilience_arguments(p)
     _add_telemetry_arguments(p)
@@ -693,6 +900,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_site_arguments(p)
     p.add_argument("output", help="destination CSV path")
     p.set_defaults(handler=cmd_export_demand)
+
+    p = subparsers.add_parser(
+        "journal",
+        help="inspect checkpoint journals: fingerprint, progress, verdict",
+        description="Summarize --checkpoint journal files: schema version, "
+        "sweep fingerprint, chunks and evaluations journaled, and a "
+        "resumability verdict (resumable / complete / empty / damaged).",
+        parents=[obs],
+    )
+    p.add_argument(
+        "journals",
+        nargs="+",
+        metavar="FILE",
+        help="journal path(s) written by --checkpoint (rank writes "
+        "<base>.<site> per site)",
+    )
+    p.set_defaults(handler=cmd_journal)
 
     p = subparsers.add_parser(
         "lint",

@@ -25,6 +25,14 @@ from .evaluate import (
     set_context_cache_limit,
 )
 from .explorer import CarbonExplorer
+from .fleet import (
+    FleetInterrupted,
+    FleetResult,
+    SiteStatus,
+    SiteSweep,
+    fleet_checkpoint_path,
+    sweep_fleet,
+)
 from .optimizer import (
     OptimizationResult,
     optimize,
@@ -78,6 +86,12 @@ __all__ = [
     "evaluate_design",
     "set_context_cache_limit",
     "CarbonExplorer",
+    "FleetInterrupted",
+    "FleetResult",
+    "SiteStatus",
+    "SiteSweep",
+    "fleet_checkpoint_path",
+    "sweep_fleet",
     "OptimizationResult",
     "optimize",
     "optimize_all_strategies",

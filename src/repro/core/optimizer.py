@@ -253,6 +253,23 @@ class OptimizationResult:
         return self.best.coverage
 
 
+def sweep_chunk_size(total: int, batch_size: Optional[int] = None) -> int:
+    """Chunk width for a sweep over ``total`` grid points.
+
+    A pure function of the grid (and an explicit ``batch_size``), never of
+    ``workers`` — identical chunk boundaries serial vs. parallel vs. fleet
+    are what make the ``chunk_completed`` event stream, the checkpoint
+    journal granularity, and the per-chunk span histograms engine
+    independent.  The fleet scheduler (:mod:`repro.core.fleet`) uses the
+    same function so its per-site journals stay interchangeable with
+    :func:`optimize`'s.
+    """
+    size = max(1, math.ceil(total / _TARGET_CHUNKS))
+    if batch_size is not None:
+        size = max(size, batch_size)
+    return size
+
+
 def _chunk_missing_indices(
     filled: Sequence[bool], chunk_size: int
 ) -> List[_Chunk]:
@@ -628,9 +645,7 @@ def optimize(
     # batch_size rows — a (design, hour) kernel call amortizes its hour
     # loop over the whole chunk, so bigger blocks are faster until memory
     # bandwidth pushes back.
-    chunk_size = max(1, math.ceil(total / _TARGET_CHUNKS))
-    if batch_size is not None:
-        chunk_size = max(chunk_size, batch_size)
+    chunk_size = sweep_chunk_size(total, batch_size)
     chunks = _chunk_missing_indices([r is not None for r in results], chunk_size)
 
     use_pool = workers > 1 and len(chunks) > 1

@@ -55,6 +55,8 @@ COUNTERS: FrozenSet[str] = frozenset(
         "chunk_retries",
         "chunk_failures",
         "serial_fallbacks",
+        "sites_quarantined",
+        "chunks_deadline_dropped",
         "checkpoint_chunks_skipped",
         "checkpoint_designs_skipped",
         "checkpoint_chunks_written",
@@ -78,6 +80,7 @@ GAUGES: FrozenSet[str] = frozenset(
         "context_pickle_bytes",
         "sweep_grid_points",
         "batch_rows_peak",
+        "fleet_deadline_remaining_s",
     }
 )
 
@@ -98,6 +101,10 @@ EVENTS: FrozenSet[str] = frozenset(
         "chunk_retried",
         "frontier_updated",
         "sweep_finished",
+        # fleet scheduler (repro.core.fleet)
+        "site_quarantined",
+        "deadline_exceeded",
+        "sweep_degraded",
     }
 )
 

@@ -27,9 +27,16 @@ from .checkpoint import (
     CheckpointJournal,
     CheckpointMismatchError,
     JournalHeader,
+    JournalInfo,
     SweepInterrupted,
+    inspect_journal,
     load_resumable_chunks,
     sweep_fingerprint,
+)
+from .domains import (
+    AdaptiveChunkTimeout,
+    FleetFaultPlan,
+    SiteFaultPolicy,
 )
 from .faults import (
     FaultAction,
@@ -53,9 +60,14 @@ __all__ = [
     "CheckpointJournal",
     "CheckpointMismatchError",
     "JournalHeader",
+    "JournalInfo",
     "SweepInterrupted",
+    "inspect_journal",
     "load_resumable_chunks",
     "sweep_fingerprint",
+    "AdaptiveChunkTimeout",
+    "FleetFaultPlan",
+    "SiteFaultPolicy",
     "FaultAction",
     "FaultKind",
     "FaultPlan",

@@ -255,6 +255,72 @@ def load_resumable_chunks(
     return chunks
 
 
+@dataclass(frozen=True)
+class JournalInfo:
+    """Inspection summary of one checkpoint journal (``repro journal``).
+
+    ``error`` is set (and the counts zeroed) when the journal is damaged
+    beyond the tolerated truncated final line.  ``total`` is the sweep's
+    grid size from the header; ``evaluations_done`` counts journaled
+    evaluations, so ``complete`` means every grid index is covered and
+    the journal is a finished sweep rather than a resumable partial.
+    """
+
+    path: str
+    version: int = 0
+    fingerprint: str = ""
+    strategy: str = ""
+    total: int = 0
+    chunks: int = 0
+    evaluations_done: int = 0
+    error: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every grid index of the sweep is journaled."""
+        return self.error is None and self.total > 0 and self.evaluations_done >= self.total
+
+    @property
+    def resumable(self) -> bool:
+        """Whether ``--resume`` against this journal would skip work."""
+        return self.error is None and 0 < self.evaluations_done < self.total
+
+    def verdict(self) -> str:
+        """One-word-ish resumability verdict for the CLI table."""
+        if self.error is not None:
+            return f"damaged: {self.error}"
+        if self.complete:
+            return "complete"
+        if self.evaluations_done == 0:
+            return "empty (header only)"
+        return "resumable"
+
+
+def inspect_journal(path: PathLike) -> JournalInfo:
+    """Summarize a journal file without needing its sweep's context.
+
+    Never raises on journal damage — a debugging command must be able to
+    describe a broken journal; structural problems land in
+    :attr:`JournalInfo.error` instead.  A missing file is reported as
+    damage too (``no such file``).
+    """
+    if not os.path.exists(path):
+        return JournalInfo(path=str(path), error="no such file")
+    try:
+        header, chunks = _parse_journal(path)
+    except CheckpointError as error:
+        return JournalInfo(path=str(path), error=str(error))
+    return JournalInfo(
+        path=str(path),
+        version=header.version,
+        fingerprint=header.fingerprint,
+        strategy=header.strategy,
+        total=header.total,
+        chunks=len(chunks),
+        evaluations_done=sum(len(c) for c in chunks.values()),
+    )
+
+
 class CheckpointJournal:
     """Append-only writer for one sweep's checkpoint file.
 

@@ -32,11 +32,21 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 @unique
 class FaultKind(Enum):
-    """The three injectable chunk faults."""
+    """The injectable chunk faults.
+
+    ``KILL``/``DELAY``/``CORRUPT`` are chunk-scoped and executed by
+    :func:`execute_pre_fault` / :func:`corrupt_payload` in any sweep
+    worker.  ``SHM`` is site-scoped (see
+    :class:`repro.resilience.domains.FleetFaultPlan`): the fleet worker
+    raises :class:`~repro.core.shm.SharedContextError` before touching
+    the site's segment, simulating a torn/unattachable segment;
+    :func:`execute_pre_fault` ignores it.
+    """
 
     KILL = "kill"
     DELAY = "delay"
     CORRUPT = "corrupt"
+    SHM = "shm"
 
 
 @dataclass(frozen=True)

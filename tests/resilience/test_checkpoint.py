@@ -16,6 +16,7 @@ from repro.resilience import (
     ChunkValidationError,
     JournalHeader,
     SweepInterrupted,
+    inspect_journal,
     evaluation_from_json,
     evaluation_to_json,
     load_resumable_chunks,
@@ -274,3 +275,47 @@ class TestValidateChunkResult:
             validate_chunk_result(
                 (0, evaluations, "bogus"), 0, len(evaluations)
             )
+
+
+class TestInspectJournal:
+    """``inspect_journal`` powers ``repro journal``: describe, never raise."""
+
+    def test_complete_journal(self, tmp_path, evaluations):
+        path = tmp_path / "done.ckpt"
+        with CheckpointJournal(path, _header("fp", total=4)) as journal:
+            journal.append_chunk(0, evaluations)
+        info = inspect_journal(path)
+        assert info.error is None
+        assert info.fingerprint == "fp"
+        assert info.strategy == Strategy.RENEWABLES_BATTERY.name
+        assert (info.chunks, info.evaluations_done, info.total) == (1, 4, 4)
+        assert info.complete and not info.resumable
+        assert info.verdict() == "complete"
+
+    def test_resumable_journal(self, tmp_path, evaluations):
+        path = tmp_path / "partial.ckpt"
+        with CheckpointJournal(path, _header("fp", total=8)) as journal:
+            journal.append_chunk(0, evaluations)
+        info = inspect_journal(path)
+        assert info.resumable and not info.complete
+        assert info.verdict() == "resumable"
+
+    def test_header_only_journal(self, tmp_path):
+        path = tmp_path / "header.ckpt"
+        with CheckpointJournal(path, _header("fp")) as journal:
+            journal._ensure_open()  # write the header, no chunks
+        info = inspect_journal(path)
+        assert info.error is None and info.evaluations_done == 0
+        assert info.verdict() == "empty (header only)"
+
+    def test_missing_file_is_described_not_raised(self, tmp_path):
+        info = inspect_journal(tmp_path / "absent.ckpt")
+        assert info.error == "no such file"
+        assert info.verdict().startswith("damaged:")
+
+    def test_damaged_journal_is_described_not_raised(self, tmp_path):
+        path = tmp_path / "broken.ckpt"
+        path.write_text("not json\n")
+        info = inspect_journal(path)
+        assert info.error is not None
+        assert "damaged" in info.verdict()
