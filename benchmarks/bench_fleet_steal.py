@@ -1,0 +1,98 @@
+"""Work-stealing A/B on a skewed fleet sharing one worker pool.
+
+One site's grid is ~16× the other's, so the small site drains its queue
+almost immediately; from then on the fair per-site slot split parks half
+the pool unless the engine re-grants the drained site's capacity to the
+site with the largest remaining grid.  The two benches run the *same*
+fleet with stealing on and off and emit separate artifacts
+(``fleet_steal_on`` / ``fleet_steal_off``); CI diffs the pair with
+``benchmarks/compare.py`` — steal-on as the candidate must not be slower
+than steal-off as the baseline, and its ``capacity_steals`` counter
+records that the re-grant actually fired.  Results are bitwise-identical
+in both configurations: stealing moves pool *capacity*, never chunks
+(pinned by ``tests/core/test_engine_equivalence.py``).
+"""
+
+import json
+
+import pytest
+
+from _common import OUT_DIR, bench_workers, emit, run_once
+
+from repro.core import Strategy, build_site_context, sweep_fleet
+from repro.core.design import DesignSpace
+from repro.reporting import format_table
+
+#: 8 × 8 × 2 = 128 points: ~32 chunks at batch_size 4, plenty of queue
+#: left for the re-granted slots to chew on.
+BIG_SPACE = DesignSpace(
+    solar_mw=tuple(float(s) for s in range(0, 80, 10)),
+    wind_mw=tuple(float(w) for w in range(0, 80, 10)),
+    battery_mwh=(0.0, 50.0),
+    extra_capacity_fractions=(0.0,),
+)
+
+#: 2 × 2 × 2 = 8 points: drains within the first few dispatch rounds.
+SMALL_SPACE = DesignSpace(
+    solar_mw=(0.0, 30.0),
+    wind_mw=(0.0, 30.0),
+    battery_mwh=(0.0, 50.0),
+    extra_capacity_fractions=(0.0,),
+)
+
+
+@pytest.fixture(scope="module")
+def sites():
+    return [
+        ("UT", build_site_context("UT"), BIG_SPACE),
+        ("OR", build_site_context("OR"), SMALL_SPACE),
+    ]
+
+
+def run_skewed_fleet(sites, steal: bool) -> str:
+    """Sweep the skewed fleet and render the per-site outcome table."""
+    fleet = sweep_fleet(
+        sites,
+        Strategy.RENEWABLES_BATTERY,
+        workers=max(2, bench_workers()),
+        batch_size=4,
+        steal=steal,
+    )
+    assert fleet.complete
+    rows = []
+    for key, _, space in sites:
+        sweep = fleet.site(key)
+        rows.append(
+            (
+                key,
+                f"{space.size(Strategy.RENEWABLES_BATTERY)}",
+                sweep.status.value,
+                f"{sweep.best.coverage:.4f}",
+            )
+        )
+    return format_table(
+        ["site", "grid points", "status", "best coverage"],
+        rows,
+        title=(
+            "Skewed fleet (UT grid 16x OR), shared pool, work stealing "
+            + ("ON" if steal else "OFF")
+        ),
+    )
+
+
+def steals_recorded(name: str) -> int:
+    """The ``capacity_steals`` counter from an emitted bench artifact."""
+    payload = json.loads((OUT_DIR / f"{name}.json").read_text())
+    return int(payload["metrics"]["counters"].get("capacity_steals", 0))
+
+
+def test_fleet_steal_off(benchmark, sites):
+    text = run_once(benchmark, lambda: run_skewed_fleet(sites, steal=False))
+    emit("fleet_steal_off", text)
+    assert steals_recorded("fleet_steal_off") == 0
+
+
+def test_fleet_steal_on(benchmark, sites):
+    text = run_once(benchmark, lambda: run_skewed_fleet(sites, steal=True))
+    emit("fleet_steal_on", text)
+    assert steals_recorded("fleet_steal_on") >= 1

@@ -59,14 +59,24 @@ import argparse
 import contextlib
 import json
 import math
+import os
 import sys
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from .battery import BatterySpec
 from .carbon import SupplyScenario, matching_gap
-from .core import CarbonExplorer, FleetInterrupted, SiteSweep, Strategy, sweep_fleet
+from .core import (
+    CarbonExplorer,
+    FleetInterrupted,
+    SiteSweep,
+    Strategy,
+    prepare_fleet,
+    sweep_fleet,
+)
 from .core.optimizer import optimize_all_strategies, strategy_checkpoint_path
 from .resilience import FaultPlan, FleetFaultPlan, SweepInterrupted, inspect_journal
+from .resilience.checkpoint import sweep_journal_path
 from .datacenter import SITE_ORDER
 from .grid import RenewableInvestment, generate_grid_dataset
 from .io import write_grid_csv, write_trace_csv
@@ -452,6 +462,7 @@ _STREAMED_KINDS = frozenset(
         "sweep_started",
         "frontier_updated",
         "chunk_retried",
+        "capacity_stolen",
         "site_quarantined",
         "sweep_degraded",
         "deadline_exceeded",
@@ -565,26 +576,56 @@ def cmd_rank(args: argparse.Namespace) -> Optional[int]:
         fleet_sites.append((state, explorer.context, space))
 
     bus = args.events_bus
-    unsubscribe = None
-    if args.stream:
-        if bus is None:
-            bus = SweepEvents()
-        unsubscribe = bus.subscribe(_stream_printer)
     try:
-        fleet = sweep_fleet(
-            fleet_sites,
-            strategy,
-            workers=args.workers,
-            deadline_s=args.deadline,
-            max_retries=args.max_retries,
-            chunk_timeout=args.chunk_timeout,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            faults=faults,
-            shm=not args.no_shm,
-            events=bus,
-            batch_size=args.batch_size,
-        )
+        if args.stream:
+            # Streaming consumes the engine's results() iterator on a
+            # printer thread (the push-subscriber path stays available to
+            # other consumers, e.g. --events-out).  The iterator ends by
+            # itself when the sweep finishes — including on interrupts —
+            # so the join below never hangs.
+            if bus is None:
+                bus = SweepEvents()
+            handle = prepare_fleet(
+                fleet_sites,
+                strategy,
+                workers=args.workers,
+                deadline_s=args.deadline,
+                max_retries=args.max_retries,
+                chunk_timeout=args.chunk_timeout,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                faults=faults,
+                shm=not args.no_shm,
+                events=bus,
+                batch_size=args.batch_size,
+                steal=not args.no_steal,
+            )
+            printer = threading.Thread(
+                target=lambda: [_stream_printer(e) for e in handle.results()],
+                name="rank-stream-printer",
+            )
+            printer.start()
+            try:
+                fleet = handle.run()
+            finally:
+                # All stream lines land before the rank table prints.
+                printer.join()
+        else:
+            fleet = sweep_fleet(
+                fleet_sites,
+                strategy,
+                workers=args.workers,
+                deadline_s=args.deadline,
+                max_retries=args.max_retries,
+                chunk_timeout=args.chunk_timeout,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                faults=faults,
+                shm=not args.no_shm,
+                events=bus,
+                batch_size=args.batch_size,
+                steal=not args.no_steal,
+            )
     except FleetInterrupted as interrupted:  # repro-lint: disable=RL006 — process boundary: partial table + exit code 130
         _print_rank_table(strategy, explorers, interrupted.completed, partial=True)
         hint = (
@@ -599,9 +640,6 @@ def cmd_rank(args: argparse.Namespace) -> Optional[int]:
             file=sys.stderr,
         )
         return 130
-    finally:
-        if unsubscribe is not None:
-            unsubscribe()
     _print_rank_table(strategy, explorers, fleet.sites)
     if args.deadline is not None:
         unfinished = sum(1 for s in fleet.sites if s.result is None)
@@ -712,16 +750,41 @@ def cmd_stats(args: argparse.Namespace) -> None:
             disable_metrics()
 
 
+def _expand_journal_paths(path: str) -> List[str]:
+    """Resolve a journal argument to the journal files it names.
+
+    An existing file is reported as-is.  A missing path is treated as a
+    checkpoint *base* and expanded to every ``<base>.<label>`` sibling
+    the two sweep layouts produce — strategy journals (``optimize``,
+    one per :class:`Strategy`) and site journals (``rank``, one per
+    fleet site) share the same suffix scheme via
+    :func:`repro.resilience.checkpoint.sweep_journal_path`.  If no
+    sibling exists either, the original path is returned so the table
+    still shows a "damaged: no such file" verdict for it.
+    """
+    if os.path.exists(path):
+        return [path]
+    labels = [strategy.name for strategy in Strategy] + list(SITE_ORDER)
+    expanded = []
+    for label in labels:
+        candidate = sweep_journal_path(path, label)
+        if candidate is not None and os.path.exists(candidate):
+            expanded.append(candidate)
+    return expanded or [path]
+
+
 def cmd_journal(args: argparse.Namespace) -> None:
     """Describe checkpoint journals: identity, progress, resumability.
 
     Built for the "is this interrupted rank worth resuming?" question:
     point it at ``<base>.<site>`` journals (globs expand in the shell)
-    and read the verdict column.  Damaged journals are described, not
-    fatal — the command never raises on journal contents.
+    — or at the bare checkpoint base, which expands to whichever layout
+    (per-strategy ``optimize`` journals or per-site ``rank`` journals)
+    exists on disk — and read the verdict column.  Damaged journals are
+    described, not fatal — the command never raises on journal contents.
     """
     rows = []
-    for path in args.journals:
+    for path in (p for arg in args.journals for p in _expand_journal_paths(arg)):
         info = inspect_journal(path)
         rows.append(
             (
@@ -845,6 +908,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="site-scoped fault injection for testing, e.g. "
         "'UT:kill@0.5;OR:delay=1.0@0.5;TX:shm;attempts=1;seed=7'",
     )
+    p.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="disable cross-site work stealing (a drained site's in-flight "
+        "capacity is then NOT re-granted to the largest remaining grid; "
+        "results are bitwise-identical either way)",
+    )
     _add_workers_argument(p)
     _add_resilience_arguments(p)
     _add_telemetry_arguments(p)
@@ -913,8 +983,9 @@ def build_parser() -> argparse.ArgumentParser:
         "journals",
         nargs="+",
         metavar="FILE",
-        help="journal path(s) written by --checkpoint (rank writes "
-        "<base>.<site> per site)",
+        help="journal path(s) written by --checkpoint, or a bare checkpoint "
+        "base — expanded to <base>.<strategy> (optimize layout) and "
+        "<base>.<site> (rank layout) siblings that exist on disk",
     )
     p.set_defaults(handler=cmd_journal)
 

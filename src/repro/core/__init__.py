@@ -24,13 +24,16 @@ from .evaluate import (
     evaluate_design,
     set_context_cache_limit,
 )
+from .engine import SiteRun, SweepEngine, sweep_chunk_size
 from .explorer import CarbonExplorer
 from .fleet import (
     FleetInterrupted,
     FleetResult,
+    FleetSweep,
     SiteStatus,
     SiteSweep,
     fleet_checkpoint_path,
+    prepare_fleet,
     sweep_fleet,
 )
 from .optimizer import (
@@ -86,11 +89,16 @@ __all__ = [
     "evaluate_design",
     "set_context_cache_limit",
     "CarbonExplorer",
+    "SiteRun",
+    "SweepEngine",
+    "sweep_chunk_size",
     "FleetInterrupted",
     "FleetResult",
+    "FleetSweep",
     "SiteStatus",
     "SiteSweep",
     "fleet_checkpoint_path",
+    "prepare_fleet",
     "sweep_fleet",
     "OptimizationResult",
     "optimize",

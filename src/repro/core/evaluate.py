@@ -594,14 +594,17 @@ def evaluate_block(
 
     Observability differences from the per-design path are deliberate
     and bounded: batched blocks emit one ``evaluate_block`` span instead
-    of D ``evaluate_design``/``simulate_*`` spans, count rows into
-    ``designs_batched`` and the ``batch_rows_peak`` gauge, and skip the
-    battery seed cache (``battery_runs_seeded``/``battery_seed_cache_*``
-    stay flat: a batched run visits each supply row once, so there is no
-    repeated pre-pass to share).  All simulation counters
-    (``designs_evaluated``, ``battery_sims``, ``schedules_run``,
-    ``combined_sims``, MWh/hour totals, …) match the per-design path
-    exactly.
+    of D ``evaluate_design``/``simulate_*`` spans, and count rows into
+    ``designs_batched`` and the ``batch_rows_peak`` gauge.
+    ``RENEWABLES_BATTERY`` blocks also reach the battery seed cache —
+    contiguous rows sharing one projected supply row form a seeded group
+    (:func:`_battery_seed_rows`) whose rail fast-forwards skip whole
+    saturation stretches inside the batched kernel, so
+    ``battery_seed_cache_*`` move and ``battery_rows_seeded`` counts the
+    grouped rows (``battery_runs_seeded`` still counts only serial
+    seeded runs).  All simulation counters (``designs_evaluated``,
+    ``battery_sims``, ``schedules_run``, ``combined_sims``, MWh/hour
+    totals, …) match the per-design path exactly.
     """
     designs = list(designs)
     if not designs:
@@ -647,6 +650,7 @@ def evaluate_block(
                 supply_block,
                 **_battery_columns(specs),
                 charge_plane=False,
+                seeds=_battery_seed_rows(context, constrained, projections),
             )
             evaluations = _finish_battery_rows(
                 context, constrained, projections, run, 0
@@ -703,6 +707,41 @@ def evaluate_block(
             )
 
     return [evaluation for evaluation in evaluations if evaluation is not None]
+
+
+def _battery_seed_rows(
+    context: SiteContext, constrained, projections, offset: int = 0
+):
+    """Seeded ``(row_start, row_stop, BatterySeed)`` groups for a block.
+
+    Consecutive rows sharing one projected supply object (every capacity
+    point of an investment reuses the same
+    :class:`SupplyProjectionCache` entry, so identity — not equality —
+    is the group key) share the seed's capacity-independent saturation
+    structure; the batched battery kernel fast-forwards each group
+    through its rail stretches.  Single-row groups are skipped: there is
+    no capacity axis to share the pre-pass across, and the lockstep loop
+    is already optimal for them.  Row indices are shifted by ``offset``
+    so merged multi-site blocks can seed each site's segment in place.
+    """
+    seeds = []
+    start = 0
+    n_rows = len(projections)
+    while start < n_rows:
+        supply = projections[start][2]
+        stop = start + 1
+        while stop < n_rows and projections[stop][2] is supply:
+            stop += 1
+        if stop - start >= 2:
+            design = constrained[start]
+            seed = context.battery_seed_cache.seed_for(
+                (design.investment.solar_mw, design.investment.wind_mw),
+                supply.values,
+            )
+            seeds.append((offset + start, offset + stop, seed))
+            inc("battery_rows_seeded", stop - start)
+        start = stop
+    return seeds
 
 
 def _battery_columns(specs) -> Dict[str, np.ndarray]:
@@ -886,11 +925,21 @@ def evaluate_block_sites(
         inc("designs_batched", total_rows)
         set_gauge("batch_rows_peak", max(gauge_value("batch_rows_peak"), total_rows))
         if strategy is Strategy.RENEWABLES_BATTERY:
+            seeds = [
+                group
+                for (context, constrained, projections, _, _), offset in zip(
+                    segments, offsets
+                )
+                for group in _battery_seed_rows(
+                    context, constrained, projections, offset
+                )
+            ]
             run = battery_run_batch(
                 demand_block,
                 supply_block,
                 **_battery_columns(all_specs),
                 charge_plane=False,
+                seeds=seeds,
             )
             return [
                 _finish_battery_rows(context, constrained, projections, run, offset)

@@ -1,11 +1,12 @@
-"""Fleet sweep scheduler: all sites, one worker pool, per-site fault domains.
+"""Fleet sweep policy: all sites, one engine, per-site fault domains.
 
 The paper's headline results (Figs. 9, 14, 15) rank all thirteen grids
 against each other, but per-site :func:`repro.core.optimizer.optimize`
 calls sweep them strictly one at a time — one wedged or faulty site
 stalls the whole ranking, and an interrupt throws away every completed
 site.  :func:`sweep_fleet` instead schedules the entire fleet over **one
-shared worker pool**:
+shared worker pool**, as *policy* over the shared
+:class:`repro.core.engine.SweepEngine` dispatch loop:
 
 * **One shm segment per site** — every site's traces are packed into its
   own shared-memory segment (:mod:`repro.core.shm`); workers receive the
@@ -14,6 +15,12 @@ shared worker pool**:
 * **Site-interleaved dispatch** — per-site chunk queues are drained
   round-robin, so a site with slow chunks cannot starve the others and
   partial results accrue across the whole fleet at once.
+* **Cross-site work stealing** (``steal=True``, the default) — when a
+  site's queue drains, its share of the in-flight budget is re-granted
+  to the site with the largest remaining grid, so one oversized site
+  cannot serialize behind its fair share once the small sites finish.
+  Stealing moves *capacity*, never chunks, so per-site results stay
+  bitwise-identical with it on or off.
 * **Per-site fault domains** — a site whose segment cannot be attached,
   whose chunks exhaust their retries, or whose payloads keep failing
   validation is *quarantined*: its remaining chunks degrade to serial
@@ -29,19 +36,23 @@ shared worker pool**:
   replaces the one-size fixed ``chunk_timeout``.
 * **Streaming partial results** — the sweep narrates itself onto a
   :class:`repro.obs.SweepEvents` bus (``sweep_started`` /
-  ``chunk_completed`` / ``frontier_updated`` / ``site_quarantined`` /
-  ``sweep_degraded`` / ``deadline_exceeded`` / ``sweep_finished``), so a
-  subscriber — or a ``bus.stream()`` iterator on another thread — sees
-  every frontier improvement live; ``repro rank --stream`` prints them.
+  ``chunk_completed`` / ``frontier_updated`` / ``capacity_stolen`` /
+  ``site_quarantined`` / ``sweep_degraded`` / ``deadline_exceeded`` /
+  ``sweep_finished``).  :func:`prepare_fleet` returns a handle whose
+  ``results()`` iterator streams those events and ends with the sweep —
+  what ``repro rank --stream`` consumes — while push subscribers keep
+  working as before.
 
 Chunk boundaries come from the same pure
-:func:`~repro.core.optimizer.sweep_chunk_size` function :func:`optimize`
+:func:`~repro.core.engine.sweep_chunk_size` function :func:`optimize`
 uses, and per-site journals are written with the same fingerprints — a
-fleet journal resumes under :func:`optimize` and vice versa.
+fleet journal resumes under :func:`optimize` and vice versa (both paths
+derive journal names through
+:func:`repro.resilience.checkpoint.sweep_journal_path`).
 
 Retry semantics differ from :func:`optimize` deliberately: a failed
 chunk is requeued at the tail of its site's queue instead of waiting out
-an exponential-backoff round, because the shared pool keeps serving the
+an exponential-backoff window, because the shared pool keeps serving the
 other sites in the meantime — the interleaving itself provides the
 spacing that backoff buys a single-site sweep.
 """
@@ -49,102 +60,24 @@ spacing that backoff buys a single-site sweep.
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass
-from enum import Enum, unique
-from typing import (
-    Any,
-    Callable,
-    Deque,
-    Dict,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    Future,
-    ProcessPoolExecutor,
-    wait,
-)
-
-from ..obs import (
-    ProgressCallback,
-    SweepEvents,
-    export_spans,
-    get_logger,
-    get_tracer,
-    inc,
-    merge_snapshot,
-    metrics_enabled,
-    metrics_snapshot,
-    reset_metrics,
-    reset_tracing,
-    set_gauge,
-    span,
-    tracing_enabled,
-)
-from ..resilience import (
-    CheckpointJournal,
-    FaultAction,
-    FaultKind,
-    FleetFaultPlan,
-    JournalHeader,
-    JOURNAL_VERSION,
-    AdaptiveChunkTimeout,
-    corrupt_payload,
-    execute_pre_fault,
-    load_resumable_chunks,
-    sweep_fingerprint,
-    validate_chunk_result,
-)
-from ..resilience.checkpoint import PathLike
-from ..resilience.validate import ChunkValidationError
-from .design import DesignPoint, DesignSpace, Strategy
-from .evaluate import DesignEvaluation, SiteContext, evaluate_block, evaluate_design
-from .optimizer import (
-    OptimizationResult,
-    _chunk_missing_indices,
-    _ContextPayload,
-    _mp_context,
-    sweep_chunk_size,
-)
+from ..obs import ProgressCallback, SweepEvents, get_logger, span
+from ..obs.events import SweepEvent
+from ..resilience import AdaptiveChunkTimeout, FleetFaultPlan
+from ..resilience.checkpoint import PathLike, sweep_journal_path
+from .design import DesignSpace, Strategy
+from .engine import EngineSite, SiteRun, SiteStatus, SweepEngine
+from .evaluate import DesignEvaluation, SiteContext
+from .optimizer import OptimizationResult
 from .pareto import pareto_frontier
-from .shm import (
-    SharedContextError,
-    SharedSiteContext,
-    SiteContextHandle,
-    attach_context,
-    share_context,
-)
 
 _log = get_logger("core.fleet")
 
 #: One fleet site: (site key, context, design space).  Keys must be unique;
 #: the CLI uses state codes.
-FleetSite = Tuple[str, SiteContext, DesignSpace]
-
-#: How the scheduler's wait loop ticks, seconds: short enough that deadline
-#: and stall checks stay responsive, long enough not to spin.
-_TICK_S = 0.05
-
-#: In-flight chunks per pool slot; 2 keeps every worker fed without
-#: queueing so much that one site's burst delays the others' turns.
-_INFLIGHT_PER_WORKER = 2
-
-
-@unique
-class SiteStatus(Enum):
-    """Terminal status of one site within a fleet sweep."""
-
-    COMPLETE = "complete"
-    DEGRADED = "degraded"
-    FAILED = "failed"
-    DEADLINE_EXCEEDED = "deadline_exceeded"
+FleetSite = EngineSite
 
 
 @dataclass(frozen=True)
@@ -250,199 +183,217 @@ class FleetInterrupted(KeyboardInterrupt):
 def fleet_checkpoint_path(checkpoint: Optional[PathLike], site: str) -> Optional[str]:
     """Per-site journal path derived from a base checkpoint path.
 
-    Matches the suffix scheme ``repro rank --checkpoint`` has always used
-    (``<base>.<site lowercase>``), so fleet journals and per-site
-    :func:`~repro.core.optimizer.optimize` journals are interchangeable.
+    Thin wrapper over :func:`repro.resilience.checkpoint.sweep_journal_path`
+    — the suffix scheme ``repro rank --checkpoint`` has always used
+    (``<base>.<site lowercase>``), shared with per-strategy journals so
+    fleet journals and per-site :func:`~repro.core.optimizer.optimize`
+    journals are interchangeable.
     """
-    if checkpoint is None:
-        return None
-    return f"{checkpoint}.{site.lower()}"
+    return sweep_journal_path(checkpoint, site)
 
 
-# ----------------------------------------------------------------------
-# Worker side
-# ----------------------------------------------------------------------
-
-#: Site key → payload (shm handle or pickled context) for every fleet site,
-#: shipped once via the pool initializer.
-_fleet_payloads: Dict[str, _ContextPayload] = {}
-
-#: Site key → rebuilt context, resolved lazily per worker on first chunk.
-_fleet_contexts: Dict[str, SiteContext] = {}
-
-_fleet_collect_metrics = False
-_fleet_collect_spans = False
-
-
-def _init_fleet_worker(
-    payloads: Dict[str, _ContextPayload],
-    collect_metrics: bool,
-    collect_spans: bool,
-) -> None:
-    global _fleet_payloads, _fleet_collect_metrics, _fleet_collect_spans
-    _fleet_payloads = payloads
-    # A fork-started worker inherits the parent's module state; contexts
-    # resolved in a previous pool's worker must not leak into this one.
-    _fleet_contexts.clear()
-    _fleet_collect_metrics = collect_metrics
-    _fleet_collect_spans = collect_spans
-    if collect_metrics:
-        from ..obs import enable_metrics
-
-        enable_metrics()
-    if collect_spans:
-        from ..obs import enable_tracing
-
-        enable_tracing()
-
-
-def _fleet_context(site: str) -> SiteContext:
-    """This worker's context for ``site``, attaching its segment on first use."""
-    context = _fleet_contexts.get(site)
-    if context is None:
-        payload = _fleet_payloads[site]
-        if isinstance(payload, SiteContextHandle):
-            context = attach_context(payload)
-        else:
-            context = payload
-        _fleet_contexts[site] = context
-    return context
-
-
-def _evaluate_fleet_chunk(
-    site: str,
-    start: int,
-    designs: Sequence[DesignPoint],
-    strategy: Strategy,
-    fault: Optional[FaultAction] = None,
-    batched: bool = False,
-) -> Tuple[str, int, List[DesignEvaluation], Optional[Dict[str, Any]]]:
-    """Evaluate one site's grid slice in a shared-pool worker.
-
-    The fleet counterpart of ``optimizer._evaluate_chunk``: same
-    telemetry contract (disjoint per-chunk metrics snapshots, optional
-    span export under ``"spans"``/``"pid"``), but the payload leads with
-    the site key and the context is resolved lazily from the fleet
-    payload map.  Metrics are reset *before* the lazy attach so a first
-    attach's ``context_attach_count`` lands in this chunk's snapshot.
-    """
-    import os as _os
-
-    if _fleet_collect_metrics:
-        reset_metrics()
-    if _fleet_collect_spans:
-        reset_tracing(drop_open=True)
-    if fault is not None and fault.kind is FaultKind.SHM:
-        raise SharedContextError(
-            f"injected shm fault: segment for site {site!r} is unattachable"
+def _site_sweep(state: SiteRun, strategy: Strategy) -> SiteSweep:
+    """Freeze one engine site's terminal state into a :class:`SiteSweep`."""
+    status = state.status
+    assert status is not None, "site closed without a terminal status"
+    evaluations = state.partial_evaluations()
+    result: Optional[OptimizationResult] = None
+    if status in (SiteStatus.COMPLETE, SiteStatus.DEGRADED):
+        best = min(evaluations, key=lambda e: e.total_tons)
+        result = OptimizationResult(
+            strategy=strategy, best=best, evaluations=evaluations
         )
-    execute_pre_fault(fault)
-    context = _fleet_context(site)
-    evaluations: List[Any]
-    with span("evaluate_chunk", site=site, start=start, n_designs=len(designs)):
-        if batched:
-            evaluations = list(evaluate_block(context, designs, strategy))
-        else:
-            evaluations = [
-                evaluate_design(context, design, strategy) for design in designs
-            ]
-    telemetry: Optional[Dict[str, Any]] = (
-        metrics_snapshot() if _fleet_collect_metrics else None
+    return SiteSweep(
+        site=state.key,
+        status=status,
+        total=state.total,
+        completed=len(evaluations),
+        evaluations=evaluations,
+        result=result,
+        quarantined=state.quarantined,
+        error=state.error,
     )
-    if _fleet_collect_spans:
-        telemetry = dict(telemetry) if telemetry is not None else {}
-        telemetry["spans"] = export_spans()
-        telemetry["pid"] = _os.getpid()
-    if fault is not None and fault.kind is FaultKind.CORRUPT:
-        evaluations = corrupt_payload(evaluations)
-    return site, start, evaluations, telemetry
 
 
-# ----------------------------------------------------------------------
-# Parent side
-# ----------------------------------------------------------------------
+class FleetSweep:
+    """A prepared fleet sweep: run it, and stream its results meanwhile.
 
-_Chunk = Tuple[int, int, int]
+    Returned by :func:`prepare_fleet`.  :meth:`run` executes the sweep to
+    a :class:`FleetResult`; :meth:`results` is a blocking iterator over
+    the sweep's event bus that ends when the sweep does — consume it from
+    another thread (or via ``asyncio.to_thread``) while :meth:`run`
+    executes on this one, e.g.::
 
+        handle = prepare_fleet(sites, strategy, workers=4, events=bus)
+        thread = threading.Thread(
+            target=lambda: [print(e.kind) for e in handle.results()]
+        )
+        thread.start()
+        fleet = handle.run()
+        thread.join()
 
-class _SiteState:
-    """Mutable per-site scheduling state (parent-side only)."""
-
-    __slots__ = (
-        "key",
-        "context",
-        "space",
-        "designs",
-        "total",
-        "results",
-        "journal",
-        "queue",
-        "chunks",
-        "n_chunks",
-        "attempts",
-        "committed",
-        "best_tons",
-        "status",
-        "quarantined",
-        "serial_chunks",
-        "error",
-        "shared",
-        "payload",
-    )
+    Push subscribers on the bus keep working unchanged; the iterator is
+    the callback-free way to consume frontiers as they improve.
+    """
 
     def __init__(
-        self, key: str, context: SiteContext, space: DesignSpace, strategy: Strategy
+        self,
+        engine: SweepEngine,
+        strategy: Strategy,
+        deadline_s: Optional[float],
+        checkpoint: Optional[PathLike],
     ) -> None:
-        self.key = key
-        self.context = context
-        self.space = space
-        self.designs: List[DesignPoint] = list(space.points(strategy))
-        self.total = len(self.designs)
-        self.results: List[Optional[DesignEvaluation]] = [None] * self.total
-        self.journal: Optional[CheckpointJournal] = None
-        self.queue: Deque[_Chunk] = deque()
-        self.chunks: List[_Chunk] = []
-        self.n_chunks = 0
-        self.attempts: Dict[int, int] = {}
-        self.committed: Set[int] = set()
-        self.best_tons = float("inf")
-        self.status: Optional[SiteStatus] = None
-        self.quarantined = False
-        self.serial_chunks = 0
-        self.error: Optional[str] = None
-        self.shared: Optional[SharedSiteContext] = None
-        self.payload: _ContextPayload = context
+        self._engine = engine
+        self._strategy = strategy
+        self._deadline_s = deadline_s
+        self._checkpoint = checkpoint
+        self._started_s = time.monotonic()
 
     @property
-    def active(self) -> bool:
-        return self.status is None
+    def events(self) -> SweepEvents:
+        """The bus this sweep narrates onto (engine-owned if none given)."""
+        return self._engine.events
 
-    @property
-    def done_points(self) -> int:
-        return sum(1 for r in self.results if r is not None)
+    def results(self) -> Iterator[SweepEvent]:
+        """Stream the sweep's events; ends when the sweep finishes."""
+        return self._engine.results()
 
-    def remaining_chunks(self) -> List[_Chunk]:
-        """Chunks not yet committed, in grid order.
+    def run(self) -> FleetResult:
+        """Execute the sweep; always returns a (possibly partial) result.
 
-        Filters the *initial* chunk list rather than re-chunking the
-        missing indices — re-chunking would renumber the ordinals the
-        committed set and fault plans address.
+        Raises :class:`FleetInterrupted` on Ctrl-C, carrying every site
+        that finished before the interrupt.
         """
-        return [chunk for chunk in self.chunks if chunk[0] not in self.committed]
+        engine = self._engine
+        strategy = self._strategy
+        interrupted = False
+        try:
+            engine.setup()
+            _log.info(
+                "fleet sweep start: sites=%d strategy=%s grid_points=%d "
+                "workers=%d deadline_s=%s",
+                len(engine.states),
+                strategy.value,
+                engine.fleet_total,
+                engine.workers,
+                self._deadline_s,
+            )
+            with span(
+                "sweep_fleet",
+                strategy=strategy.value,
+                n_sites=len(engine.states),
+                grid_points=engine.fleet_total,
+                workers=engine.workers,
+            ):
+                engine.dispatch()
+        except KeyboardInterrupt:
+            interrupted = True
+            raise FleetInterrupted(
+                completed=tuple(
+                    _site_sweep(state, strategy)
+                    for state in engine.states
+                    if state.status is not None
+                ),
+                pending=tuple(
+                    state.key for state in engine.states if state.status is None
+                ),
+                strategy=strategy.value,
+                checkpoint=(
+                    str(self._checkpoint) if self._checkpoint is not None else None
+                ),
+            ) from None
+        finally:
+            engine.cleanup(interrupted=interrupted)
 
-    def partial_evaluations(self) -> Tuple[DesignEvaluation, ...]:
-        return tuple(r for r in self.results if r is not None)
+        elapsed_s = time.monotonic() - self._started_s
+        result = FleetResult(
+            strategy=strategy,
+            sites=tuple(_site_sweep(state, strategy) for state in engine.states),
+            deadline_s=self._deadline_s,
+            elapsed_s=elapsed_s,
+        )
+        _log.info(
+            "fleet sweep done in %.2fs: %s", elapsed_s, result.statuses()
+        )
+        return result
 
 
-@dataclass(frozen=True)
-class _Flight:
-    """One chunk in flight on the shared pool."""
+def prepare_fleet(
+    sites: Sequence[FleetSite],
+    strategy: Strategy,
+    *,
+    workers: int = 1,
+    deadline_s: Optional[float] = None,
+    max_retries: int = 2,
+    chunk_timeout: Optional[float] = None,
+    timeout_multiplier: float = 8.0,
+    timeout_floor_s: float = 0.25,
+    checkpoint: Optional[PathLike] = None,
+    resume: bool = False,
+    faults: Optional[FleetFaultPlan] = None,
+    quarantine: str = "serial",
+    shm: bool = True,
+    events: Optional[SweepEvents] = None,
+    batch_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    steal: bool = True,
+) -> FleetSweep:
+    """Validate a fleet sweep and build its engine, without running it.
 
-    site: str
-    ordinal: int
-    start: int
-    stop: int
-    submitted_s: float  # time.monotonic() at submission
+    Returns a :class:`FleetSweep` handle: call :meth:`FleetSweep.run` to
+    execute (what :func:`sweep_fleet` does), and consume
+    :meth:`FleetSweep.results` from another thread to stream events
+    without registering callbacks.  All arguments match
+    :func:`sweep_fleet`.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError(f"deadline_s must be positive or None, got {deadline_s}")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if quarantine not in ("serial", "fail"):
+        raise ValueError(f"quarantine must be 'serial' or 'fail', got {quarantine!r}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+    if not sites:
+        raise ValueError("sweep_fleet needs at least one site")
+    keys = [key for key, _, _ in sites]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate site keys in fleet: {keys}")
+
+    engine = SweepEngine(
+        sites,
+        strategy,
+        workers=workers,
+        fleet=True,
+        deadline_s=deadline_s,
+        max_retries=max_retries,
+        timeout=AdaptiveChunkTimeout(
+            initial_s=chunk_timeout,
+            multiplier=timeout_multiplier,
+            floor_s=timeout_floor_s,
+        ),
+        checkpoints=(
+            {key: fleet_checkpoint_path(checkpoint, key) for key in keys}
+            if checkpoint is not None
+            else None
+        ),
+        resume=resume,
+        faults=faults,
+        quarantine=quarantine,
+        shm=shm,
+        events=events,
+        batch_size=batch_size,
+        progress=progress,
+        steal=steal,
+    )
+    for state in engine.states:
+        if state.total == 0:
+            raise ValueError(
+                f"design space for site {state.key!r} produced no points"
+            )
+    return FleetSweep(engine, strategy, deadline_s, checkpoint)
 
 
 def sweep_fleet(
@@ -463,743 +414,52 @@ def sweep_fleet(
     events: Optional[SweepEvents] = None,
     batch_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    steal: bool = True,
 ) -> FleetResult:
-    """Sweep every site under one strategy over one shared worker pool.
+    """Sweep every site of a fleet over one shared worker pool.
 
-    Parameters
-    ----------
-    sites:
-        ``(key, context, space)`` triples; keys must be unique.
-    workers:
-        Pool width shared by the whole fleet.  ``1`` runs the fleet
-        serially in-process (still interleaved, deadline-aware, and
-        streaming; fault injection needs ``workers > 1``).
-    deadline_s:
-        Global wall-clock budget.  When it trips, pending chunks are
-        dropped (``chunks_deadline_dropped`` counter), a
-        ``deadline_exceeded`` event fires, and every unfinished site is
-        reported as :attr:`SiteStatus.DEADLINE_EXCEEDED` with its partial
-        evaluations — the sweep returns instead of hanging.
-    max_retries:
-        Failed-chunk retries before the chunk's site is quarantined.
-    chunk_timeout:
-        Seed for the adaptive stall detector: used as the stall budget
-        until real chunk durations exist, after which
-        ``max(timeout_floor_s, timeout_multiplier * EWMA(duration))``
-        takes over.  ``None`` disables stall detection until the first
-        chunk completes.
-    checkpoint / resume:
-        Base journal path; each site journals to ``<base>.<site lower>``
-        (the scheme ``repro rank`` has always used).  Journals are
-        fingerprint-compatible with per-site :func:`optimize` runs.
-    faults:
-        Site-scoped fault injection (tests/CI); fires in pool workers
-        only.
-    quarantine:
-        ``"serial"`` (default) drains a quarantined site's remaining
-        chunks serially in-parent after the pooled phase — the site
-        finishes ``degraded`` but bitwise-correct; ``"fail"`` closes the
-        site out immediately as ``failed`` with partial results.
-    events:
-        A :class:`~repro.obs.SweepEvents` bus narrating the sweep live.
+    Semantics (per-site fault domains, quarantine, deadline budgets,
+    adaptive stall detection, journals, events, work stealing) are
+    described in the module docstring; parameters mirror
+    :func:`~repro.core.optimizer.optimize` where they overlap:
 
-    Raises
-    ------
-    ValueError
-        On empty/duplicate sites, bad arguments, or an empty design
-        space.
-    FleetInterrupted
-        On Ctrl-C: journals are flushed and completed sites ride along.
+    * ``sites`` — ``(key, context, space)`` triples; keys must be unique.
+    * ``workers`` — pool size shared by the whole fleet; ``1`` sweeps
+      serially in-process (round-robin across sites, fault-free oracle).
+    * ``deadline_s`` — fleet-wide wall-clock budget; ``None`` is
+      unbounded.
+    * ``chunk_timeout`` — initial stall budget; the EWMA over observed
+      chunk durations (scaled by ``timeout_multiplier``, floored at
+      ``timeout_floor_s``) takes over as completions accrue.
+    * ``checkpoint`` — *base* journal path; each site journals to
+      ``<base>.<site lowercase>`` (same scheme as ``repro rank``).
+    * ``faults`` — site-scoped :class:`~repro.resilience.FleetFaultPlan`
+      (tests and CI only).
+    * ``quarantine`` — ``"serial"`` finishes a quarantined site's chunks
+      serially in-parent (status ``degraded``); ``"fail"`` closes it out
+      immediately (status ``failed``).
+    * ``steal`` — cross-site work stealing (default on); capacity moves,
+      chunks don't, so results are bitwise-identical either way.
+
+    Returns a :class:`FleetResult` with per-site statuses and partial
+    frontiers; raises :class:`FleetInterrupted` on Ctrl-C.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    if deadline_s is not None and deadline_s <= 0:
-        raise ValueError(f"deadline_s must be positive or None, got {deadline_s}")
-    if batch_size is not None and batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    if quarantine not in ("serial", "fail"):
-        raise ValueError(
-            f"quarantine must be 'serial' or 'fail', got {quarantine!r}"
-        )
-    if resume and checkpoint is None:
-        raise ValueError("resume=True requires a checkpoint path")
-    if not sites:
-        raise ValueError("sweep_fleet needs at least one site")
-    keys = [key for key, _, _ in sites]
-    if len(set(keys)) != len(keys):
-        raise ValueError(f"duplicate site keys in fleet: {keys}")
-
-    started_s = time.monotonic()
-    deadline_at = None if deadline_s is None else started_s + deadline_s
-    batched = batch_size is not None
-    timeout = AdaptiveChunkTimeout(
-        initial_s=chunk_timeout,
-        multiplier=timeout_multiplier,
-        floor_s=timeout_floor_s,
-    )
-
-    states: List[_SiteState] = [
-        _SiteState(key, context, space, strategy) for key, context, space in sites
-    ]
-    by_key = {state.key: state for state in states}
-    for state in states:
-        if state.total == 0:
-            raise ValueError(
-                f"design space for site {state.key!r} produced no points"
-            )
-    fleet_total = sum(state.total for state in states)
-    done_points = 0
-
-    def _remaining_s() -> Optional[float]:
-        if deadline_at is None:
-            return None
-        return max(0.0, deadline_at - time.monotonic())
-
-    def _deadline_hit() -> bool:
-        return deadline_at is not None and time.monotonic() >= deadline_at
-
-    def _emit(kind: str, **payload: Any) -> None:
-        if events is not None:
-            events.emit(kind, **payload)
-
-    def _finalize(state: _SiteState, status: SiteStatus) -> None:
-        """Close a site out; emits its terminal event exactly once."""
-        if state.status is not None:
-            return
-        state.status = status
-        if status in (SiteStatus.COMPLETE, SiteStatus.DEGRADED):
-            evaluations = state.results
-            assert all(e is not None for e in evaluations)
-            best = min(evaluations, key=lambda e: e.total_tons)  # type: ignore[union-attr]
-            inc("sweeps_completed")
-            set_gauge("sweep_grid_points", state.total)
-            if status is SiteStatus.DEGRADED:
-                events_payload = dict(
-                    site=state.key,
-                    strategy=strategy.value,
-                    serial_chunks=state.serial_chunks,
-                    reason=state.error or "quarantined",
-                )
-                _emit("sweep_degraded", **events_payload)
-            _emit(
-                "sweep_finished",
-                site=state.key,
-                strategy=strategy.value,
-                total=state.total,
-                best_total_tons=best.total_tons,
-                best_coverage=best.coverage,
-                status=status.value,
-            )
-            _log.info(
-                "fleet site done: site=%s status=%s best_total_tons=%.1f",
-                state.key,
-                status.value,
-                best.total_tons,
-            )
-        else:
-            _log.warning(
-                "fleet site closed: site=%s status=%s committed=%d/%d (%s)",
-                state.key,
-                status.value,
-                state.done_points,
-                state.total,
-                state.error or "",
-            )
-
-    def _site_sweep(state: _SiteState) -> SiteSweep:
-        status = state.status
-        assert status is not None
-        result: Optional[OptimizationResult] = None
-        if status in (SiteStatus.COMPLETE, SiteStatus.DEGRADED):
-            evaluations = tuple(state.results)
-            best = min(evaluations, key=lambda e: e.total_tons)  # type: ignore[union-attr]
-            result = OptimizationResult(
-                strategy=strategy, best=best, evaluations=evaluations  # type: ignore[arg-type]
-            )
-        return SiteSweep(
-            site=state.key,
-            status=status,
-            total=state.total,
-            completed=state.done_points,
-            evaluations=state.partial_evaluations(),
-            result=result,
-            quarantined=state.quarantined,
-            error=state.error,
-        )
-
-    def _commit(
-        state: _SiteState,
-        ordinal: int,
-        start: int,
-        evaluations: List[DesignEvaluation],
-        telemetry: Optional[Dict[str, Any]],
-        serial: bool = False,
-    ) -> None:
-        """Write one completed chunk back: results, journal, events, progress.
-
-        Idempotent per ordinal — a stalled chunk that lands after its
-        retry already committed is dropped, so the journal never holds a
-        chunk twice.
-        """
-        nonlocal done_points
-        if ordinal in state.committed or state.status is not None:
-            return
-        state.committed.add(ordinal)
-        if serial:
-            state.serial_chunks += 1
-        state.results[start : start + len(evaluations)] = evaluations
-        if telemetry is not None:
-            merge_snapshot(telemetry)
-            worker_spans = telemetry.get("spans")
-            if worker_spans:
-                get_tracer().ingest_spans(worker_spans, pid=telemetry.get("pid", 0))
-        if state.journal is not None:
-            state.journal.append_chunk(start, evaluations)
-            inc("checkpoint_chunks_written")
-        done_points += len(evaluations)
-        _emit(
-            "chunk_completed",
-            site=state.key,
-            strategy=strategy.value,
-            start=start,
-            count=len(evaluations),
-        )
-        chunk_best = min(evaluations, key=lambda e: e.total_tons)
-        if chunk_best.total_tons < state.best_tons:
-            state.best_tons = chunk_best.total_tons
-            _emit(
-                "frontier_updated",
-                site=state.key,
-                strategy=strategy.value,
-                total_tons=chunk_best.total_tons,
-                coverage=chunk_best.coverage,
-                design=chunk_best.design.describe(),
-            )
-        if progress is not None:
-            progress(done_points, fleet_total, strategy.value)
-        if len(state.committed) == state.n_chunks:
-            _finalize(
-                state,
-                SiteStatus.DEGRADED
-                if (state.quarantined or state.serial_chunks)
-                else SiteStatus.COMPLETE,
-            )
-
-    def _quarantine(state: _SiteState, reason: str) -> None:
-        """Isolate one site's fault domain without killing the fleet."""
-        if state.quarantined or state.status is not None:
-            return
-        state.quarantined = True
-        state.error = reason
-        inc("sites_quarantined")
-        _log.warning(
-            "quarantining site %s (%s): %d/%d chunks committed; mode=%s",
-            state.key,
-            reason,
-            len(state.committed),
-            state.n_chunks,
-            quarantine,
-        )
-        _emit(
-            "site_quarantined",
-            site=state.key,
-            strategy=strategy.value,
-            reason=reason,
-            mode=quarantine,
-            committed_chunks=len(state.committed),
-            total_chunks=state.n_chunks,
-        )
-        if quarantine == "fail":
-            _finalize(state, SiteStatus.FAILED)
-
-    def _evaluate_in_parent(
-        state: _SiteState, start: int, stop: int
-    ) -> List[DesignEvaluation]:
-        with span("evaluate_chunk", site=state.key, start=start, n_designs=stop - start):
-            if batched:
-                return list(
-                    evaluate_block(state.context, state.designs[start:stop], strategy)
-                )
-            return [
-                evaluate_design(state.context, state.designs[index], strategy)
-                for index in range(start, stop)
-            ]
-
-    def _close_deadline(active: List[_SiteState]) -> None:
-        dropped_chunks = sum(
-            state.n_chunks - len(state.committed) for state in active
-        )
-        inc("chunks_deadline_dropped", dropped_chunks)
-        set_gauge("fleet_deadline_remaining_s", 0.0)
-        _emit(
-            "deadline_exceeded",
-            strategy=strategy.value,
-            budget_s=deadline_s,
-            dropped_chunks=dropped_chunks,
-            sites=[state.key for state in active],
-        )
-        _log.warning(
-            "fleet deadline (%.3fs) exceeded: dropping %d chunks across %d sites",
-            deadline_s or 0.0,
-            dropped_chunks,
-            len(active),
-        )
-        for state in active:
-            state.error = state.error or f"deadline of {deadline_s}s exceeded"
-            _finalize(state, SiteStatus.DEADLINE_EXCEEDED)
-
-    # ------------------------------------------------------------------
-    # Setup: journals, resume, chunk queues, shared segments, events
-    # ------------------------------------------------------------------
-    interrupted = False
-    pool: Optional[ProcessPoolExecutor] = None
-    try:
-        for state in states:
-            path = fleet_checkpoint_path(checkpoint, state.key)
-            if path is not None:
-                fingerprint = sweep_fingerprint(state.context, state.space, strategy)
-                if resume:
-                    restored = load_resumable_chunks(
-                        path,
-                        fingerprint,
-                        strategy,
-                        state.total,
-                        events=events,
-                        site=state.key,
-                    )
-                    for start, evaluations in restored.items():
-                        state.results[start : start + len(evaluations)] = evaluations
-                    if restored:
-                        skipped = sum(len(e) for e in restored.values())
-                        inc("checkpoint_chunks_skipped", len(restored))
-                        inc("checkpoint_designs_skipped", skipped)
-                        done_points += skipped
-                state.journal = CheckpointJournal(
-                    path,
-                    JournalHeader(
-                        version=JOURNAL_VERSION,
-                        fingerprint=fingerprint,
-                        strategy=strategy.name,
-                        total=state.total,
-                    ),
-                    truncate=not resume,
-                )
-            state.best_tons = min(
-                (r.total_tons for r in state.results if r is not None),
-                default=float("inf"),
-            )
-            filled = [r is not None for r in state.results]
-            chunk_size = sweep_chunk_size(state.total, batch_size)
-            state.chunks = _chunk_missing_indices(filled, chunk_size)
-            state.queue = deque(state.chunks)
-            state.n_chunks = len(state.chunks)
-            _emit(
-                "sweep_started",
-                site=state.key,
-                strategy=strategy.value,
-                total=state.total,
-                workers=workers,
-                fleet=True,
-            )
-            if state.n_chunks == 0:
-                # Fully restored from its journal: nothing left to sweep.
-                _finalize(state, SiteStatus.COMPLETE)
-
-        if progress is not None and done_points:
-            progress(done_points, fleet_total, strategy.value)
-
-        use_pool = workers > 1
-        if use_pool:
-            payloads: Dict[str, _ContextPayload] = {}
-            for state in states:
-                if shm and state.active:
-                    try:
-                        state.shared = share_context(state.context)
-                        state.payload = state.shared.handle
-                    except SharedContextError as error:
-                        _log.warning(
-                            "site %s: shared-memory trace plane unavailable "
-                            "(%s); pickling its context to workers",
-                            state.key,
-                            error,
-                        )
-                payloads[state.key] = state.payload
-
-        _log.info(
-            "fleet sweep start: sites=%d strategy=%s grid_points=%d workers=%d "
-            "deadline_s=%s",
-            len(states),
-            strategy.value,
-            fleet_total,
-            workers,
-            deadline_s,
-        )
-
-        with span(
-            "sweep_fleet",
-            strategy=strategy.value,
-            n_sites=len(states),
-            grid_points=fleet_total,
-            workers=workers,
-        ):
-            if not use_pool:
-                _run_serial_fleet(
-                    states,
-                    strategy,
-                    _commit,
-                    _evaluate_in_parent,
-                    _deadline_hit,
-                    _close_deadline,
-                    _remaining_s,
-                )
-            else:
-                pool = _run_pooled_fleet(
-                    states,
-                    by_key,
-                    strategy,
-                    payloads,
-                    workers,
-                    max_retries,
-                    faults,
-                    batched,
-                    timeout,
-                    _commit,
-                    _quarantine,
-                    _deadline_hit,
-                    _close_deadline,
-                    _remaining_s,
-                    _emit,
-                )
-                # Quarantine drain: quarantined-serial sites finish in-parent
-                # after the pooled phase so healthy sites kept the workers.
-                for state in states:
-                    if not state.active:
-                        continue
-                    for ordinal, start, stop in state.remaining_chunks():
-                        if _deadline_hit():
-                            _close_deadline([s for s in states if s.active])
-                            break
-                        inc("serial_fallbacks")
-                        evaluations = _evaluate_in_parent(state, start, stop)
-                        _commit(state, ordinal, start, evaluations, None, serial=True)
-                    if state.active:  # pragma: no cover - defensive
-                        _finalize(state, SiteStatus.DEGRADED)
-
-    except KeyboardInterrupt:
-        interrupted = True
-        raise FleetInterrupted(
-            completed=tuple(
-                _site_sweep(state) for state in states if state.status is not None
-            ),
-            pending=tuple(state.key for state in states if state.status is None),
-            strategy=strategy.value,
-            checkpoint=str(checkpoint) if checkpoint is not None else None,
-        ) from None
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-        for state in states:
-            if state.shared is not None:
-                state.shared.unlink()
-            if state.journal is not None:
-                state.journal.close()
-        if not interrupted:
-            remaining = _remaining_s()
-            if remaining is not None:
-                set_gauge("fleet_deadline_remaining_s", remaining)
-
-    elapsed_s = time.monotonic() - started_s
-    sweeps = tuple(_site_sweep(state) for state in states)
-    _log.info(
-        "fleet sweep done in %.2fs: %s",
-        elapsed_s,
-        {s.site: s.status.value for s in sweeps},
-    )
-    return FleetResult(
-        strategy=strategy,
-        sites=sweeps,
+    return prepare_fleet(
+        sites,
+        strategy,
+        workers=workers,
         deadline_s=deadline_s,
-        elapsed_s=elapsed_s,
-    )
-
-
-def _round_robin_next(
-    states: List[_SiteState], cursor: int
-) -> Tuple[Optional[_SiteState], int]:
-    """Next active, non-quarantined site with queued work, after ``cursor``."""
-    n = len(states)
-    for step in range(1, n + 1):
-        index = (cursor + step) % n
-        state = states[index]
-        if state.active and not state.quarantined and state.queue:
-            return state, index
-    return None, cursor
-
-
-def _run_serial_fleet(
-    states: List[_SiteState],
-    strategy: Strategy,
-    commit: Callable[..., None],
-    evaluate_in_parent: Callable[[_SiteState, int, int], List[DesignEvaluation]],
-    deadline_hit: Callable[[], bool],
-    close_deadline: Callable[[List[_SiteState]], None],
-    remaining_s: Callable[[], Optional[float]],
-) -> None:
-    """In-process fleet sweep: site-interleaved, deadline-aware, streaming.
-
-    Fault plans are not applied here — faults fire in pool workers, and
-    the serial path *is* the fault-free oracle the pooled path is tested
-    against.
-    """
-    cursor = -1
-    while True:
-        state, cursor = _round_robin_next(states, cursor)
-        if state is None:
-            break
-        if deadline_hit():
-            close_deadline([s for s in states if s.active])
-            break
-        ordinal, start, stop = state.queue.popleft()
-        evaluations = evaluate_in_parent(state, start, stop)
-        commit(state, ordinal, start, evaluations, None)
-        remaining = remaining_s()
-        if remaining is not None:
-            set_gauge("fleet_deadline_remaining_s", remaining)
-
-
-def _run_pooled_fleet(
-    states: List[_SiteState],
-    by_key: Dict[str, _SiteState],
-    strategy: Strategy,
-    payloads: Dict[str, _ContextPayload],
-    workers: int,
-    max_retries: int,
-    faults: Optional[FleetFaultPlan],
-    batched: bool,
-    timeout: AdaptiveChunkTimeout,
-    commit: Callable[..., None],
-    quarantine: Callable[[_SiteState, str], None],
-    deadline_hit: Callable[[], bool],
-    close_deadline: Callable[[List[_SiteState]], None],
-    remaining_s: Callable[[], Optional[float]],
-    emit: Callable[..., None],
-) -> ProcessPoolExecutor:
-    """The shared-pool scheduling loop; returns the (last) pool for shutdown.
-
-    One pool serves every site.  A ``BrokenProcessPool`` (a kill fault, a
-    real OOM) is survived by failing the in-flight chunks and rebuilding
-    the pool — bounded, because every rebuild consumes at least one chunk
-    attempt and attempts are capped by ``max_retries`` before the
-    offending site is quarantined.
-    """
-
-    def make_pool() -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_fleet_worker,
-            initargs=(payloads, metrics_enabled(), tracing_enabled()),
-            mp_context=_mp_context(),
-        )
-
-    pool = make_pool()
-    flights: Dict[Future, _Flight] = {}
-    #: Stalled flights still owed a result: committed if they land first,
-    #: ignored otherwise (commit() is idempotent per ordinal).
-    late: Dict[Future, _Flight] = {}
-    max_in_flight = workers * _INFLIGHT_PER_WORKER
-    cursor = -1
-
-    def record_failure(flight: _Flight, error: BaseException) -> None:
-        state = by_key[flight.site]
-        if state.status is not None or flight.ordinal in state.committed:
-            return
-        inc("chunk_failures")
-        if isinstance(error, SharedContextError):
-            # The site's segment is unattachable for every worker; retrying
-            # cannot help — isolate the fault domain immediately.
-            quarantine(state, f"shm attach failed: {error}")
-            return
-        attempts = state.attempts.get(flight.ordinal, 0) + 1
-        state.attempts[flight.ordinal] = attempts
-        _log.warning(
-            "fleet chunk failed: site=%s chunk=%d [%d:%d) attempt=%d: %s: %s",
-            flight.site,
-            flight.ordinal,
-            flight.start,
-            flight.stop,
-            attempts,
-            type(error).__name__,
-            error,
-        )
-        if attempts > max_retries:
-            quarantine(state, f"chunk {flight.ordinal} exhausted {max_retries} retries")
-            return
-        inc("chunk_retries")
-        emit(
-            "chunk_retried",
-            site=flight.site,
-            strategy=strategy.value,
-            ordinal=flight.ordinal,
-            start=flight.start,
-            stop=flight.stop,
-            attempt=attempts,
-        )
-        state.queue.append((flight.ordinal, flight.start, flight.stop))
-
-    def work_remaining() -> bool:
-        if flights:
-            return True
-        return any(
-            state.active and not state.quarantined and state.queue
-            for state in states
-        )
-
-    while work_remaining():
-        if deadline_hit():
-            close_deadline([state for state in states if state.active])
-            break
-
-        # Top up: interleave sites round-robin so none starves.
-        pool_broken = False
-        while len(flights) < max_in_flight:
-            state, cursor = _round_robin_next(states, cursor)
-            if state is None:
-                break
-            ordinal, start, stop = state.queue.popleft()
-            if ordinal in state.committed:
-                continue
-            fault = (
-                faults.action_for(state.key, ordinal, state.attempts.get(ordinal, 0))
-                if faults is not None
-                else None
-            )
-            try:
-                future = pool.submit(
-                    _evaluate_fleet_chunk,
-                    state.key,
-                    start,
-                    state.designs[start:stop],
-                    strategy,
-                    fault,
-                    batched,
-                )
-            except BrokenExecutor:
-                # The pool died between completions; put the chunk back
-                # (no attempt consumed — it never ran) and rebuild below.
-                state.queue.appendleft((ordinal, start, stop))
-                pool_broken = True
-                break
-            flights[future] = _Flight(
-                site=state.key,
-                ordinal=ordinal,
-                start=start,
-                stop=stop,
-                submitted_s=time.monotonic(),
-            )
-
-        if flights or late:
-            done, _ = wait(
-                set(flights) | set(late),
-                timeout=_TICK_S,
-                return_when=FIRST_COMPLETED,
-            )
-            now = time.monotonic()
-            for future in done:
-                if future in late:
-                    flight = late.pop(future)
-                    state = by_key[flight.site]
-                    # Already retried when declared stalled: commit the
-                    # late result if sound, silently drop it otherwise.
-                    if future.cancelled() or future.exception() is not None:
-                        continue
-                    try:
-                        evaluations, telemetry = _validated_payload(
-                            future.result(), flight
-                        )
-                    except ChunkValidationError:
-                        continue
-                    commit(state, flight.ordinal, flight.start, evaluations, telemetry)
-                    continue
-                flight = flights.pop(future)
-                state = by_key[flight.site]
-                try:
-                    payload = future.result()
-                    evaluations, telemetry = _validated_payload(payload, flight)
-                except BrokenExecutor as error:
-                    pool_broken = True
-                    record_failure(flight, error)
-                    continue
-                except Exception as error:
-                    record_failure(flight, error)
-                    continue
-                timeout.observe(now - flight.submitted_s)
-                commit(state, flight.ordinal, flight.start, evaluations, telemetry)
-
-            # Adaptive stall detection: an outstanding chunk past the
-            # current EWMA-derived budget is requeued; its worker may be
-            # wedged for good, so the late result is welcome but not
-            # waited for.
-            budget = timeout.budget_s()
-            if budget is not None:
-                for future, flight in list(flights.items()):
-                    if now - flight.submitted_s <= budget:
-                        continue
-                    del flights[future]
-                    if not future.cancel():
-                        late[future] = flight
-                    _log.warning(
-                        "fleet chunk stalled: site=%s chunk=%d ran %.2fs "
-                        "(budget %.2fs)",
-                        flight.site,
-                        flight.ordinal,
-                        now - flight.submitted_s,
-                        budget,
-                    )
-                    record_failure(
-                        flight,
-                        TimeoutError(
-                            f"no result within the {budget:.2f}s stall budget"
-                        ),
-                    )
-
-        if pool_broken:
-            _log.warning(
-                "fleet pool broke; failing %d in-flight chunks and rebuilding",
-                len(flights),
-            )
-            for future, flight in list(flights.items()):
-                record_failure(flight, BrokenExecutor("pool broke mid-flight"))
-            flights.clear()
-            late.clear()  # old pool's futures can never land
-            # wait=True is cheap here — the workers are already dead — and
-            # closes the old pool's pipes before its atexit hook can trip
-            # over them.
-            pool.shutdown(wait=True, cancel_futures=True)
-            pool = make_pool()
-
-        remaining = remaining_s()
-        if remaining is not None:
-            set_gauge("fleet_deadline_remaining_s", remaining)
-
-    return pool
-
-
-def _validated_payload(
-    payload: Any, flight: _Flight
-) -> Tuple[List[DesignEvaluation], Optional[Dict[str, Any]]]:
-    """Shape-check one fleet worker payload against its flight."""
-    if not isinstance(payload, tuple) or len(payload) != 4:
-        raise ChunkValidationError(
-            f"fleet chunk {flight.site}:{flight.ordinal}: payload is "
-            f"{type(payload).__name__}, expected a 4-tuple"
-        )
-    site = payload[0]
-    if site != flight.site:
-        raise ChunkValidationError(
-            f"fleet chunk {flight.site}:{flight.ordinal}: worker reported "
-            f"site {site!r}"
-        )
-    _, evaluations, telemetry = validate_chunk_result(
-        tuple(payload[1:]), flight.start, flight.stop - flight.start
-    )
-    return evaluations, telemetry
+        max_retries=max_retries,
+        chunk_timeout=chunk_timeout,
+        timeout_multiplier=timeout_multiplier,
+        timeout_floor_s=timeout_floor_s,
+        checkpoint=checkpoint,
+        resume=resume,
+        faults=faults,
+        quarantine=quarantine,
+        shm=shm,
+        events=events,
+        batch_size=batch_size,
+        progress=progress,
+        steal=steal,
+    ).run()

@@ -18,211 +18,41 @@ bitwise-identical to a fault-free serial run.  With ``checkpoint=`` every
 completed chunk is journaled as it finishes, and ``resume=True`` skips the
 journaled grid indices after validating the journal's fingerprint against
 the exact sweep being run.
+
+Since the sweep-engine refactor this module is *policy*, not mechanism:
+:func:`optimize` runs a one-site :class:`repro.core.engine.SweepEngine`
+(bitwise-identical results, same signature), translating its historical
+retry knobs — ``max_retries``, exponential ``backoff_s``, a fixed
+``chunk_timeout`` stall budget — into the engine's per-chunk accounting.
+All pool, shared-memory, journal, and commit mechanics live in
+:mod:`repro.core.engine`.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-import os
-import time
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    Future,
-    ProcessPoolExecutor,
-    wait,
-)
 from dataclasses import dataclass
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..obs import (
-    ProgressCallback,
-    SweepEvents,
-    export_spans,
-    get_logger,
-    get_tracer,
-    inc,
-    merge_snapshot,
-    metrics_enabled,
-    metrics_snapshot,
-    reset_metrics,
-    reset_tracing,
-    set_gauge,
-    span,
-    tracing_enabled,
-)
-from ..resilience import (
-    CheckpointJournal,
-    FaultAction,
-    FaultKind,
-    FaultPlan,
-    JournalHeader,
-    JOURNAL_VERSION,
-    RetryPolicy,
-    SweepInterrupted,
-    corrupt_payload,
-    execute_pre_fault,
-    load_resumable_chunks,
-    sweep_fingerprint,
-    validate_chunk_result,
-)
-from ..resilience.checkpoint import PathLike
+from ..obs import ProgressCallback, SweepEvents, get_logger, inc, set_gauge, span
+from ..resilience import AdaptiveChunkTimeout, FaultPlan, RetryPolicy, SweepInterrupted
+from ..resilience.checkpoint import PathLike, sweep_journal_path
 from .design import DesignPoint, DesignSpace, Strategy, default_design_space
+from .engine import (  # noqa: F401  (re-exported: chunk planning is engine-owned)
+    _TARGET_CHUNKS,
+    _chunk_missing_indices,
+    _ContextPayload,
+    _mp_context,
+    _SiteFaultAdapter,
+    SweepEngine,
+    sweep_chunk_size,
+)
 from .evaluate import (
     DesignEvaluation,
     SiteContext,
-    evaluate_block,
     evaluate_block_sites,
-    evaluate_design,
-)
-from .shm import (
-    SharedContextError,
-    SharedSiteContext,
-    SiteContextHandle,
-    attach_context,
-    handle_pickle_bytes,
-    share_context,
 )
 
 _log = get_logger("core.optimizer")
-
-#: Target number of grid chunks per sweep.  Deliberately a pure function
-#: of the grid size, *not* of ``workers``: identical chunk boundaries
-#: serial vs. parallel are what make the sweep-event stream (one
-#: ``chunk_completed`` per chunk), the checkpoint journal granularity,
-#: and the per-chunk span histograms worker-count independent.  32 keeps
-#: ≥4 chunks in flight per worker for pools of up to 8, so a slow chunk
-#: still cannot straggle the pool.
-_TARGET_CHUNKS = 32
-
-#: A chunk of contiguous grid work: (ordinal, start index, stop index).
-_Chunk = Tuple[int, int, int]
-
-#: Called with each completed chunk: (start, evaluations, worker telemetry).
-#: Telemetry is a worker's metrics snapshot, optionally extended with a
-#: ``"spans"`` record list and the worker ``"pid"`` (see
-#: :func:`_evaluate_chunk`); ``None`` when nothing was collected.
-_CommitFn = Callable[[int, List[DesignEvaluation], Optional[Dict[str, Any]]], None]
-
-#: What the pool initializer ships to workers: a tiny shared-memory handle
-#: (the default trace plane) or, with ``shm=False`` / on platforms without
-#: shared memory, the full pickled context.
-_ContextPayload = Union[SiteContext, SiteContextHandle]
-
-#: The site context each worker process evaluates against, shipped once via
-#: the pool initializer instead of once per grid point.
-_worker_context: Optional[SiteContext] = None
-
-#: Whether workers collect a per-chunk metrics snapshot for the parent.
-_worker_collect_metrics = False
-
-#: Whether workers record spans and ship them back per chunk (set when the
-#: parent's tracer is enabled at pool creation).
-_worker_collect_spans = False
-
-#: Set when this worker attached a shared segment but has not yet reported
-#: it: ``_evaluate_chunk`` resets the worker metrics registry at chunk
-#: start, so the ``context_attach_count`` increment must land *after* the
-#: first reset to survive into a merged snapshot.
-_worker_attach_unreported = False
-
-
-def _init_worker(
-    payload: _ContextPayload, collect_metrics: bool, collect_spans: bool = False
-) -> None:
-    global _worker_context, _worker_collect_metrics, _worker_collect_spans
-    global _worker_attach_unreported
-    if isinstance(payload, SiteContextHandle):
-        _worker_context = attach_context(payload)
-        _worker_attach_unreported = True
-    else:
-        _worker_context = payload
-    _worker_collect_metrics = collect_metrics
-    _worker_collect_spans = collect_spans
-    if collect_metrics:
-        from ..obs import enable_metrics
-
-        enable_metrics()
-    if collect_spans:
-        from ..obs import enable_tracing
-
-        enable_tracing()
-
-
-def _mp_context() -> Optional[multiprocessing.context.BaseContext]:
-    """Start-method override for sweep pools (``REPRO_MP_START_METHOD``).
-
-    Unset means the platform default.  CI sets ``spawn`` so the trace
-    plane is exercised without fork inheritance; ``fork``/``forkserver``
-    are accepted where the platform provides them.
-    """
-    method = os.environ.get("REPRO_MP_START_METHOD")
-    if not method:
-        return None
-    return multiprocessing.get_context(method)
-
-
-def _evaluate_chunk(
-    start: int,
-    designs: Sequence[DesignPoint],
-    strategy: Strategy,
-    fault: Optional[FaultAction] = None,
-    batched: bool = False,
-) -> Tuple[int, List[DesignEvaluation], Optional[Dict[str, Any]]]:
-    """Evaluate one contiguous slice of the grid in a worker process.
-
-    Returns ``(start, evaluations, telemetry)`` where ``telemetry`` is
-    this chunk's worker-registry metrics snapshot (reset at chunk start
-    so snapshots are disjoint and the parent can merge counters and
-    histogram buckets additively), extended — when the parent was tracing
-    at pool creation — with the chunk's exported span records under
-    ``"spans"`` and this worker's ``"pid"`` so the parent can render them
-    on a per-process Chrome lane.  ``None`` when nothing is collected.
-    ``fault`` is the test/CI fault injected into this attempt, if any.
-    ``batched`` routes the slice through :func:`evaluate_block` (bitwise
-    identical to the per-design loop; see ``optimize(batch_size=...)``).
-    """
-    global _worker_attach_unreported
-    assert _worker_context is not None, "worker pool initializer did not run"
-    execute_pre_fault(fault)
-    if _worker_collect_metrics:
-        reset_metrics()
-        if _worker_attach_unreported:
-            inc("context_attach_count")
-            _worker_attach_unreported = False
-    if _worker_collect_spans:
-        # drop_open: a fork-started worker inherits the parent's open
-        # span stack; without dropping it our spans never become roots.
-        reset_tracing(drop_open=True)
-    with span("evaluate_chunk", start=start, n_designs=len(designs)):
-        evaluations: List[Any]
-        if batched:
-            evaluations = list(evaluate_block(_worker_context, designs, strategy))
-        else:
-            evaluations = [
-                evaluate_design(_worker_context, design, strategy)
-                for design in designs
-            ]
-    telemetry: Optional[Dict[str, Any]] = (
-        metrics_snapshot() if _worker_collect_metrics else None
-    )
-    if _worker_collect_spans:
-        telemetry = dict(telemetry) if telemetry is not None else {}
-        telemetry["spans"] = export_spans()
-        telemetry["pid"] = os.getpid()
-    if fault is not None and fault.kind is FaultKind.CORRUPT:
-        evaluations = corrupt_payload(evaluations)
-    return start, evaluations, telemetry
 
 
 @dataclass(frozen=True)
@@ -251,255 +81,6 @@ class OptimizationResult:
     def best_coverage(self) -> float:
         """Coverage of the carbon-optimal design (a Fig. 15 annotation)."""
         return self.best.coverage
-
-
-def sweep_chunk_size(total: int, batch_size: Optional[int] = None) -> int:
-    """Chunk width for a sweep over ``total`` grid points.
-
-    A pure function of the grid (and an explicit ``batch_size``), never of
-    ``workers`` — identical chunk boundaries serial vs. parallel vs. fleet
-    are what make the ``chunk_completed`` event stream, the checkpoint
-    journal granularity, and the per-chunk span histograms engine
-    independent.  The fleet scheduler (:mod:`repro.core.fleet`) uses the
-    same function so its per-site journals stay interchangeable with
-    :func:`optimize`'s.
-    """
-    size = max(1, math.ceil(total / _TARGET_CHUNKS))
-    if batch_size is not None:
-        size = max(size, batch_size)
-    return size
-
-
-def _chunk_missing_indices(
-    filled: Sequence[bool], chunk_size: int
-) -> List[_Chunk]:
-    """Contiguous runs of unfilled grid indices, split into chunks.
-
-    Ordinals number the chunks in grid order; they are what a
-    :class:`FaultPlan` addresses and they stay stable across retry rounds.
-    """
-    chunks: List[_Chunk] = []
-    total = len(filled)
-    index = 0
-    while index < total:
-        if filled[index]:
-            index += 1
-            continue
-        run_start = index
-        while index < total and not filled[index]:
-            index += 1
-        for start in range(run_start, index, chunk_size):
-            chunks.append((len(chunks), start, min(start + chunk_size, index)))
-    return chunks
-
-
-def _sweep_serial(
-    context: SiteContext,
-    designs: Sequence[DesignPoint],
-    strategy: Strategy,
-    chunks: Sequence[_Chunk],
-    commit: _CommitFn,
-    point_progress: Optional[Callable[[], None]],
-    batched: bool = False,
-) -> None:
-    """Evaluate chunks in-process, committing (journaling) chunk by chunk.
-
-    ``point_progress`` preserves the historical serial behaviour of one
-    progress callback per grid point (parallel sweeps report per chunk;
-    a batched chunk reports its points as the block completes).  Each
-    chunk is wrapped in the same ``evaluate_chunk`` span a worker
-    process opens, so span histograms are identical serial vs. parallel.
-    """
-    for _, start, stop in chunks:
-        evaluations = []
-        with span("evaluate_chunk", start=start, n_designs=stop - start):
-            if batched:
-                evaluations = list(
-                    evaluate_block(context, designs[start:stop], strategy)
-                )
-                if point_progress is not None:
-                    for _ in evaluations:
-                        point_progress()
-            else:
-                for index in range(start, stop):
-                    evaluations.append(
-                        evaluate_design(context, designs[index], strategy)
-                    )
-                    if point_progress is not None:
-                        point_progress()
-        commit(start, evaluations, None)
-
-
-def _sweep_parallel(
-    context: SiteContext,
-    payload: _ContextPayload,
-    designs: Sequence[DesignPoint],
-    strategy: Strategy,
-    chunks: Sequence[_Chunk],
-    workers: int,
-    policy: RetryPolicy,
-    faults: Optional[FaultPlan],
-    commit: _CommitFn,
-    events: Optional[SweepEvents] = None,
-    site: str = "",
-    strategy_label: str = "",
-    batched: bool = False,
-) -> None:
-    """Fan chunks across a process pool, surviving chunk/worker failures.
-
-    Each round submits every still-pending chunk to a fresh pool (a
-    ``BrokenProcessPool`` poisons the whole executor, so pools are
-    per-round).  ``payload`` is what each round's pool initializer ships:
-    the shared-memory :class:`SiteContextHandle` by default — every fresh
-    retry-round pool re-attaches the *same* segment — or the full pickled
-    ``context`` when the trace plane is off.  The serial fallback below
-    always uses the parent's own in-process ``context``.  A completed
-    chunk is shape-validated and committed; a failed one — worker crash,
-    broken pool, validation failure, or a stall in which *no* chunk
-    completes within ``policy.chunk_timeout_s`` — is carried into the
-    next round after an exponential-backoff pause.  Chunks still pending
-    after ``policy.max_retries`` rounds degrade to serial in-process
-    evaluation, so the sweep always completes.  Completion order cannot
-    reorder results: chunks carry their starting grid index and are
-    written back by index.
-    """
-    pending: List[_Chunk] = list(chunks)
-    attempt = 0
-    while pending and attempt <= policy.max_retries:
-        if attempt > 0:
-            inc("chunk_retries", len(pending))
-            if events is not None:
-                for ordinal, start, stop in pending:
-                    events.emit(
-                        "chunk_retried",
-                        site=site,
-                        strategy=strategy_label,
-                        ordinal=ordinal,
-                        start=start,
-                        stop=stop,
-                        attempt=attempt,
-                    )
-            pause = policy.backoff_s(attempt)
-            _log.info(
-                "retry round %d/%d: re-submitting %d chunks after %.2fs backoff",
-                attempt,
-                policy.max_retries,
-                len(pending),
-                pause,
-            )
-            if pause > 0:
-                time.sleep(pause)
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(payload, metrics_enabled(), tracing_enabled()),
-            mp_context=_mp_context(),
-        )
-        failed: List[_Chunk] = []
-        committed: set = set()
-        try:
-            futures: Dict[Future, _Chunk] = {}
-            for chunk in pending:
-                ordinal, start, stop = chunk
-                fault = faults.action_for(ordinal, attempt) if faults else None
-                futures[
-                    pool.submit(
-                        _evaluate_chunk,
-                        start,
-                        designs[start:stop],
-                        strategy,
-                        fault,
-                        batched,
-                    )
-                ] = chunk
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(
-                    not_done,
-                    timeout=policy.chunk_timeout_s,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not done:
-                    # Stall: nothing completed within the timeout window.
-                    # Fail every outstanding chunk of this round; the
-                    # injected/real straggler gets retried or degraded.
-                    inc("chunk_failures", len(not_done))
-                    for future in not_done:
-                        future.cancel()
-                        failed.append(futures[future])
-                    _log.warning(
-                        "sweep stalled: no chunk completed within %.2fs; "
-                        "failing %d outstanding chunks",
-                        policy.chunk_timeout_s or 0.0,
-                        len(not_done),
-                    )
-                    break
-                for future in done:
-                    ordinal, start, stop = futures[future]
-                    try:
-                        _, evaluations, worker_metrics = validate_chunk_result(
-                            future.result(), start, stop - start
-                        )
-                    except KeyboardInterrupt:
-                        raise
-                    except Exception as error:
-                        inc("chunk_failures")
-                        _log.warning(
-                            "chunk %d [%d:%d) failed on attempt %d: %s: %s",
-                            ordinal,
-                            start,
-                            stop,
-                            attempt,
-                            type(error).__name__,
-                            error,
-                        )
-                        failed.append((ordinal, start, stop))
-                        continue
-                    commit(start, evaluations, worker_metrics)
-                    committed.add(ordinal)
-        except BrokenExecutor:
-            # A worker died while chunks were still being submitted:
-            # pool.submit itself raises on a broken pool, before any
-            # future exists to carry the error.  Everything this round
-            # that was neither committed nor already marked failed is
-            # carried into the next retry round.
-            unresolved = {c[0] for c in failed} | committed
-            broken = [chunk for chunk in pending if chunk[0] not in unresolved]
-            inc("chunk_failures", len(broken))
-            failed.extend(broken)
-            _log.warning(
-                "process pool broke during submission on attempt %d; "
-                "failing %d unresolved chunks",
-                attempt,
-                len(broken),
-            )
-        finally:
-            # wait=False: a deliberately delayed/stuck worker must not
-            # block the retry rounds; cancel_futures drops queued work.
-            pool.shutdown(wait=False, cancel_futures=True)
-        pending = failed
-        attempt += 1
-
-    # Graceful degradation: whatever survived every retry round is
-    # re-evaluated serially in-process — a sweep always completes.
-    for ordinal, start, stop in pending:
-        inc("serial_fallbacks")
-        _log.warning(
-            "chunk %d [%d:%d) exhausted %d retries; degrading to serial "
-            "in-process evaluation",
-            ordinal,
-            start,
-            stop,
-            policy.max_retries,
-        )
-        if batched:
-            evaluations = list(evaluate_block(context, designs[start:stop], strategy))
-        else:
-            evaluations = [
-                evaluate_design(context, designs[index], strategy)
-                for index in range(start, stop)
-            ]
-        commit(start, evaluations, None)
 
 
 def optimize(
@@ -541,12 +122,11 @@ def optimize(
 
     * ``workers > 1`` fans grid chunks across a process pool; a failed or
       stalled chunk is retried up to ``max_retries`` times with
-      exponential backoff (``backoff_s`` base, doubling per round) and
+      exponential backoff (``backoff_s`` base, doubling per attempt) and
       finally re-evaluated serially in-process, so the sweep completes
       with evaluations bitwise-identical to a serial run regardless of
       worker crashes.  ``chunk_timeout`` (seconds) is the stall detector:
-      if *no* chunk completes within it, outstanding chunks are failed
-      and retried.
+      a chunk that produces no result within it is failed and retried.
     * ``checkpoint`` names a journal file appended to as chunks finish;
       ``resume=True`` loads it, validates its fingerprint against this
       exact sweep, and skips already-journaled grid indices.  An
@@ -560,7 +140,7 @@ def optimize(
       traces are packed into one segment and each pool initializer gets a
       <1 KB :class:`~repro.core.shm.SiteContextHandle` instead of the
       ~850 KB context pickle.  The segment is created once per sweep,
-      re-attached by every retry-round pool, and unlinked on every exit
+      re-attached by a rebuilt pool's workers, and unlinked on every exit
       path (completion, exception, interrupt).  ``shm=False`` — or a
       platform where segment creation fails, which logs a warning —
       falls back to pickling the full context.  Results are bitwise
@@ -591,213 +171,80 @@ def optimize(
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint path")
+    # RetryPolicy validates the retry knobs (and raises the historical
+    # messages) even though the engine consumes them piecemeal.
     policy = RetryPolicy(
         max_retries=max_retries,
         backoff_base_s=backoff_s,
         chunk_timeout_s=chunk_timeout,
     )
     total = space.size(strategy)
-    designs = list(space.points(strategy))
-    results: List[Optional[DesignEvaluation]] = [None] * total
+    site = context.site_state
 
     if events is not None:
         events.emit(
             "sweep_started",
-            site=context.site_state,
+            site=site,
             strategy=strategy.value,
             total=total,
             workers=workers,
         )
 
-    journal: Optional[CheckpointJournal] = None
-    skipped = 0
-    if checkpoint is not None:
-        fingerprint = sweep_fingerprint(context, space, strategy)
-        if resume:
-            restored = load_resumable_chunks(
-                checkpoint,
-                fingerprint,
-                strategy,
-                total,
-                events=events,
-                site=context.site_state,
-            )
-            for start, evaluations in restored.items():
-                results[start : start + len(evaluations)] = evaluations
-            skipped = sum(len(e) for e in restored.values())
-            if restored:
-                inc("checkpoint_chunks_skipped", len(restored))
-                inc("checkpoint_designs_skipped", skipped)
-        journal = CheckpointJournal(
-            checkpoint,
-            JournalHeader(
-                version=JOURNAL_VERSION,
-                fingerprint=fingerprint,
-                strategy=strategy.name,
-                total=total,
-            ),
-            truncate=not resume,
-        )
-
-    # Worker-independent chunking: boundaries depend only on the grid (and
-    # an explicit batch_size), so serial and parallel sweeps journal and
-    # narrate identical chunks.  Batched sweeps widen chunks to at least
-    # batch_size rows — a (design, hour) kernel call amortizes its hour
-    # loop over the whole chunk, so bigger blocks are faster until memory
-    # bandwidth pushes back.
-    chunk_size = sweep_chunk_size(total, batch_size)
-    chunks = _chunk_missing_indices([r is not None for r in results], chunk_size)
-
-    use_pool = workers > 1 and len(chunks) > 1
-    shared: Optional[SharedSiteContext] = None
-    payload: _ContextPayload = context
-    if use_pool:
-        if shm:
-            try:
-                shared = share_context(context)
-                payload = shared.handle
-            except SharedContextError as error:
-                _log.warning(
-                    "shared-memory trace plane unavailable (%s); "
-                    "falling back to pickling the context per worker",
-                    error,
-                )
-        set_gauge("context_pickle_bytes", handle_pickle_bytes(payload))
-
-    _log.info(
-        "sweep start: site=%s strategy=%s grid_points=%d workers=%d "
-        "pending_chunks=%d resumed_evaluations=%d",
-        context.site_state,
-        strategy.value,
-        total,
-        workers,
-        len(chunks),
-        skipped,
+    engine = SweepEngine(
+        [(site, context, space)],
+        strategy,
+        workers=workers,
+        fleet=False,
+        max_retries=max_retries,
+        backoff=policy,
+        # A fixed stall budget (None = no stall detection): single-site
+        # sweeps never feed the EWMA, preserving the chunk_timeout contract.
+        timeout=AdaptiveChunkTimeout(initial_s=chunk_timeout),
+        checkpoints={site: checkpoint} if checkpoint is not None else None,
+        resume=resume,
+        faults=_SiteFaultAdapter(faults) if faults is not None else None,
+        shm=shm,
+        events=events,
+        batch_size=batch_size,
+        progress=progress,
     )
-
-    done = skipped
-    if progress is not None and skipped:
-        progress(done, total, strategy.value)
-
-    # Running best across everything committed so far (seeded with any
-    # resumed evaluations) — what frontier_updated events compare against.
-    best_tons = min(
-        (r.total_tons for r in results if r is not None), default=math.inf
-    )
-
-    def write_back(
-        start: int,
-        evaluations: List[DesignEvaluation],
-        telemetry: Optional[Dict[str, Any]],
-    ) -> None:
-        """Commit one completed chunk: results, telemetry, journal, events.
-
-        ``telemetry`` is a worker's metrics snapshot (counters and
-        histogram buckets fold into the parent registry) optionally
-        carrying the worker's exported ``"spans"``, which are ingested
-        into the parent tracer under the worker's ``"pid"`` lane.
-        """
-        nonlocal best_tons
-        results[start : start + len(evaluations)] = evaluations
-        if telemetry is not None:
-            merge_snapshot(telemetry)
-            worker_spans = telemetry.get("spans")
-            if worker_spans:
-                get_tracer().ingest_spans(
-                    worker_spans, pid=telemetry.get("pid", 0)
-                )
-        if journal is not None:
-            journal.append_chunk(start, evaluations)
-            inc("checkpoint_chunks_written")
-        if events is not None:
-            events.emit(
-                "chunk_completed",
-                site=context.site_state,
-                strategy=strategy.value,
-                start=start,
-                count=len(evaluations),
-            )
-            chunk_best = min(evaluations, key=lambda e: e.total_tons)
-            if chunk_best.total_tons < best_tons:
-                best_tons = chunk_best.total_tons
-                events.emit(
-                    "frontier_updated",
-                    site=context.site_state,
-                    strategy=strategy.value,
-                    total_tons=chunk_best.total_tons,
-                    coverage=chunk_best.coverage,
-                    design=chunk_best.design.describe(),
-                )
-
-    def commit_parallel(
-        start: int,
-        evaluations: List[DesignEvaluation],
-        worker_metrics: Optional[Dict[str, Any]],
-    ) -> None:
-        nonlocal done
-        write_back(start, evaluations, worker_metrics)
-        done += len(evaluations)
-        if progress is not None:
-            progress(done, total, strategy.value)
-
-    def on_serial_point() -> None:
-        nonlocal done
-        done += 1
-        if progress is not None:
-            progress(done, total, strategy.value)
-
+    state = engine.states[0]
     try:
+        engine.setup()
+        _log.info(
+            "sweep start: site=%s strategy=%s grid_points=%d workers=%d "
+            "pending_chunks=%d resumed_evaluations=%d",
+            site,
+            strategy.value,
+            total,
+            workers,
+            state.n_chunks,
+            engine.done_points,
+        )
         with span(
             "optimize",
             strategy=strategy.value,
-            site=context.site_state,
+            site=site,
             grid_points=total,
             workers=workers,
         ):
-            if not use_pool:
-                _sweep_serial(
-                    context,
-                    designs,
-                    strategy,
-                    chunks,
-                    write_back,
-                    on_serial_point,
-                    batched=batch_size is not None,
-                )
-            else:
-                _sweep_parallel(
-                    context,
-                    payload,
-                    designs,
-                    strategy,
-                    chunks,
-                    workers,
-                    policy,
-                    faults,
-                    commit_parallel,
-                    events=events,
-                    site=context.site_state,
-                    strategy_label=strategy.value,
-                    batched=batch_size is not None,
-                )
+            engine.dispatch()
     except KeyboardInterrupt:
-        if journal is not None:
-            journal.close()
+        if checkpoint is not None:
             raise SweepInterrupted(
-                checkpoint=journal.path,
-                done=done,
+                checkpoint=str(checkpoint),
+                done=engine.done_points,
                 total=total,
                 strategy=strategy.value,
             ) from None
         raise
     finally:
-        # Deterministic trace-plane teardown: completion, exceptions, and
-        # SweepInterrupted all unlink the shared segment here.
-        if shared is not None:
-            shared.unlink()
-        if journal is not None:
-            journal.close()
+        # Deterministic teardown: completion, exceptions, and
+        # SweepInterrupted all unlink the shared segment and close the
+        # journal here.
+        engine.cleanup()
 
+    results = state.results
     if not all(evaluation is not None for evaluation in results):
         raise AssertionError("sweep left unevaluated grid points")  # pragma: no cover
     evaluations = results
@@ -809,7 +256,7 @@ def optimize(
     if events is not None:
         events.emit(
             "sweep_finished",
-            site=context.site_state,
+            site=site,
             strategy=strategy.value,
             total=total,
             best_total_tons=best.total_tons,
@@ -817,7 +264,7 @@ def optimize(
         )
     _log.info(
         "sweep done: site=%s strategy=%s best_total_tons=%.1f coverage=%.3f",
-        context.site_state,
+        site,
         strategy.value,
         best.total_tons,
         best.coverage,
@@ -979,9 +426,9 @@ def optimize_fleet(
 def strategy_checkpoint_path(
     checkpoint: Optional[PathLike], strategy: Strategy
 ) -> Optional[str]:
-    """Per-strategy journal path derived from a base checkpoint path."""
-    if checkpoint is None:
-        return None
-    return f"{checkpoint}.{strategy.name.lower()}"
+    """Per-strategy journal path derived from a base checkpoint path.
 
-
+    Thin wrapper over :func:`repro.resilience.checkpoint.sweep_journal_path`
+    (the one suffix scheme shared with per-site fleet journals).
+    """
+    return sweep_journal_path(checkpoint, strategy.name)

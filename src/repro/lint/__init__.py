@@ -28,6 +28,9 @@ RL006     exception-hygiene   no bare except; interrupt-catching handlers must
 RL007     event-names         literal event kinds emitted on a SweepEvents bus
                               must be declared in the ``EVENTS`` registry in
                               ``repro/obs/metric_names.py``
+RL008     pool-confinement    ``ProcessPoolExecutor``/``SharedMemory`` are
+                              constructed only in ``core/engine.py`` and
+                              ``core/shm.py``
 ========  ==================  ==================================================
 
 Suppress a single line with ``# repro-lint: disable=RL005 — justification``;

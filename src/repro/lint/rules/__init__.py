@@ -17,6 +17,7 @@ from .exceptions import ExceptionHygieneRule
 from .float_equality import FloatEqualityRule
 from .kernel_purity import KernelPurityRule
 from .metric_names import MetricNamesRule
+from .pool_confinement import PoolConfinementRule
 from .shm_lifecycle import ShmLifecycleRule
 
 #: Every rule the checker knows, in report order.
@@ -28,6 +29,7 @@ ALL_RULES: Tuple[type, ...] = (
     FloatEqualityRule,
     ExceptionHygieneRule,
     EventNamesRule,
+    PoolConfinementRule,
 )
 
 
@@ -87,4 +89,5 @@ __all__ = [
     "FloatEqualityRule",
     "ExceptionHygieneRule",
     "EventNamesRule",
+    "PoolConfinementRule",
 ]

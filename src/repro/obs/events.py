@@ -179,12 +179,20 @@ class SweepEvents:
             tally[event.kind] = tally.get(event.kind, 0) + 1
         return dict(sorted(tally.items()))
 
-    def stream(self) -> Iterator[SweepEvent]:
+    def stream(
+        self, stop: Optional[threading.Event] = None
+    ) -> Iterator[SweepEvent]:
         """A blocking pull iterator over events as they are emitted.
 
         Yields every event already on the bus, then blocks for new ones;
         ends when :meth:`close` is called.  Each call gets an independent
         cursor, so multiple consumers can stream concurrently.
+
+        ``stop`` bounds the iterator without closing the bus: once the
+        event is set, the iterator drains whatever was already emitted
+        and then ends.  This is how :meth:`repro.core.SweepEngine.results`
+        terminates per-sweep consumers on a long-lived, shared bus (which
+        must stay open for the next sweep).
         """
         stream: "queue.Queue[Optional[SweepEvent]]" = queue.Queue()
         with self._lock:
@@ -198,7 +206,24 @@ class SweepEvents:
             return
         try:
             while True:
-                event = stream.get()
+                if stop is None:
+                    event = stream.get()
+                else:
+                    try:
+                        event = stream.get(timeout=0.05)
+                    except queue.Empty:
+                        if not stop.is_set():
+                            continue
+                        # Stopped: drain events that raced the stop flag,
+                        # then end without waiting for close().
+                        while True:
+                            try:
+                                event = stream.get_nowait()
+                            except queue.Empty:
+                                return
+                            if event is None:
+                                return
+                            yield event
                 if event is None:
                     return
                 yield event

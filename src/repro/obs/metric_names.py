@@ -45,6 +45,7 @@ COUNTERS: FrozenSet[str] = frozenset(
         "grid_datasets_generated",
         # battery simulation
         "battery_runs_seeded",
+        "battery_rows_seeded",
         "battery_sims",
         "battery_sim_hours",
         "battery_capacity_probes",
@@ -60,6 +61,8 @@ COUNTERS: FrozenSet[str] = frozenset(
         "checkpoint_chunks_skipped",
         "checkpoint_designs_skipped",
         "checkpoint_chunks_written",
+        # sweep engine / cross-site work stealing
+        "capacity_steals",
         # caches
         "supply_cache_hits",
         "supply_cache_misses",
@@ -101,10 +104,11 @@ EVENTS: FrozenSet[str] = frozenset(
         "chunk_retried",
         "frontier_updated",
         "sweep_finished",
-        # fleet scheduler (repro.core.fleet)
+        # fleet scheduler (repro.core.fleet / core.engine)
         "site_quarantined",
         "deadline_exceeded",
         "sweep_degraded",
+        "capacity_stolen",
     }
 )
 

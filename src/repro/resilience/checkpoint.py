@@ -38,6 +38,26 @@ PathLike = Union[str, "os.PathLike[str]"]
 JOURNAL_VERSION = 1
 
 
+def sweep_journal_path(
+    checkpoint: Optional[PathLike], label: str
+) -> Optional[str]:
+    """Derive one sweep's journal path from a base checkpoint path.
+
+    The single suffix scheme behind every journal layout: a label —
+    a strategy name for per-strategy sweeps (``optimize_all_strategies``,
+    ``repro optimize --strategy all``) or a site key for fleet sweeps
+    (``sweep_fleet``, ``repro rank``) — is lowercased and appended as
+    ``<base>.<label>``.  ``None`` passes through, so callers can thread an
+    optional checkpoint argument without branching.  Because both layouts
+    share this helper (via ``strategy_checkpoint_path`` and
+    ``fleet_checkpoint_path``), a fleet journal resumes under a single-site
+    sweep and vice versa.
+    """
+    if checkpoint is None:
+        return None
+    return f"{checkpoint}.{label.lower()}"
+
+
 class CheckpointError(ValueError):
     """A checkpoint journal is structurally damaged or unreadable."""
 

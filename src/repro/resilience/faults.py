@@ -4,8 +4,8 @@ A :class:`FaultPlan` maps chunk ordinals to faults that tests and CI use to
 exercise the optimizer's fault-tolerance machinery end-to-end:
 
 * ``kill`` — the worker process exits hard mid-chunk (``os._exit``), which
-  poisons the whole :class:`~concurrent.futures.ProcessPoolExecutor`
-  (``BrokenProcessPool``) exactly like a real OOM kill or segfault;
+  poisons the sweep engine's whole process pool (``BrokenProcessPool``)
+  exactly like a real OOM kill or segfault;
 * ``delay`` — the worker sleeps before evaluating, pushing the chunk past a
   configured per-chunk stall timeout;
 * ``corrupt`` — the worker returns a malformed payload (wrong element type),

@@ -1,0 +1,262 @@
+"""Property tests: the seeded batched battery kernel equals the unseeded.
+
+The ``seeds`` argument of :func:`repro.kernels.batch.battery_run_batch`
+is a pure fast-forward: row groups sharing one (demand, supply) pair may
+skip rail-saturation stretches wholesale, but every output — both hourly
+planes, the charge plane, and the meter totals — must stay *bitwise*
+equal to the plain lockstep loop (which itself is pinned to the serial
+kernel by ``tests/kernels/test_batch.py``).  The comparisons here are
+exact (``np.array_equal``).
+
+Covered edges: whole-block single groups, partial coverage (seeded and
+lockstep segments interleaved), zero-capacity rows inside groups, the
+``(D, H)`` per-row demand layout of merged fleet blocks, disabled charge
+planes, malformed group ranges, and an end-to-end sweep asserting via the
+``battery_rows_seeded`` counter that the seeded path really ran.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import dataclasses
+
+from repro.battery import LFP, BatterySpec
+from repro.kernels import battery_run_batch
+from repro.kernels.battery import BatterySeed
+from repro.timeseries import HOURS_PER_DAY
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: Two days — the same horizon ``tests/kernels/test_batch.py`` uses.
+N_HOURS = 2 * HOURS_PER_DAY
+
+#: The same edge-heavy spec pool as the unseeded batch suite: no battery,
+#: binding limits, mid/large packs, a DoD floor, an unbinding C-rate.
+SPEC_POOL = [
+    BatterySpec(0.0),
+    BatterySpec(0.001),
+    BatterySpec(5.0),
+    BatterySpec(40.0),
+    BatterySpec(40.0, depth_of_discharge=0.8),
+    BatterySpec(
+        5.0,
+        chemistry=dataclasses.replace(
+            LFP, name="high-c-rate", max_charge_c_rate=25.0,
+            max_discharge_c_rate=25.0,
+        ),
+    ),
+]
+
+
+def battery_columns(rows):
+    """The serial wrappers' constants stacked into (D,) columns."""
+    per_row = []
+    for spec, soc, _, _ in rows:
+        floor = spec.floor_mwh
+        per_row.append(
+            dict(
+                capacity_mwh=spec.capacity_mwh,
+                floor_mwh=floor,
+                max_charge_mw=spec.max_charge_mw,
+                max_discharge_mw=spec.max_discharge_mw,
+                charge_efficiency=spec.chemistry.charge_efficiency,
+                discharge_efficiency=spec.chemistry.discharge_efficiency,
+                initial_energy_mwh=floor + soc * (spec.capacity_mwh - floor),
+            )
+        )
+    return {key: np.array([kw[key] for kw in per_row]) for key in per_row[0]}
+
+#: Groups of rows sharing one supply trace: each entry is the list of
+#: (spec, initial soc) rows for one group.  Group sizes of 1 exercise the
+#: degenerate single-row group; soc=1.0 rows start pinned at full, which
+#: is what makes the fast-forward fire on realistic sweeps.
+GROUPS = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(SPEC_POOL),
+            st.sampled_from([0.0, 0.5, 1.0]),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def grouped_traces(seed, groups, surplus_bias=0.0):
+    """Shared demand plus a supply block whose rows repeat per group."""
+    rng = np.random.default_rng(seed)
+    demand = rng.uniform(0.0, 20.0, N_HOURS)
+    supply_rows = []
+    seed_triples = []
+    row = 0
+    for group in groups:
+        trace = rng.uniform(0.0, 40.0 + surplus_bias, N_HOURS)
+        supply_rows.extend([trace] * len(group))
+        seed_triples.append((row, row + len(group), BatterySeed(demand, trace)))
+        row += len(group)
+    return demand, np.stack(supply_rows), seed_triples
+
+
+def flat_rows(groups):
+    """The per-row (spec, soc, _, _) tuples ``battery_columns`` expects."""
+    return [(spec, soc, None, None) for group in groups for spec, soc in group]
+
+
+def assert_batches_equal(seeded, unseeded, charge_plane=True):
+    assert np.array_equal(seeded.grid_import, unseeded.grid_import)
+    assert np.array_equal(seeded.surplus, unseeded.surplus)
+    assert np.array_equal(seeded.charged_mwh, unseeded.charged_mwh)
+    assert np.array_equal(seeded.discharged_mwh, unseeded.discharged_mwh)
+    if charge_plane:
+        assert np.array_equal(seeded.charge_level, unseeded.charge_level)
+
+
+class TestSeededBatteryBatch:
+    @settings(deadline=None, max_examples=40)
+    @given(groups=GROUPS, seed=SEEDS)
+    def test_seeded_bitwise_equals_unseeded(self, groups, seed):
+        demand, supply, triples = grouped_traces(seed, groups)
+        columns = battery_columns(flat_rows(groups))
+        seeded = battery_run_batch(demand, supply, **columns, seeds=triples)
+        unseeded = battery_run_batch(demand, supply, **columns)
+        assert_batches_equal(seeded, unseeded)
+
+    @settings(deadline=None, max_examples=25)
+    @given(groups=GROUPS, seed=SEEDS)
+    def test_partial_coverage_mixes_segments(self, groups, seed):
+        """Only the first group is seeded; later rows run lockstep."""
+        demand, supply, triples = grouped_traces(seed, groups)
+        columns = battery_columns(flat_rows(groups))
+        seeded = battery_run_batch(
+            demand, supply, **columns, seeds=triples[:1]
+        )
+        unseeded = battery_run_batch(demand, supply, **columns)
+        assert_batches_equal(seeded, unseeded)
+
+    @settings(deadline=None, max_examples=25)
+    @given(groups=GROUPS, seed=SEEDS)
+    def test_per_row_demand_block_layout(self, groups, seed):
+        """The merged fleet layout: demand as a (D, H) block of one trace."""
+        demand, supply, triples = grouped_traces(seed, groups)
+        columns = battery_columns(flat_rows(groups))
+        demand_block = np.tile(demand, (supply.shape[0], 1))
+        seeded = battery_run_batch(
+            demand_block, supply, **columns, seeds=triples
+        )
+        unseeded = battery_run_batch(demand, supply, **columns)
+        assert_batches_equal(seeded, unseeded)
+
+    def test_saturation_heavy_block_fast_forwards(self):
+        """A block pinned at both rails for long stretches stays bitwise.
+
+        Supply dwarfs demand for weeks (everyone rides the full rail),
+        then collapses to zero (everyone drains to the floor rail) — the
+        best case for the stretch skip and the worst case for an
+        off-by-one in the stretch bounds.
+        """
+        demand = np.full(N_HOURS, 10.0)
+        trace = np.where(np.arange(N_HOURS) < N_HOURS // 2, 100.0, 0.0)
+        groups = [[(spec, 1.0) for spec in SPEC_POOL]]
+        supply = np.tile(trace, (len(SPEC_POOL), 1))
+        columns = battery_columns(flat_rows(groups))
+        triples = [(0, len(SPEC_POOL), BatterySeed(demand, trace))]
+        seeded = battery_run_batch(demand, supply, **columns, seeds=triples)
+        unseeded = battery_run_batch(demand, supply, **columns)
+        assert_batches_equal(seeded, unseeded)
+
+    @settings(deadline=None, max_examples=15)
+    @given(groups=GROUPS, seed=SEEDS)
+    def test_charge_plane_disabled(self, groups, seed):
+        demand, supply, triples = grouped_traces(seed, groups)
+        columns = battery_columns(flat_rows(groups))
+        seeded = battery_run_batch(
+            demand, supply, **columns, charge_plane=False, seeds=triples
+        )
+        unseeded = battery_run_batch(
+            demand, supply, **columns, charge_plane=False
+        )
+        assert_batches_equal(seeded, unseeded, charge_plane=False)
+        with pytest.raises(AttributeError):
+            seeded.charge_level
+
+
+class TestSeedValidation:
+    def _block(self):
+        demand = np.full(N_HOURS, 10.0)
+        supply = np.full((4, N_HOURS), 12.0)
+        columns = battery_columns([(BatterySpec(5.0), 1.0, None, None)] * 4)
+        return demand, supply, columns
+
+    def test_rejects_out_of_range_rows(self):
+        demand, supply, columns = self._block()
+        seed = BatterySeed(demand, supply[0])
+        with pytest.raises(ValueError, match="out of range"):
+            battery_run_batch(
+                demand, supply, **columns, seeds=[(2, 5, seed)]
+            )
+
+    def test_rejects_overlapping_groups(self):
+        demand, supply, columns = self._block()
+        seed = BatterySeed(demand, supply[0])
+        with pytest.raises(ValueError, match="overlap"):
+            battery_run_batch(
+                demand, supply, **columns,
+                seeds=[(0, 3, seed), (2, 4, seed)],
+            )
+
+    def test_rejects_hour_count_mismatch(self):
+        demand, supply, columns = self._block()
+        seed = BatterySeed(demand[: N_HOURS // 2], supply[0, : N_HOURS // 2])
+        with pytest.raises(ValueError, match="hours"):
+            battery_run_batch(
+                demand, supply, **columns, seeds=[(0, 4, seed)]
+            )
+
+
+class TestSweepIntegration:
+    def test_batched_sweep_runs_seeded_and_matches_serial(
+        self, ut_context, monkeypatch
+    ):
+        """End-to-end: the sweep's batched path builds seed groups (the
+        battery axis shares each investment's supply row), the counter
+        proves the seeded kernel ran, and results still equal the serial
+        per-design sweep."""
+        from repro.core import Strategy, optimize
+        from repro.core.design import DesignSpace
+        from repro.obs import (
+            disable_metrics,
+            enable_metrics,
+            get_registry,
+            reset_metrics,
+        )
+
+        monkeypatch.setenv("REPRO_BATCH_MIN_ROWS", "1")
+        space = DesignSpace(
+            solar_mw=(0.0, 30.0),
+            wind_mw=(0.0, 30.0),
+            battery_mwh=(0.0, 25.0, 50.0),
+            extra_capacity_fractions=(0.0,),
+        )
+        serial = optimize(ut_context, space, Strategy.RENEWABLES_BATTERY)
+        reset_metrics()
+        enable_metrics()
+        try:
+            batched = optimize(
+                ut_context,
+                space,
+                Strategy.RENEWABLES_BATTERY,
+                batch_size=space.size(Strategy.RENEWABLES_BATTERY),
+            )
+            seeded_rows = get_registry().counter_value("battery_rows_seeded")
+        finally:
+            disable_metrics()
+            reset_metrics()
+        assert seeded_rows > 0
+        assert batched.evaluations == serial.evaluations
+        assert batched.best == serial.best

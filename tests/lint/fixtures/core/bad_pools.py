@@ -1,0 +1,28 @@
+"""RL008 fixture: pools/segments constructed outside the owner files."""
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor as Pool
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def builds_pool():
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return pool
+
+
+def builds_aliased_pool():
+    return Pool(max_workers=2)
+
+
+def attaches_segment(name):
+    segment = SharedMemory(name=name)
+    try:
+        return segment.name
+    finally:
+        segment.close()
+
+
+def creates_qualified_segment():
+    with shared_memory.SharedMemory(create=True, size=64) as segment:
+        return segment.name

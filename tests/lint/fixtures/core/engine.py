@@ -1,0 +1,8 @@
+"""RL008 fixture: the pool owner file — constructions here are legal."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def make_pool(workers):
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return pool

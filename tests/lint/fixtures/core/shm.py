@@ -1,0 +1,16 @@
+"""RL008 fixture: the segment owner file — constructions here are legal."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def make_segment(size):
+    with SharedMemory(create=True, size=size) as segment:
+        return segment.name
+
+
+def attach_segment(name):
+    segment = SharedMemory(name=name)
+    try:
+        return segment.name
+    finally:
+        segment.close()

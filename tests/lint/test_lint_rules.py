@@ -121,3 +121,29 @@ class TestEventNamesRL007:
     def test_source_tree_is_clean(self, repo_root):
         src = repo_root / "src" / "repro"
         assert run_lint([str(src)], select=["RL007"]) == []
+
+
+class TestPoolConfinementRL008:
+    def test_flags_constructions_outside_owner_files(self, fixtures):
+        assert findings_for(fixtures / "core" / "bad_pools.py", "RL008") == [
+            (10, "RL008"),  # ProcessPoolExecutor(...)
+            (15, "RL008"),  # Pool(...) aliased from ProcessPoolExecutor
+            (19, "RL008"),  # SharedMemory(name=...) attach
+            (27, "RL008"),  # shared_memory.SharedMemory(create=True)
+        ]
+
+    def test_owner_files_under_core_are_exempt(self, fixtures):
+        assert findings_for(fixtures / "core" / "engine.py", "RL008") == []
+        assert findings_for(fixtures / "core" / "shm.py", "RL008") == []
+
+    def test_owner_basename_outside_core_is_not_exempt(self, fixtures, tmp_path):
+        # The exemption is the (basename, core/ directory) pair — a
+        # stray engine.py elsewhere gets no pool-building license.
+        copy = tmp_path / "helpers" / "engine.py"
+        copy.parent.mkdir()
+        copy.write_text((fixtures / "core" / "engine.py").read_text())
+        assert findings_for(copy, "RL008") == [(7, "RL008")]
+
+    def test_source_tree_is_clean(self, repo_root):
+        src = repo_root / "src" / "repro"
+        assert run_lint([str(src)], select=["RL008"]) == []
