@@ -1,0 +1,100 @@
+"""Lint engine cost: cold whole-tree analysis vs the warm content cache.
+
+Not a paper artifact — this bench tracks the tooling itself.  The lint
+engine re-derives the whole-program model (import/call graph, worker and
+kernel universes, metric census) on every run; the content-hash cache is
+what keeps that affordable at pre-commit cadence.  Two measurements pin
+the economics down: a cold run that parses every file, and a warm run
+over an unchanged tree that must replay cached per-file results and only
+recompute the project phase.  The warm run must stay at least 5x faster
+than the cold one and report byte-identical findings — the cache changes
+cost, never output.
+"""
+
+import pathlib
+import time
+
+from _common import emit, run_once
+
+from repro.lint import lint_project, render_json
+from repro.reporting import format_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: The same roots the CI lint gate checks.
+LINT_PATHS = [
+    str(REPO_ROOT / "src"),
+    str(REPO_ROOT / "benchmarks"),
+    str(REPO_ROOT / "tests"),
+    str(REPO_ROOT / "examples"),
+]
+
+#: The cache speedup floor the warm run must clear.
+MIN_SPEEDUP = 5.0
+
+
+def _stats_rows(label, stats, wall_s):
+    return [
+        (
+            label,
+            f"{stats['files']}",
+            f"{stats['cache_hits']}",
+            f"{stats['reparsed']}",
+            f"{wall_s:.3f}",
+        )
+    ]
+
+
+def test_lint_cold(benchmark, tmp_path):
+    cache = tmp_path / "lint-cache.json"
+    walls = {}
+
+    def cold_run():
+        start = time.perf_counter()
+        report = lint_project(LINT_PATHS, cache_path=str(cache))
+        walls["cold"] = time.perf_counter() - start
+        return report
+
+    report = run_once(benchmark, cold_run)
+    assert report.stats["cache_hits"] == 0
+    assert report.stats["reparsed"] == report.stats["files"] > 0
+    table = format_table(
+        ["run", "files", "cache hits", "reparsed", "wall s"],
+        _stats_rows("cold", report.stats, walls["cold"]),
+        title="Lint bench: cold whole-tree run",
+    )
+    emit("lint_cold", table)
+
+
+def test_lint_warm(benchmark, tmp_path):
+    cache = tmp_path / "lint-cache.json"
+    start = time.perf_counter()
+    cold = lint_project(LINT_PATHS, cache_path=str(cache))
+    cold_s = time.perf_counter() - start
+    walls = {}
+
+    def warm_run():
+        begin = time.perf_counter()
+        report = lint_project(LINT_PATHS, cache_path=str(cache))
+        walls["warm"] = time.perf_counter() - begin
+        return report
+
+    warm = run_once(benchmark, warm_run)
+    warm_s = walls["warm"]
+
+    # The cache must change cost, never output.
+    assert render_json(warm.findings) == render_json(cold.findings)
+    assert warm.stats["cache_hits"] == warm.stats["files"]
+    assert warm.stats["reparsed"] == 0
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    rows = _stats_rows("cold", cold.stats, cold_s) + _stats_rows(
+        "warm", warm.stats, warm_s
+    )
+    table = format_table(
+        ["run", "files", "cache hits", "reparsed", "wall s"],
+        rows,
+        title="Lint bench: warm cache vs cold parse",
+    )
+    emit("lint_warm", table + f"\n\nwarm speedup: {speedup:,.1f}x (floor: {MIN_SPEEDUP:,.0f}x)")
+    assert speedup >= MIN_SPEEDUP

@@ -9,6 +9,8 @@ so the carbon-optimal DoD is a real trade-off.
 Run:  python examples/battery_sizing.py
 """
 
+import math
+
 from repro import CarbonExplorer
 from repro.battery import BatterySpec
 from repro.grid import RenewableInvestment
@@ -29,7 +31,7 @@ def sizing_sweep(explorer: CarbonExplorer) -> None:
             (
                 f"{multiple:.0f}x avg power",
                 percent(explorer.coverage(investment)),
-                "unreachable" if hours == float("inf") else f"{hours:.1f} h",
+                "unreachable" if math.isinf(hours) else f"{hours:.1f} h",
             )
         )
     print(

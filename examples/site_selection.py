@@ -16,6 +16,8 @@ site's average power (split by the local grid's resource mix):
 Run:  python examples/site_selection.py          (~1 minute: 13 full optimizations)
 """
 
+import math
+
 from repro import CarbonExplorer, SITE_ORDER, Strategy
 from repro.grid import RenewableInvestment
 from repro.reporting import format_table, percent
@@ -53,7 +55,7 @@ def main() -> None:
                 state,
                 explorer.context.grid.authority.renewable_class.value,
                 percent(coverage),
-                "inf" if hours == float("inf") else f"{hours:.1f}",
+                "inf" if math.isinf(hours) else f"{hours:.1f}",
                 f"{best.total_tons / explorer.avg_power_mw:,.0f}",
                 percent(best.coverage),
                 best.total_tons / explorer.avg_power_mw,

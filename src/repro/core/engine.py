@@ -1187,7 +1187,7 @@ class SweepEngine:
                             continue
                         try:
                             evaluations, telemetry = _validated_payload(
-                                future.result(), flight
+                                future.result(timeout=0), flight
                             )
                         except ChunkValidationError:
                             continue
@@ -1199,7 +1199,9 @@ class SweepEngine:
                     inflight[flight.site] -= 1
                     state = self._by_key[flight.site]
                     try:
-                        payload = future.result()
+                        # timeout=0 is safe: the future came out of the
+                        # wait() done set, so the result is already there.
+                        payload = future.result(timeout=0)
                         evaluations, telemetry = _validated_payload(payload, flight)
                     except BrokenExecutor as error:
                         pool_broken = True
@@ -1256,7 +1258,9 @@ class SweepEngine:
                     default=0.0,
                 )
                 delay = wake - time.monotonic()
-                time.sleep(delay if delay > 0 else _TICK_S)
+                # Clamp the backoff to the dispatch tick so deadline and
+                # shutdown checks keep firing even with far-future retries.
+                time.sleep(min(delay, _TICK_S) if delay > 0 else _TICK_S)
 
             if pool_broken:
                 _log.warning(

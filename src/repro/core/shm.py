@@ -253,7 +253,7 @@ def share_context(context: "SiteContext") -> SharedSiteContext:
         _segment_seq += 1
         name = f"{SEGMENT_PREFIX}{os.getpid()}_{_segment_seq}"
         try:
-            segment = _shared_memory.SharedMemory(create=True, size=total, name=name)  # repro-lint: disable=RL002 — ownership transfers to SharedSiteContext; optimizer unlinks in its finally
+            segment = _shared_memory.SharedMemory(create=True, size=total, name=name)
             break
         except FileExistsError:
             continue

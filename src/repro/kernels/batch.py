@@ -209,7 +209,7 @@ def _transpose_into(dst: np.ndarray, src: np.ndarray) -> None:
         r1 = r0 + _TRANSPOSE_BLOCK
         for h0 in range(0, n_hours, _TRANSPOSE_BLOCK):
             h1 = h0 + _TRANSPOSE_BLOCK
-            dst[r0:r1, h0:h1] = src[h0:h1, r0:r1].T  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+            dst[r0:r1, h0:h1] = src[h0:h1, r0:r1].T
 
 
 def _battery_segments(n_rows: int, seeds) -> list:
@@ -278,7 +278,7 @@ def _battery_lockstep_cols(
         np.add(discharged, power, out=discharged)
         np.subtract(req, power, out=grid_t[hour, cols])
         if charge_t is not None:
-            charge_t[hour, cols] = energy  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+            charge_t[hour, cols] = energy
 
 
 def _battery_seeded_cols(
@@ -314,10 +314,10 @@ def _battery_seeded_cols(
                 # Pinned at full: every hour until the next deficit
                 # charges exactly 0.0 MW and spills the whole gap.
                 stop = int(next_deficit[hour])
-                surplus_t[hour:stop, cols] = seed.surplus_if_full[hour:stop, None]  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
-                grid_t[hour:stop, cols] = 0.0  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+                surplus_t[hour:stop, cols] = seed.surplus_if_full[hour:stop, None]
+                grid_t[hour:stop, cols] = 0.0
                 if charge_t is not None:
-                    charge_t[hour:stop, cols] = energy  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+                    charge_t[hour:stop, cols] = energy
                 hour = stop
                 continue
             if gap > 0.0:
@@ -331,8 +331,8 @@ def _battery_seeded_cols(
                 np.add(charged, power, out=charged)
                 np.subtract(gap, power, out=surplus_t[hour, cols])
             else:
-                surplus_t[hour, cols] = 0.0  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
-            grid_t[hour, cols] = 0.0  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+                surplus_t[hour, cols] = 0.0
+            grid_t[hour, cols] = 0.0
         else:
             np.equal(energy, floor, out=rail)
             if rail.all():
@@ -340,10 +340,10 @@ def _battery_seeded_cols(
                 # surplus discharges exactly 0.0 MW and imports the
                 # whole deficit.
                 stop = int(next_surplus[hour])
-                grid_t[hour:stop, cols] = seed.import_if_empty[hour:stop, None]  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
-                surplus_t[hour:stop, cols] = 0.0  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+                grid_t[hour:stop, cols] = seed.import_if_empty[hour:stop, None]
+                surplus_t[hour:stop, cols] = 0.0
                 if charge_t is not None:
-                    charge_t[hour:stop, cols] = energy  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+                    charge_t[hour:stop, cols] = energy
                 hour = stop
                 continue
             requested = -gap
@@ -356,9 +356,9 @@ def _battery_seeded_cols(
             np.subtract(energy, scratch, out=energy)
             np.add(discharged, power, out=discharged)
             np.subtract(requested, power, out=grid_t[hour, cols])
-            surplus_t[hour, cols] = 0.0  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+            surplus_t[hour, cols] = 0.0
         if charge_t is not None:
-            charge_t[hour, cols] = energy  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+            charge_t[hour, cols] = energy
         hour += 1
 
 
@@ -1083,7 +1083,7 @@ def _soak_replay_rows(
     which still carries deadline == hour.
     """
     for row in rows.tolist():
-        soak_mask[row] = False  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+        soak_mask[row] = False
         budget_row = float(budget[row])
         total_row = float(queued_total[row])
         late_row = float(late[row])
@@ -1103,9 +1103,9 @@ def _soak_replay_rows(
                 hd += 1
                 oc -= 1
             else:
-                Qflat[slot] = amount - take  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
-        head[row] = hd  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
-        ocount[row] = oc  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+                Qflat[slot] = amount - take
+        head[row] = hd
+        ocount[row] = oc
         if oc == 0:
             for ahead in range(1, dl):
                 if budget_row - exec_row <= _EPSILON_MWH:
@@ -1118,15 +1118,15 @@ def _soak_replay_rows(
                     exec_row += take
                     total_row -= take
                     if take >= amount - _EPSILON_MWH:
-                        ring_amt[slot, row] = 0.0  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+                        ring_amt[slot, row] = 0.0
                     else:
-                        ring_amt[slot, row] = amount - take  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
-        queued_total[row] = total_row  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
-        late[row] = late_row  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+                        ring_amt[slot, row] = amount - take
+        queued_total[row] = total_row
+        late[row] = late_row
         load_row = float(load[row]) + exec_row
-        load[row] = load_row  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+        load[row] = load_row
         gap_row = float(gap[row]) - exec_row
-        gap[row] = gap_row if gap_row >= 0.0 else 0.0  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+        gap[row] = gap_row if gap_row >= 0.0 else 0.0
 
 
 def _soak_exact_column(entries_col, left_col, budget, queued):
@@ -1145,13 +1145,13 @@ def _soak_exact_column(entries_col, left_col, budget, queued):
             continue
         remaining = budget - executed
         if remaining <= _EPSILON_MWH:
-            left_col[k] = amount  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+            left_col[k] = amount
             continue
         take = amount if amount <= remaining else remaining
         executed += take
-        queued -= take  # repro-lint: disable=RL003 — scalar fold accumulator, returned to the caller
+        queued -= take
         if take >= amount - _EPSILON_MWH:
-            left_col[k] = 0.0  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+            left_col[k] = 0.0
         else:
-            left_col[k] = amount - take  # repro-lint: disable=RL003 — kernel-owned scratch, freshly allocated by the calling kernel
+            left_col[k] = amount - take
     return executed, queued

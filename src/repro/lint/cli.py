@@ -8,7 +8,16 @@ Two entry points share this module:
   :func:`run`.
 
 Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage error
-(unknown rule code, no files matched).
+(unknown rule code, empty rule selection, no files matched).  An empty
+selection — ``--select ,`` or a select/ignore combination that leaves
+zero rules — exits 2 loudly rather than "passing" a run that checked
+nothing.
+
+The incremental cache is on by default (``.repro-lint-cache.json`` in
+the invocation directory); ``--no-cache`` forces a cold run,
+``--cache PATH`` relocates it, ``--changed-only`` reports findings only
+for files changed since the last run plus their reverse-dependency
+closure.
 """
 
 from __future__ import annotations
@@ -17,20 +26,32 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .engine import render_json, render_text, run_lint
-from .rules import ALL_RULES, UnknownRuleError
+from .engine import (
+    DEFAULT_CACHE_PATH,
+    lint_project,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from .rules import ALL_RULES, EmptySelectionError, UnknownRuleError
 
 _DEFAULT_PATHS = ["src"]
 
 
 def _split_codes(values: Optional[Sequence[str]]) -> Optional[List[str]]:
-    """Flatten repeated/comma-separated ``--select RL001,RL002`` options."""
+    """Flatten repeated/comma-separated ``--select RL001,RL002`` options.
+
+    ``None`` means the option was not passed at all.  An option that
+    *was* passed but named no codes (``--select ,``) flattens to the
+    empty list, which :func:`~repro.lint.rules.get_rules` rejects — it
+    must not silently mean "all rules".
+    """
     if not values:
         return None
     codes: List[str] = []
     for value in values:
         codes.extend(code for code in value.split(",") if code.strip())
-    return codes or None
+    return codes
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -45,7 +66,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--format",
         dest="output_format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -61,21 +82,49 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="RULE",
         help="skip these rules (repeat or comma-separate)",
     )
+    parser.add_argument(
+        "--cache",
+        dest="cache_path",
+        default=DEFAULT_CACHE_PATH,
+        metavar="PATH",
+        help=(
+            "incremental cache file (default: %(default)s); unchanged "
+            "files are neither re-parsed nor re-checked"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (cold run, nothing written)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report findings only for files changed since the cached run "
+            "plus everything that transitively imports them"
+        ),
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; the process exit code."""
     try:
-        findings = run_lint(
+        report = lint_project(
             args.paths,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
+            cache_path=None if args.no_cache else args.cache_path,
+            changed_only=args.changed_only,
         )
-    except UnknownRuleError as exc:
+    except (UnknownRuleError, EmptySelectionError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+    findings = report.findings
     if args.output_format == "json":
-        print(render_json(findings))
+        print(render_json(findings, report.stats))
+    elif args.output_format == "sarif":
+        print(render_sarif(findings))
     else:
         print(render_text(findings))
     return 1 if findings else 0

@@ -1,39 +1,76 @@
-"""The lint engine: discover files, parse once, run rules, filter, render.
+"""The lint engine: discover, hash, parse, run rules in two phases, render.
 
-The engine is deliberately boring: collect ``.py`` files from the given
-paths (skipping hidden directories and ``__pycache__``), parse each file
-exactly once into a shared :class:`~repro.lint.findings.SourceFile`,
-hand it to every selected rule whose :meth:`~repro.lint.rules.base.Rule.
-applies_to` scope matches, drop findings suppressed by inline
-``# repro-lint: disable=...`` directives, and return the sorted list.
+The engine runs in two phases over the discovered files:
+
+* **file phase** — each file is content-hashed; on a cache hit its
+  stored findings and facts are reused verbatim, otherwise it is parsed
+  once and (a) every *file* rule runs over it, (b) the
+  :mod:`~repro.lint.graph` fact extractor records what the project
+  phase will need.  File findings are cached post-suppression and for
+  **all** file rules regardless of ``--select`` — the cache is
+  selection-independent, selection filters at report time.
+* **project phase** — the per-file facts (fresh or cached) assemble
+  into a :class:`~repro.lint.graph.Project` and the *project* rules
+  (RL001, RL003, RL009, RL010) run over it.  Project verdicts are never
+  cached: editing one file can change the reachability of files that
+  never import it, so only the per-file *inputs* are reused.
+
+The cache (``.repro-lint-cache.json`` by default) stores per path: the
+content hash, the file-phase findings, the extracted facts, and the
+suppression map.  ``--changed-only`` narrows the *report* to reparsed
+files plus their reverse-dependency closure — the only files whose
+verdicts the edit can have changed through imports.
 
 Files that fail to parse are themselves findings (rule ``RL000``,
 "parse-error") rather than crashes — a syntax error in one module must
-not hide violations in the other three hundred.
+not hide violations in the other three hundred.  A directory containing
+a ``.repro-lint-ignore`` marker is pruned from discovery (fixture trees
+full of deliberate violations live under one); the marker is ignored on
+an explicitly-passed root — asking for a directory by name means it.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import pathlib
-from typing import Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from .findings import Finding, SourceFile
-from .rules import Rule, get_rules
+from .graph import FACTS_VERSION, Project, extract_facts
+from .rules import ALL_RULES, Rule, get_rules
 from .suppress import is_suppressed, suppressed_lines
 
 #: Pseudo-rule code attributed to files the engine cannot parse.
+#: Always reported, whatever ``--select`` says: an unparseable file
+#: means every other verdict about it is fiction.
 PARSE_ERROR_RULE = "RL000"
 
 #: Version of the ``--format json`` document shape.
-JSON_FORMAT_VERSION = 1
+#: 2: added the ``stats`` object (cache hit/reparse counters).
+JSON_FORMAT_VERSION = 2
+
+#: Version of the on-disk cache document; bumped with the record shape.
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+#: Marker file pruning a directory subtree from discovery.
+IGNORE_MARKER = ".repro-lint-ignore"
 
 _SKIP_DIRS = frozenset({"__pycache__"})
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[pathlib.Path]:
-    """Every ``.py`` file under ``paths``, sorted, each yielded once."""
+    """Every ``.py`` file under ``paths``, sorted, each yielded once.
+
+    Directories carrying an :data:`IGNORE_MARKER` are pruned, except an
+    explicitly-passed root itself (linting a fixture tree on purpose
+    must work; tripping over it while linting ``tests/`` must not).
+    """
     seen = set()
     for raw in paths:
         root = pathlib.Path(raw)
@@ -47,12 +84,22 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[pathlib.Path]:
                     part in _SKIP_DIRS or part.startswith(".")
                     for part in p.parts
                 )
+                and not _under_marker(p, root)
             )
         for path in candidates:
             key = str(path)
             if key not in seen:
                 seen.add(key)
                 yield path
+
+
+def _under_marker(path: pathlib.Path, root: pathlib.Path) -> bool:
+    directory = path.parent
+    while directory != root and directory != directory.parent:
+        if (directory / IGNORE_MARKER).is_file():
+            return True
+        directory = directory.parent
+    return False  # the root's own marker is ignored: it was asked for
 
 
 def load_source_file(path: pathlib.Path) -> "SourceFile | Finding":
@@ -75,7 +122,7 @@ def load_source_file(path: pathlib.Path) -> "SourceFile | Finding":
 
 def check_file(file: SourceFile, rules: Sequence[Rule]) -> List[Finding]:
     """All unsuppressed findings for one parsed file."""
-    suppressions = suppressed_lines(file.source)
+    suppressions = suppressed_lines(file.source, file.tree)
     findings: List[Finding] = []
     for rule in rules:
         if not rule.applies_to(file):
@@ -86,21 +133,184 @@ def check_file(file: SourceFile, rules: Sequence[Rule]) -> List[Finding]:
     return findings
 
 
+@dataclass
+class LintReport:
+    """Findings plus the cache/incrementality counters of one run."""
+
+    findings: List[Finding]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _finding_from_json(obj: Dict[str, Any]) -> Finding:
+    return Finding(
+        path=obj["path"],
+        line=obj["line"],
+        col=obj["col"],
+        rule=obj["rule"],
+        message=obj["message"],
+        severity=obj.get("severity", "error"),
+    )
+
+
+def _load_cache(cache_path: Optional[str]) -> Dict[str, Any]:
+    if cache_path is None:
+        return {}
+    try:
+        with open(cache_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(document, dict):
+        return {}
+    if document.get("version") != CACHE_VERSION:
+        return {}
+    if document.get("facts_version") != FACTS_VERSION:
+        return {}
+    files = document.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(cache_path: Optional[str], files: Dict[str, Any]) -> None:
+    if cache_path is None:
+        return
+    document = {
+        "version": CACHE_VERSION,
+        "facts_version": FACTS_VERSION,
+        "files": files,
+    }
+    try:
+        with open(cache_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+    except OSError:
+        pass  # a read-only checkout still lints, just never warm
+
+
+def _all_file_rules() -> List[Rule]:
+    return [cls() for cls in ALL_RULES if cls.phase == "file"]
+
+
+def lint_project(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    cache_path: Optional[str] = None,
+    changed_only: bool = False,
+) -> LintReport:
+    """Lint ``paths`` through both phases; findings plus run stats.
+
+    ``cache_path=None`` disables the cache entirely.  ``changed_only``
+    narrows the report to files reparsed this run plus their
+    reverse-dependency closure (it never changes the *verdicts*, only
+    which files' findings are reported).
+    """
+    selected_rules = get_rules(select=select, ignore=ignore)
+    selected_codes = {rule.code for rule in selected_rules}
+    project_rules = [r for r in selected_rules if r.phase == "project"]
+    file_rules = _all_file_rules()
+
+    cached = _load_cache(cache_path)
+    records: Dict[str, Any] = {}
+    reparsed_paths: List[str] = []
+    stats = {"files": 0, "cache_hits": 0, "reparsed": 0, "rechecked": 0}
+
+    for path in iter_python_files(paths):
+        key = str(path)
+        stats["files"] += 1
+        try:
+            content = path.read_bytes()
+        except OSError as exc:
+            records[key] = {
+                "sha256": "",
+                "findings": [
+                    Finding(
+                        path=key,
+                        line=1,
+                        col=0,
+                        rule=PARSE_ERROR_RULE,
+                        message=f"cannot parse file: {exc}",
+                    ).as_json()
+                ],
+                "facts": None,
+            }
+            reparsed_paths.append(key)
+            stats["reparsed"] += 1
+            continue
+        digest = hashlib.sha256(content).hexdigest()
+        record = cached.get(key)
+        if record is not None and record.get("sha256") == digest:
+            records[key] = record
+            stats["cache_hits"] += 1
+            continue
+        loaded = load_source_file(path)
+        if isinstance(loaded, Finding):
+            records[key] = {
+                "sha256": digest,
+                "findings": [loaded.as_json()],
+                "facts": None,
+            }
+        else:
+            records[key] = {
+                "sha256": digest,
+                "findings": [
+                    f.as_json() for f in check_file(loaded, file_rules)
+                ],
+                "facts": extract_facts(loaded),
+            }
+        reparsed_paths.append(key)
+        stats["reparsed"] += 1
+
+    # -- file-phase report: cached findings filtered by selection ----------
+    findings: List[Finding] = []
+    for record in records.values():
+        for obj in record["findings"]:
+            if (
+                obj["rule"] == PARSE_ERROR_RULE
+                or obj["rule"] in selected_codes
+            ):
+                findings.append(_finding_from_json(obj))
+
+    # -- project phase: always recomputed over fresh + cached facts --------
+    facts_by_path = {
+        key: record["facts"]
+        for key, record in records.items()
+        if record["facts"] is not None
+    }
+    project = Project(facts_by_path)
+    suppressed_by_path = {
+        key: {
+            int(line): frozenset(codes)
+            for line, codes in (record["facts"].get("suppressed") or {}).items()
+        }
+        for key, record in records.items()
+        if record["facts"] is not None
+    }
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            suppressions = suppressed_by_path.get(finding.path, {})
+            if not is_suppressed(suppressions, finding.line, finding.rule):
+                findings.append(finding)
+
+    # -- incremental accounting and --changed-only narrowing ---------------
+    closure: Set[str] = project.reverse_dependency_closure(reparsed_paths)
+    stats["rechecked"] = len(closure)
+    if changed_only:
+        findings = [f for f in findings if f.path in closure]
+
+    _save_cache(cache_path, records)
+    return LintReport(findings=sorted(findings), stats=stats)
+
+
 def run_lint(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint ``paths`` with the selected rules; sorted findings."""
-    rules = get_rules(select=select, ignore=ignore)
-    findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        loaded = load_source_file(path)
-        if isinstance(loaded, Finding):
-            findings.append(loaded)
-            continue
-        findings.extend(check_file(loaded, rules))
-    return sorted(findings)
+    """Lint ``paths`` with the selected rules; sorted findings.
+
+    Compatibility wrapper over :func:`lint_project` with the cache
+    disabled — the shape every pre-existing caller and test expects.
+    """
+    return lint_project(paths, select=select, ignore=ignore).findings
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -112,11 +322,78 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
+def render_json(
+    findings: Sequence[Finding], stats: Optional[Dict[str, int]] = None
+) -> str:
     """Machine-readable report for CI: versioned JSON document."""
     document = {
         "version": JSON_FORMAT_VERSION,
         "count": len(findings),
         "findings": [finding.as_json() for finding in findings],
+        "stats": dict(stats or {}),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+#: Pinned schema reference for the SARIF output.
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 document, the interchange format code hosts ingest."""
+    rule_ids = sorted(
+        {f.rule for f in findings}
+        | {cls.code for cls in ALL_RULES}
+        | {PARSE_ERROR_RULE}
+    )
+    descriptions = {cls.code: cls.description for cls in ALL_RULES}
+    descriptions[PARSE_ERROR_RULE] = "file could not be parsed"
+    sarif_rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": descriptions.get(code, code)},
+        }
+        for code in rule_ids
+    ]
+    index_of = {code: i for i, code in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": pathlib.PurePath(finding.path).as_posix()
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True)

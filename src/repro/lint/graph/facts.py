@@ -1,0 +1,898 @@
+"""Per-file fact extraction: everything the project phase needs, as JSON.
+
+One pass over a parsed file produces a plain-dict record of the facts
+the whole-program rules consume — module identity, resolved imports,
+defined functions and classes, call sites (with enough receiver
+structure to build a conservative call graph), rule *candidates* (every
+RL001/RL003-shaped site, scoping deferred to the project phase), metric
+name uses/declarations for the census, and shared-memory creation
+shapes for ownership tracking.  The record is what the incremental
+cache stores per content hash: re-linting an unchanged file costs a
+hash, never a parse.
+
+Everything here is local analysis — no fact depends on any other file,
+which is exactly what makes the cache sound.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..findings import SourceFile
+from ..suppress import suppressed_lines
+from ..rules.determinism import determinism_violation
+from ..rules.kernel_purity import (
+    _IO_CALLS,
+    _IO_PREFIXES,
+    _parameter_names,
+    _rebound_names,
+    _subscript_base,
+)
+from ..rules.metric_names import _API_KINDS
+from ..rules.events import _is_bus_emit
+
+#: Bumped whenever the record shape or the extraction logic changes, so
+#: stale caches from an older linter are discarded wholesale.
+FACTS_VERSION = 1
+
+#: Method names too generic to anchor a conservative dynamic-dispatch
+#: edge: matching ``x.append(...)`` against every project method named
+#: ``append`` would weld the call graph into one blob.  Distinctive
+#: names (``evaluate``, ``simulate_year``, …) still match.
+GENERIC_METHODS = frozenset(
+    {
+        "acquire",
+        "add",
+        "append",
+        "appendleft",
+        "cancel",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "discard",
+        "done",
+        "extend",
+        "flush",
+        "format",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "mkdir",
+        "open",
+        "pop",
+        "popleft",
+        "put",
+        "read",
+        "readline",
+        "release",
+        "remove",
+        "result",
+        "run",
+        "seek",
+        "send",
+        "setdefault",
+        "shutdown",
+        "sort",
+        "split",
+        "start",
+        "stop",
+        "strip",
+        "submit",
+        "update",
+        "values",
+        "wait",
+        "write",
+    }
+)
+
+#: numpy constructors that always return a fresh caller-owned array.
+_NP_FRESH = frozenset(
+    {
+        "arange",
+        "array",
+        "copy",
+        "empty",
+        "empty_like",
+        "full",
+        "full_like",
+        "linspace",
+        "ones",
+        "ones_like",
+        "zeros",
+        "zeros_like",
+    }
+)
+
+#: numpy functions that may return a *view* of their first argument —
+#: ownership follows the argument, not the call.
+_NP_VIEWING = frozenset(
+    {
+        "asarray",
+        "ascontiguousarray",
+        "asfortranarray",
+        "atleast_1d",
+        "atleast_2d",
+        "atleast_3d",
+        "broadcast_to",
+        "expand_dims",
+        "moveaxis",
+        "ravel",
+        "reshape",
+        "squeeze",
+        "swapaxes",
+        "transpose",
+    }
+)
+
+#: Builtins returning fresh scalars — never aliases of an argument.
+_FRESH_SCALARS = frozenset({"abs", "bool", "float", "int", "len", "round"})
+
+#: Methods returning a fresh array regardless of receiver.
+_OWNED_METHODS = frozenset({"astype", "copy"})
+
+#: Methods returning a view of their receiver.
+_VIEW_METHODS = frozenset(
+    {"ravel", "reshape", "squeeze", "swapaxes", "transpose", "view"}
+)
+
+
+def module_name_for_path(path_str: str) -> str:
+    """Dotted module name for a file, following ``__init__.py`` chains.
+
+    ``src/repro/core/engine.py`` → ``repro.core.engine`` (``src`` has no
+    ``__init__.py``, ``repro`` does).  Files outside any package get a
+    two-component pseudo-module from their parent directory and stem
+    (``tmp/kernels/battery.py`` → ``kernels.battery``) so fixture trees
+    and scratch copies scope the same way the packaged source does.
+    """
+    path = pathlib.Path(path_str)
+    stem = path.stem
+    pkg: List[str] = []
+    directory = path.parent
+    try:
+        while (directory / "__init__.py").is_file():
+            pkg.append(directory.name)
+            parent = directory.parent
+            if parent == directory:
+                break
+            directory = parent
+    except OSError:  # pragma: no cover - unreadable ancestor
+        pkg = []
+    if pkg:
+        parts = list(reversed(pkg))
+        if stem != "__init__":
+            parts.append(stem)
+        return ".".join(parts)
+    parent_name = path.parent.name
+    if parent_name in ("", ".", ".."):
+        return stem
+    return f"{parent_name}.{stem}"
+
+
+def module_matches(module: str, suffix: str) -> bool:
+    """Whether dotted ``module`` is ``suffix`` or ends with ``.suffix``."""
+    return module == suffix or module.endswith("." + suffix)
+
+
+class _Imports:
+    """Import table with *relative imports resolved* against the module.
+
+    Unlike :class:`repro.lint.rules.base.ImportAliases` (which strips
+    leading dots because stdlib-name matching never meets them), the
+    call graph must resolve ``from ..obs import inc`` in
+    ``repro.core.engine`` to ``repro.obs.inc`` — intra-package edges are
+    the whole point.
+    """
+
+    def __init__(self, tree: ast.Module, module: str) -> None:
+        self.aliases: Dict[str, str] = {}
+        self.imported: List[Dict[str, Any]] = []
+        mod_parts = module.split(".")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    self.aliases[local] = target
+                    self.imported.append({"module": alias.name, "names": []})
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    anchor = (
+                        mod_parts[: -node.level]
+                        if len(mod_parts) >= node.level
+                        else []
+                    )
+                    base = ".".join(anchor + ([node.module] if node.module else []))
+                if not base:
+                    continue
+                names = [alias.name for alias in node.names]
+                self.imported.append({"module": base, "names": names})
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{base}.{alias.name}"
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        canonical = self.aliases.get(head)
+        if canonical is None:
+            return dotted
+        return f"{canonical}.{rest}" if rest else canonical
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Ownership:
+    """Local may-own analysis for one function's expressions.
+
+    Classifies an expression as ``"owned"`` (provably a fresh object the
+    caller allocated — safe for a callee to mutate), ``"param:<name>"``
+    (the value *is* / views one of this function's parameters, so
+    ownership is whatever the caller's caller granted), or ``"unknown"``.
+    Used at private-helper call sites so the project phase can prove
+    RL003 mutation candidates are kernel-owned scratch.
+    """
+
+    def __init__(self, func: ast.AST, imports: _Imports) -> None:
+        self._imports = imports
+        self.env: Dict[str, str] = {
+            name: f"param:{name}" for name in _parameter_names(func)
+        }
+        # Two passes: a loop body may bind a name before its textual
+        # definition site is reached on pass one.
+        for _ in range(2):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        self._bind(target.id, self.classify(node.value))
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if isinstance(node.target, ast.Name):
+                        self._bind(node.target.id, self.classify(node.value))
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if isinstance(node.target, ast.Name):
+                        # Iterating an array yields views of it.
+                        self._bind(node.target.id, self.classify(node.iter))
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        vars_ = item.optional_vars
+                        if isinstance(vars_, ast.Name):
+                            self._bind(vars_.id, "unknown")
+
+    def _bind(self, name: str, verdict: str) -> None:
+        if name.startswith("param:"):  # pragma: no cover - defensive
+            return
+        previous = self.env.get(name)
+        if previous is None or previous == verdict:
+            self.env[name] = verdict
+        else:
+            self.env[name] = "unknown"
+
+    def classify(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Constant):
+            return "owned"
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, "unknown")
+        if isinstance(node, ast.Starred):
+            return "unknown"
+        if isinstance(node, ast.Subscript):
+            return self.classify(node.value)  # a slice views its base
+        if isinstance(node, ast.Attribute):
+            if node.attr == "T":
+                return self.classify(node.value)
+            return "unknown"
+        if isinstance(node, (ast.BinOp, ast.Compare)):
+            return "owned"  # array arithmetic allocates its result
+        if isinstance(node, ast.UnaryOp):
+            return "owned"
+        if isinstance(node, ast.IfExp):
+            a = self.classify(node.body)
+            b = self.classify(node.orelse)
+            return a if a == b else "unknown"
+        if isinstance(node, ast.BoolOp):
+            verdicts = {self.classify(v) for v in node.values}
+            return verdicts.pop() if len(verdicts) == 1 else "unknown"
+        if isinstance(node, ast.Call):
+            return self._classify_call(node)
+        return "unknown"
+
+    def _classify_call(self, node: ast.Call) -> str:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _OWNED_METHODS:
+                return "owned"
+            if func.attr in _VIEW_METHODS:
+                return self.classify(func.value)
+        callee = self._imports.resolve(_dotted(func))
+        if callee is None:
+            return "unknown"
+        parts = callee.split(".")
+        if callee in _FRESH_SCALARS:
+            return "owned"
+        if parts[0] == "numpy":
+            leaf = parts[-1]
+            if leaf in _NP_VIEWING:
+                return self.classify(node.args[0]) if node.args else "unknown"
+            for keyword in node.keywords:
+                if keyword.arg == "out":
+                    return self.classify(keyword.value)
+            if leaf in _NP_FRESH:
+                return "owned"
+            # Any other numpy call without out= returns a fresh result.
+            return "owned"
+        return "unknown"
+
+
+def _is_shm_create(node: ast.Call, imports: _Imports) -> bool:
+    callee = imports.resolve(_dotted(node.func))
+    if callee is None or callee.split(".")[-1] != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _registry_declarations(tree: ast.Module) -> List[Dict[str, Any]]:
+    """``COUNTERS``/``GAUGES``/``EVENTS`` string literals with lines."""
+    kinds = {"COUNTERS": "counter", "GAUGES": "gauge", "EVENTS": "event"}
+    declarations: List[Dict[str, Any]] = []
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not (isinstance(target, ast.Name) and target.id in kinds):
+                continue
+            kind = kinds[target.id]
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    declarations.append(
+                        {"kind": kind, "name": sub.value, "line": sub.lineno}
+                    )
+    return declarations
+
+
+def _is_registry_file(path: str) -> bool:
+    parts = pathlib.PurePath(path).parts
+    return (
+        len(parts) >= 2
+        and parts[-1] == "metric_names.py"
+        and parts[-2] == "obs"
+    )
+
+
+class _Extractor(ast.NodeVisitor):
+    """One traversal collecting every fact; see :func:`extract_facts`."""
+
+    def __init__(self, file: SourceFile, module: str) -> None:
+        self.file = file
+        self.module = module
+        self.imports = _Imports(file.tree, module)
+        self.functions: List[Dict[str, Any]] = []
+        self.classes: List[Dict[str, Any]] = []
+        self.calls: List[Dict[str, Any]] = []
+        self.argsites: List[Dict[str, Any]] = []
+        self.rl001: List[Dict[str, Any]] = []
+        self.rl003_mut: List[Dict[str, Any]] = []
+        self.rl003_io: List[Dict[str, Any]] = []
+        self.rl003_import: List[Dict[str, Any]] = []
+        self.uses: List[Dict[str, Any]] = []
+        self.shm: List[Dict[str, Any]] = []
+        self._cls: Optional[str] = None
+        self._owner: Optional[str] = None  # outermost enclosing function
+        self._ownership: Optional[_Ownership] = None
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._owner is not None:
+            self.generic_visit(node)  # class-in-function: keep attribution
+            return
+        self.classes.append(self._class_facts(node))
+        previous = self._cls
+        self._cls = node.name
+        for child in node.body:
+            self.visit(child)
+        self._cls = previous
+
+    def _visit_function(self, node: ast.AST) -> None:
+        if self._owner is not None:
+            # Nested defs are attributed to their outermost function:
+            # their code only runs when the outer function does.
+            self._collect_mutations(node)
+            self.generic_visit(node)
+            return
+        qual = f"{self._cls}.{node.name}" if self._cls else node.name
+        self.functions.append(
+            {
+                "qual": qual,
+                "name": node.name,
+                "cls": self._cls,
+                "line": node.lineno,
+                "public": not node.name.startswith("_"),
+                "params": [
+                    a.arg for a in node.args.posonlyargs + node.args.args
+                ],
+            }
+        )
+        self._collect_mutations(node)
+        self._collect_shm(node, qual)
+        self._owner = qual
+        self._ownership = _Ownership(node, self.imports)
+        cls = self._cls
+        self._cls = None
+        self.generic_visit(node)
+        self._cls = cls
+        self._owner = None
+        self._ownership = None
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] == "multiprocessing":
+                self.rl003_import.append(
+                    {
+                        "line": node.lineno,
+                        "col": node.col_offset,
+                        "message": (
+                            f"kernel module imports {alias.name!r}; kernels "
+                            "run inside pool workers and must not spawn or "
+                            "coordinate processes"
+                        ),
+                    }
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if (node.module or "").split(".")[0] == "multiprocessing":
+            self.rl003_import.append(
+                {
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "message": (
+                        f"kernel module imports from {node.module!r}; kernels "
+                        "run inside pool workers and must not spawn or "
+                        "coordinate processes"
+                    ),
+                }
+            )
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        dotted = _dotted(func)
+        resolved = self.imports.resolve(dotted)
+        self._record_call_edge(node, func, dotted, resolved)
+        if resolved is not None:
+            message = determinism_violation(resolved)
+            if message is not None:
+                self.rl001.append(
+                    {
+                        "caller": self._owner,
+                        "line": node.lineno,
+                        "col": node.col_offset,
+                        "message": message,
+                    }
+                )
+            if resolved in _IO_CALLS or resolved.startswith(_IO_PREFIXES):
+                self.rl003_io.append(
+                    {
+                        "caller": self._owner,
+                        "line": node.lineno,
+                        "col": node.col_offset,
+                        "message": (
+                            f"kernel performs I/O via {resolved}(); kernels "
+                            "must be pure functions of their array arguments"
+                        ),
+                    }
+                )
+        self._record_metric_use(node, dotted)
+        self._record_argsite(node, dotted, resolved)
+        self.generic_visit(node)
+
+    def _record_call_edge(
+        self,
+        node: ast.Call,
+        func: ast.AST,
+        dotted: Optional[str],
+        resolved: Optional[str],
+    ) -> None:
+        edge: Optional[Dict[str, Any]] = None
+        if dotted is not None:
+            parts = dotted.split(".")
+            head = parts[0]
+            if head == "self" and len(parts) == 2 and self._effective_cls():
+                edge = {
+                    "kind": "self",
+                    "method": parts[1],
+                    "cls": self._effective_cls(),
+                }
+            elif len(parts) == 1 or head in self.imports.aliases:
+                edge = {"kind": "exact", "target": resolved}
+            elif parts[-1] not in GENERIC_METHODS:
+                edge = {"kind": "dyn", "method": parts[-1]}
+        elif isinstance(func, ast.Attribute):
+            if func.attr not in GENERIC_METHODS:
+                edge = {"kind": "dyn", "method": func.attr}
+        if edge is not None:
+            edge["caller"] = self._owner
+            edge["line"] = node.lineno
+            self.calls.append(edge)
+        # Function references handed as arguments (pool.submit(f, ...),
+        # callbacks) are edges too: the callee runs where the receiver
+        # decides, which for worker-plane code means inside the worker.
+        # Only names that can plausibly denote a function survive: bare
+        # names (resolved against this module's functions at project
+        # time) and dotted names rooted in an import.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if not isinstance(arg, (ast.Name, ast.Attribute)):
+                continue
+            arg_dotted = _dotted(arg)
+            if arg_dotted is None:
+                continue
+            head = arg_dotted.split(".")[0]
+            if "." in arg_dotted and head not in self.imports.aliases:
+                continue  # attribute of a local object, not a function ref
+            self.calls.append(
+                {
+                    "kind": "ref",
+                    "target": self.imports.resolve(arg_dotted),
+                    "caller": self._owner,
+                    "line": node.lineno,
+                }
+            )
+
+    def _effective_cls(self) -> Optional[str]:
+        if self._cls is not None:
+            return self._cls
+        if self._owner is not None and "." in self._owner:
+            return self._owner.split(".")[0]
+        return None
+
+    def _record_metric_use(self, node: ast.Call, dotted: Optional[str]) -> None:
+        if not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return
+        kind: Optional[str] = None
+        if dotted is not None and _API_KINDS.get(dotted.split(".")[-1]):
+            kind = _API_KINDS[dotted.split(".")[-1]]
+        elif _is_bus_emit(node):
+            kind = "event"
+        elif dotted is not None and dotted.split(".")[-1] == "_emit":
+            # Private emission wrappers (SweepEngine._emit) forward their
+            # literal kind to the bus; RL007's receiver gate skips them,
+            # but the census must count them as uses or every event they
+            # emit would read as dead.
+            kind = "event"
+        if kind is not None:
+            self.uses.append(
+                {
+                    "kind": kind,
+                    "name": first.value,
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                }
+            )
+
+    def _record_argsite(
+        self, node: ast.Call, dotted: Optional[str], resolved: Optional[str]
+    ) -> None:
+        if resolved is None or self._ownership is None:
+            return
+        if not resolved.split(".")[-1].startswith("_"):
+            return  # ownership exemption only ever applies to private helpers
+        if not (node.args or node.keywords):
+            return
+        args = [self._ownership.classify(arg) for arg in node.args]
+        kwargs = {
+            kw.arg: self._ownership.classify(kw.value)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        starred = any(isinstance(arg, ast.Starred) for arg in node.args) or any(
+            kw.arg is None for kw in node.keywords
+        )
+        self.argsites.append(
+            {
+                "caller": self._owner,
+                "callee": resolved,
+                "args": args,
+                "kwargs": kwargs,
+                "starred": starred,
+                "line": node.lineno,
+            }
+        )
+
+    # -- per-function candidate collection ---------------------------------
+
+    def _collect_mutations(self, func: ast.AST) -> None:
+        tracked = _parameter_names(func) - _rebound_names(func)
+        if not tracked:
+            return
+        params = [a.arg for a in func.args.posonlyargs + func.args.args]
+        owner = self._owner or (
+            f"{self._cls}.{func.name}" if self._cls else func.name
+        )
+        for node in func.body:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign):
+                    targets = sub.targets
+                elif isinstance(sub, ast.AugAssign):
+                    targets = [sub.target]
+                else:
+                    continue
+                for target in targets:
+                    base = (
+                        target
+                        if isinstance(target, ast.Name)
+                        and isinstance(sub, ast.AugAssign)
+                        else _subscript_base(target)
+                    )
+                    if base is None or base.id not in tracked:
+                        continue
+                    kind = (
+                        "augmented-assigns to"
+                        if isinstance(sub, ast.AugAssign)
+                        else "writes into"
+                    )
+                    self.rl003_mut.append(
+                        {
+                            "owner": owner,
+                            "func": func.name,
+                            "private": func.name.startswith("_"),
+                            "param": base.id,
+                            "index": (
+                                params.index(base.id)
+                                if base.id in params
+                                else -1
+                            ),
+                            "line": sub.lineno,
+                            "col": sub.col_offset,
+                            "message": (
+                                f"kernel {func.name!r} {kind} parameter "
+                                f"{base.id!r}; parameter arrays may be "
+                                "read-only shared-memory views and must "
+                                "never be mutated"
+                            ),
+                        }
+                    )
+
+    # -- class facts for ownership transfer --------------------------------
+
+    def _class_facts(self, node: ast.ClassDef) -> Dict[str, Any]:
+        methods = []
+        init_params: List[str] = []
+        attr_by_param: Dict[str, str] = {}
+        unlink_methods: List[Dict[str, Any]] = []
+        for child in node.body:
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            methods.append(child.name)
+            if child.name == "__init__":
+                init_params = [
+                    a.arg for a in child.args.posonlyargs + child.args.args
+                ]
+                for stmt in ast.walk(child):
+                    if not isinstance(stmt, ast.Assign):
+                        continue
+                    if not isinstance(stmt.value, ast.Name):
+                        continue
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            attr_by_param[stmt.value.id] = target.attr
+            if child.name in ("unlink", "close", "__exit__"):
+                attrs = sorted(
+                    {
+                        sub.attr
+                        for sub in ast.walk(child)
+                        if isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                    }
+                )
+                has_unlink = any(
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "unlink"
+                    for sub in ast.walk(child)
+                )
+                unlink_methods.append(
+                    {"name": child.name, "attrs": attrs, "unlinks": has_unlink}
+                )
+        return {
+            "name": node.name,
+            "line": node.lineno,
+            "methods": methods,
+            "init_params": init_params,
+            "attr_by_param": attr_by_param,
+            "unlink_methods": unlink_methods,
+        }
+
+    # -- shared-memory creation shapes -------------------------------------
+
+    def _collect_shm(self, func: ast.AST, qual: str) -> None:
+        creations: List[Tuple[ast.Call, Optional[str]]] = []
+        managed: List[ast.Call] = []
+        finally_unlink = False
+        stack: List[ast.AST] = list(func.body)
+        nodes: List[ast.AST] = []
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scopes own their creations
+            stack.extend(ast.iter_child_nodes(node))
+        for node in nodes:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        managed.append(item.context_expr)
+            elif isinstance(node, ast.Try) and node.finalbody:
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "unlink"
+                        ):
+                            finally_unlink = True
+        for node in nodes:
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _is_shm_create(node.value, self.imports):
+                    var = (
+                        node.targets[0].id
+                        if len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        else None
+                    )
+                    creations.append((node.value, var))
+            elif isinstance(node, ast.Call) and _is_shm_create(
+                node, self.imports
+            ):
+                if not any(
+                    isinstance(parent, ast.Assign)
+                    and parent.value is node
+                    for parent in nodes
+                ):
+                    creations.append((node, None))
+        for call, var in creations:
+            record: Dict[str, Any] = {
+                "scope": qual,
+                "line": call.lineno,
+                "col": call.col_offset,
+                "var": var,
+                "managed": call in managed,
+                "finally_unlink": finally_unlink,
+                "error_unlink": False,
+                "returned_bare": False,
+                "transfers": [],
+            }
+            if var is not None:
+                for node in nodes:
+                    if isinstance(node, ast.ExceptHandler):
+                        for sub in ast.walk(node):
+                            if (
+                                isinstance(sub, ast.Call)
+                                and isinstance(sub.func, ast.Attribute)
+                                and sub.func.attr == "unlink"
+                                and isinstance(sub.func.value, ast.Name)
+                                and sub.func.value.id == var
+                            ):
+                                record["error_unlink"] = True
+                    elif isinstance(node, ast.Return):
+                        if (
+                            isinstance(node.value, ast.Name)
+                            and node.value.id == var
+                        ):
+                            record["returned_bare"] = True
+                    elif isinstance(node, ast.Call) and node is not call:
+                        callee = self.imports.resolve(_dotted(node.func))
+                        if callee is None:
+                            continue
+                        for index, arg in enumerate(node.args):
+                            if isinstance(arg, ast.Name) and arg.id == var:
+                                record["transfers"].append(
+                                    {
+                                        "callee": callee,
+                                        "index": index,
+                                        "kw": None,
+                                        "line": node.lineno,
+                                    }
+                                )
+                        for kw in node.keywords:
+                            if (
+                                isinstance(kw.value, ast.Name)
+                                and kw.value.id == var
+                                and kw.arg is not None
+                            ):
+                                record["transfers"].append(
+                                    {
+                                        "callee": callee,
+                                        "index": None,
+                                        "kw": kw.arg,
+                                        "line": node.lineno,
+                                    }
+                                )
+            self.shm.append(record)
+
+
+def extract_facts(file: SourceFile) -> Dict[str, Any]:
+    """The complete JSON-serializable fact record for one parsed file."""
+    module = module_name_for_path(file.path)
+    extractor = _Extractor(file, module)
+    extractor.visit(file.tree)
+    # A bare-name ref can only denote one of this module's own functions;
+    # drop the ones that don't (ordinary variables passed as arguments).
+    local_functions = {f["name"] for f in extractor.functions}
+    extractor.calls = [
+        call
+        for call in extractor.calls
+        if not (
+            call["kind"] == "ref"
+            and "." not in call["target"]
+            and call["target"] not in local_functions
+        )
+    ]
+    suppressed = suppressed_lines(file.source, file.tree)
+    return {
+        "version": FACTS_VERSION,
+        "path": file.path,
+        "module": module,
+        "imports": extractor.imports.imported,
+        "functions": extractor.functions,
+        "classes": extractor.classes,
+        "calls": extractor.calls,
+        "argsites": extractor.argsites,
+        "rl001": extractor.rl001,
+        "rl003_mut": extractor.rl003_mut,
+        "rl003_io": extractor.rl003_io,
+        "rl003_import": extractor.rl003_import,
+        "uses": extractor.uses,
+        "decls": (
+            _registry_declarations(file.tree)
+            if _is_registry_file(file.path)
+            else []
+        ),
+        "shm": extractor.shm,
+        "suppressed": {
+            str(line): sorted(codes) for line, codes in suppressed.items()
+        },
+    }

@@ -4,14 +4,21 @@ Each rule is registered once in :data:`ALL_RULES`; the engine and the CLI
 resolve ``--select``/``--ignore`` through :func:`get_rules`.  Adding a
 rule is: write the module, add the class here, add a fixture pair under
 ``tests/lint/fixtures/`` (see DESIGN.md "Static analysis").
+
+Rules come in two phases (see :class:`~repro.lint.rules.base.Rule`):
+*file* rules see one parsed file and their findings are cached per
+content hash; *project* rules run over the whole-program
+:class:`~repro.lint.graph.Project` model on every run.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from .base import Rule
+from .base import ProjectRule, Rule
+from .census import MetricCensusRule
 from .determinism import DeterminismRule
+from .dispatch_hygiene import DispatchHygieneRule
 from .events import EventNamesRule
 from .exceptions import ExceptionHygieneRule
 from .float_equality import FloatEqualityRule
@@ -19,6 +26,7 @@ from .kernel_purity import KernelPurityRule
 from .metric_names import MetricNamesRule
 from .pool_confinement import PoolConfinementRule
 from .shm_lifecycle import ShmLifecycleRule
+from .shm_ownership import ShmOwnershipRule
 
 #: Every rule the checker knows, in report order.
 ALL_RULES: Tuple[type, ...] = (
@@ -30,6 +38,9 @@ ALL_RULES: Tuple[type, ...] = (
     ExceptionHygieneRule,
     EventNamesRule,
     PoolConfinementRule,
+    MetricCensusRule,
+    ShmOwnershipRule,
+    DispatchHygieneRule,
 )
 
 
@@ -40,6 +51,21 @@ class UnknownRuleError(ValueError):
         known = ", ".join(cls.code for cls in ALL_RULES)
         super().__init__(f"unknown rule {code!r} (known rules: {known})")
         self.code = code
+
+
+class EmptySelectionError(ValueError):
+    """The select/ignore combination left zero rules to run.
+
+    A lint invocation that checks nothing and exits 0 is the silent
+    cousin of a typo'd rule code — the caller believes the tree was
+    checked.  Raised loudly instead (the CLI maps it to exit 2).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "rule selection is empty: --select/--ignore left no rules to "
+            "run, so nothing would be checked"
+        )
 
 
 def _validate(codes: Optional[Iterable[str]]) -> Optional[List[str]]:
@@ -63,7 +89,8 @@ def get_rules(
     from whatever ``select`` produced.  Unknown codes raise
     :class:`UnknownRuleError` — a typo'd ``--ignore RL0O1`` silently
     running every rule would be exactly the failure mode this linter
-    exists to prevent.
+    exists to prevent.  A combination that leaves *zero* rules raises
+    :class:`EmptySelectionError` for the same reason.
     """
     selected = _validate(select)
     ignored = set(_validate(ignore) or ())
@@ -74,11 +101,15 @@ def get_rules(
         if cls.code in ignored:
             continue
         rules.append(cls())
+    if not rules:
+        raise EmptySelectionError()
     return rules
 
 
 __all__ = [
     "ALL_RULES",
+    "EmptySelectionError",
+    "ProjectRule",
     "Rule",
     "UnknownRuleError",
     "get_rules",
@@ -90,4 +121,7 @@ __all__ = [
     "ExceptionHygieneRule",
     "EventNamesRule",
     "PoolConfinementRule",
+    "MetricCensusRule",
+    "ShmOwnershipRule",
+    "DispatchHygieneRule",
 ]

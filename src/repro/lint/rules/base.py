@@ -25,12 +25,21 @@ from ..findings import Finding, Severity, SourceFile
 
 
 class Rule:
-    """Base class for one invariant check."""
+    """Base class for one invariant check.
+
+    ``phase`` is ``"file"`` for rules that see one parsed file at a time
+    (and whose findings the incremental cache can therefore reuse
+    verbatim while the file's content hash is unchanged) and
+    ``"project"`` for whole-program rules that run over the
+    :class:`~repro.lint.graph.Project` model after every file's facts
+    are in hand.
+    """
 
     code: str = "RL000"
     name: str = "base"
     severity: Severity = Severity.ERROR
     description: str = ""
+    phase: str = "file"
 
     def applies_to(self, file: SourceFile) -> bool:
         """Whether this rule inspects ``file`` at all (path scoping)."""
@@ -46,6 +55,41 @@ class Rule:
             path=file.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+            severity=self.severity.value,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    A project rule never sees raw ASTs: it queries the
+    :class:`~repro.lint.graph.Project` built from every linted file's
+    extracted facts (module graph, call graph, reachability universes)
+    and yields findings anchored back into individual files.  The
+    engine recomputes project rules on every run — their *inputs* are
+    cached per file, their *verdicts* are not, because a change to one
+    file can alter the reachability of files that never import it.
+    """
+
+    phase = "project"
+
+    def check(self, file: SourceFile) -> Iterator[Finding]:
+        return iter(())  # project rules run in the project phase only
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings across the whole project.  Must override."""
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """A :class:`Finding` at an explicit location for this rule."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
             rule=self.code,
             message=message,
             severity=self.severity.value,

@@ -1,0 +1,103 @@
+"""RL009 — metric-name census: the registry and the code agree exactly.
+
+RL004/RL007 already check each *use* against the registry one file at a
+time.  What no file-local rule can check is the converse: a name the
+registry declares that **nothing emits** is dead weight — a dashboard
+panel that will stay blank forever, documentation of telemetry that
+does not exist.  And an emission of an *undeclared* name (reachable
+only when a file slips outside RL004's per-file scope) is telemetry no
+dashboard will ever find.
+
+This project rule runs the census over every linted file at once:
+
+* every counter/gauge name in ``COUNTERS``/``GAUGES`` and every event
+  name in ``EVENTS`` (``obs/metric_names.py``) must have at least one
+  emission site somewhere in the project — dead declarations are
+  flagged *at their declaration line* in the registry;
+* every emission must name a declared metric/event — undeclared uses
+  are flagged at the use site.
+
+Histogram names are pattern-matched (``span.*.seconds``) and therefore
+out of census scope — the set of concrete span names is open by design.
+Counters and gauges share one namespace (both are declared in the same
+registry and read through the same snapshot), so a name declared as a
+counter and emitted via a gauge API still counts as emitted — RL004
+polices per-API kind mismatches.
+
+The census only runs when the registry module itself is part of the
+linted file set: linting a lone subdirectory must not report every
+registry name as dead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ProjectRule
+
+
+class MetricCensusRule(ProjectRule):
+    code = "RL009"
+    name = "metric-census"
+    description = (
+        "every registry metric/event name is emitted somewhere and every "
+        "emission is declared (whole-program census)"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        registries = [
+            facts
+            for facts in project.modules.values()
+            if facts["decls"]
+        ]
+        if not registries:
+            return
+        declared_metrics = set()
+        declared_events = set()
+        for facts in registries:
+            for decl in facts["decls"]:
+                if decl["kind"] == "event":
+                    declared_events.add(decl["name"])
+                else:
+                    declared_metrics.add(decl["name"])
+        used_metrics = set()
+        used_events = set()
+        for facts in project.modules.values():
+            for use in facts["uses"]:
+                if use["kind"] == "histogram":
+                    continue  # pattern-declared; out of census scope
+                if use["kind"] == "event":
+                    used_events.add(use["name"])
+                else:
+                    used_metrics.add(use["name"])
+        for facts in registries:
+            for decl in facts["decls"]:
+                used = used_events if decl["kind"] == "event" else used_metrics
+                if decl["name"] not in used:
+                    yield self.project_finding(
+                        facts["path"],
+                        decl["line"],
+                        0,
+                        f"{decl['kind']} {decl['name']!r} is declared in the "
+                        "registry but never emitted anywhere in the linted "
+                        "tree; delete it or wire up its emission site",
+                    )
+        for facts in project.modules.values():
+            for use in facts["uses"]:
+                if use["kind"] == "histogram":
+                    continue  # pattern-declared; out of census scope
+                declared = (
+                    declared_events
+                    if use["kind"] == "event"
+                    else declared_metrics
+                )
+                if use["name"] not in declared:
+                    yield self.project_finding(
+                        facts["path"],
+                        use["line"],
+                        use["col"],
+                        f"{use['kind']} {use['name']!r} is emitted here but "
+                        "declared nowhere in the registry; add it to "
+                        "obs/metric_names.py or fix the name",
+                    )

@@ -5,10 +5,23 @@ serial == parallel == shared-memory == resumed-from-checkpoint, and the
 checkpoint fingerprint is a pure function of (site, seed, space,
 strategy).  A single ``time.time()`` or unseeded ``random``/``np.random``
 global-state call inside worker-reachable code silently breaks all four
-equalities, so this rule bans them mechanically in the packages a sweep
-worker can reach: ``kernels``, ``core``, and everything
-``evaluate_design`` fans out to (``battery``, ``scheduling``, ``carbon``,
-``datacenter``, ``grid``, ``forecast``, ``timeseries``).
+equalities.
+
+This is a *project* rule: instead of guessing which directories a worker
+can reach, it asks the :class:`~repro.lint.graph.Project` for the real
+reachability universes — the call-graph closure of the pool entry points
+(``_init_worker``/``_evaluate_chunk`` in ``core.engine``) and of the
+kernel entry points (every function a ``kernels`` module defines).  A
+wall-clock call in a function *no worker or kernel can reach* is not a
+determinism hazard and is left to code review; the same call three hops
+into the worker's call graph fails the build, whatever directory it
+lives in.  Module-level calls are flagged when their module is in the
+worker's import closure (they run at worker import time) or is a
+kernels module.
+
+The ``obs`` package is a documented barrier: the tracer/event plane
+legitimately reads the wall clock, and nothing it returns feeds a
+result (telemetry flows out of the sweep, never back in).
 
 Explicitly seeded randomness stays legal: ``np.random.default_rng(seed)``
 and ``random.Random(seed)`` construct private generators and are how the
@@ -18,24 +31,10 @@ synthetic grid/demand models are *supposed* to draw their noise.
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
-from ..findings import Finding, SourceFile
-from .base import ImportAliases, Rule
-
-#: Directories a sweep worker's call graph can reach.
-WORKER_REACHABLE_DIRS = (
-    "kernels",
-    "core",
-    "battery",
-    "scheduling",
-    "carbon",
-    "datacenter",
-    "grid",
-    "forecast",
-    "timeseries",
-)
+from ..findings import Finding
+from .base import ProjectRule
 
 #: Wall-clock reads whose value could leak into results.
 _CLOCK_CALLS = frozenset(
@@ -112,52 +111,66 @@ _GLOBAL_NP_RANDOM = frozenset(
 )
 
 
-class DeterminismRule(Rule):
+def determinism_violation(callee: str) -> Optional[str]:
+    """Violation message for a canonical dotted callee, or ``None``.
+
+    Pure classification — scoping (is the call site actually reachable
+    from a worker or kernel?) is the project phase's business.  The fact
+    extractor records a candidate for every hit; most are discarded.
+    """
+    if callee in _CLOCK_CALLS:
+        return (
+            f"{callee}() reads the wall clock inside sweep-reachable "
+            "code; results must be pure functions of (site, seed, "
+            "space, strategy)"
+        )
+    for suffix in _NOW_SUFFIXES:
+        if callee == suffix or callee.endswith("." + suffix):
+            return (
+                f"{callee}() depends on the current date inside "
+                "sweep-reachable code; pass timestamps in explicitly"
+            )
+    head, _, tail = callee.rpartition(".")
+    if head == "random" and tail in _GLOBAL_RANDOM:
+        return (
+            f"random.{tail}() draws from the unseeded global RNG; use "
+            "an explicit random.Random(seed) instance"
+        )
+    if head in ("numpy.random", "np.random") and tail in _GLOBAL_NP_RANDOM:
+        return (
+            f"{callee}() draws from numpy's global RandomState; use "
+            "np.random.default_rng(seed)"
+        )
+    return None
+
+
+class DeterminismRule(ProjectRule):
     code = "RL001"
     name = "determinism"
     description = (
         "no wall-clock (time.time, datetime.now) or global-state RNG "
-        "(random.*, np.random.*) calls in sweep-reachable code"
+        "(random.*, np.random.*) calls reachable from pool workers or "
+        "kernels"
     )
 
-    def applies_to(self, file: SourceFile) -> bool:
-        return file.in_directory(*WORKER_REACHABLE_DIRS)
-
-    def check(self, file: SourceFile) -> Iterator[Finding]:
-        aliases = ImportAliases(file.tree)
-        for node in ast.walk(file.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            callee = aliases.resolve_call(node)
-            if callee is None:
-                continue
-            message = self._violation(callee)
-            if message is not None:
-                yield self.finding(file, node, message)
-
-    @staticmethod
-    def _violation(callee: str) -> "str | None":
-        if callee in _CLOCK_CALLS:
-            return (
-                f"{callee}() reads the wall clock inside sweep-reachable "
-                "code; results must be pure functions of (site, seed, "
-                "space, strategy)"
-            )
-        for suffix in _NOW_SUFFIXES:
-            if callee == suffix or callee.endswith("." + suffix):
-                return (
-                    f"{callee}() depends on the current date inside "
-                    "sweep-reachable code; pass timestamps in explicitly"
-                )
-        head, _, tail = callee.rpartition(".")
-        if head == "random" and tail in _GLOBAL_RANDOM:
-            return (
-                f"random.{tail}() draws from the unseeded global RNG; use "
-                "an explicit random.Random(seed) instance"
-            )
-        if head in ("numpy.random", "np.random") and tail in _GLOBAL_NP_RANDOM:
-            return (
-                f"{callee}() draws from numpy's global RandomState; use "
-                "np.random.default_rng(seed)"
-            )
-        return None
+    def check_project(self, project) -> Iterator[Finding]:
+        worker_modules, worker_functions = project.worker_universe()
+        kernel_modules, kernel_functions = project.kernel_universe()
+        live = worker_functions | kernel_functions
+        for module, facts in project.modules.items():
+            path = facts["path"]
+            in_worker_import = module in worker_modules
+            is_kernel_module = module in kernel_modules
+            for cand in facts["rl001"]:
+                caller = cand["caller"]
+                if caller is None:
+                    # Module-level code runs when the module is imported
+                    # — inside every worker for the worker closure, and
+                    # at kernel import for kernels modules.
+                    hit = in_worker_import or is_kernel_module
+                else:
+                    hit = (module, caller) in live
+                if hit:
+                    yield self.project_finding(
+                        path, cand["line"], cand["col"], cand["message"]
+                    )

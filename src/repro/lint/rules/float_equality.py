@@ -17,12 +17,18 @@ constant (``x == 0.0``), a negated float constant (``x != -1.5``), or a
 ``float(...)`` call (``hours == float("inf")``).  Name-vs-name
 comparisons pass; the blessed helpers exist so reviewers can hold that
 line in review.
+
+Comparisons inside ``assert`` statements are exempt: a test asserting
+``result == 4.0`` *wants* bitwise equality — an unintended ULP drift is
+exactly what the assertion exists to catch, and pytest's rewritten
+report shows both values when it trips.  The tolerance-bug failure mode
+this rule hunts (a branch silently not taken) cannot hide in an assert.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Set
 
 from ..findings import Finding, SourceFile
 from .base import Rule, dotted_name
@@ -47,9 +53,15 @@ class FloatEqualityRule(Rule):
     )
 
     def check(self, file: SourceFile) -> Iterator[Finding]:
+        asserted: Set[ast.AST] = set()
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Assert):
+                asserted.update(ast.walk(node))
         for node in ast.walk(file.tree):
             if not isinstance(node, ast.Compare):
                 continue
+            if node in asserted:
+                continue  # asserts want bitwise equality — see docstring
             if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
                 continue
             operands = [node.left] + list(node.comparators)

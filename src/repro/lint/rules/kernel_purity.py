@@ -15,9 +15,23 @@ workers (PR 4) — rests on three properties this rule enforces:
   dependency on the filesystem or an interleaved-output mess across
   worker processes.
 
+This is a *project* rule.  The mutation/I-O ban applies to the **kernel
+universe**: every function a ``kernels`` module defines plus everything
+those functions call (a helper the kernel fans out to is just as capable
+of corrupting a shared trace, whatever file it lives in).  The import
+ban applies to kernels modules themselves.
+
 Rebinding a parameter name to a fresh object (``demand = demand.copy()``)
 ends tracking for that name: mutations of the copy are the kernel's own
-business.
+business.  Beyond that, the project phase proves **ownership
+exemptions**: a *private* helper's parameter may be mutated when every
+project call site passes it provably caller-owned scratch — a fresh
+``np.empty``/``np.zeros`` allocation, a view of one, or a fresh scalar —
+directly or through another exempt parameter (a greatest fixpoint over
+the call graph).  Such scratch is by construction not a shared-memory
+view, so the helper filling it in place is the whole point of passing
+it.  Public kernel entry points get no exemption: their callers are
+outside the analyzed world.
 """
 
 from __future__ import annotations
@@ -25,8 +39,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Set, Union
 
-from ..findings import Finding, SourceFile
-from .base import ImportAliases, Rule
+from ..findings import Finding
+from .base import ProjectRule
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
@@ -90,87 +104,45 @@ def _subscript_base(node: ast.AST) -> "ast.Name | None":
     return node if isinstance(node, ast.Name) else None
 
 
-class KernelPurityRule(Rule):
+class KernelPurityRule(ProjectRule):
     code = "RL003"
     name = "kernel-purity"
     description = (
-        "kernels may not mutate parameter arrays, import multiprocessing, "
+        "kernel-reachable functions may not mutate parameter arrays "
+        "(unless provably caller-owned scratch), import multiprocessing, "
         "or perform I/O"
     )
 
-    def applies_to(self, file: SourceFile) -> bool:
-        return file.in_directory("kernels")
-
-    def check(self, file: SourceFile) -> Iterator[Finding]:
-        aliases = ImportAliases(file.tree)
-        for node in ast.walk(file.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    root = alias.name.split(".")[0]
-                    if root in _BANNED_IMPORTS:
-                        yield self.finding(
-                            file,
-                            node,
-                            f"kernel module imports {alias.name!r}; kernels "
-                            "run inside pool workers and must not spawn or "
-                            "coordinate processes",
-                        )
-            elif isinstance(node, ast.ImportFrom):
-                root = (node.module or "").split(".")[0]
-                if root in _BANNED_IMPORTS:
-                    yield self.finding(
-                        file,
-                        node,
-                        f"kernel module imports from {node.module!r}; kernels "
-                        "run inside pool workers and must not spawn or "
-                        "coordinate processes",
+    def check_project(self, project) -> Iterator[Finding]:
+        kernel_modules, kernel_functions = project.kernel_universe()
+        owned = project.owned_params()
+        for module, facts in project.modules.items():
+            path = facts["path"]
+            is_kernel_module = module in kernel_modules
+            if is_kernel_module:
+                for cand in facts["rl003_import"]:
+                    yield self.project_finding(
+                        path, cand["line"], cand["col"], cand["message"]
                     )
-            elif isinstance(node, ast.Call):
-                callee = aliases.resolve_call(node)
-                if callee in _IO_CALLS or (
-                    callee is not None
-                    and callee.startswith(_IO_PREFIXES)
-                ):
-                    yield self.finding(
-                        file,
-                        node,
-                        f"kernel performs I/O via {callee}(); kernels must be "
-                        "pure functions of their array arguments",
+            for cand in facts["rl003_io"]:
+                caller = cand["caller"]
+                if caller is None:
+                    hit = is_kernel_module
+                else:
+                    hit = (module, caller) in kernel_functions
+                if hit:
+                    yield self.project_finding(
+                        path, cand["line"], cand["col"], cand["message"]
                     )
-            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                for found in self._check_mutations(file, node):
-                    yield found
-
-    def _check_mutations(
-        self, file: SourceFile, func: _FunctionNode
-    ) -> Iterator[Finding]:
-        tracked = _parameter_names(func) - _rebound_names(func)
-        if not tracked:
-            return
-        for node in ast.walk(func):
-            if isinstance(node, ast.Assign):
-                targets = node.targets
-            elif isinstance(node, ast.AugAssign):
-                targets = [node.target]
-            else:
-                continue
-            for target in targets:
-                base = (
-                    target
-                    if isinstance(target, ast.Name)
-                    and isinstance(node, ast.AugAssign)
-                    else _subscript_base(target)
+            for cand in facts["rl003_mut"]:
+                if (module, cand["owner"]) not in kernel_functions:
+                    continue
+                if cand["private"] and (
+                    module,
+                    cand["func"],
+                    cand["param"],
+                ) in owned:
+                    continue  # proven caller-owned scratch
+                yield self.project_finding(
+                    path, cand["line"], cand["col"], cand["message"]
                 )
-                if base is not None and base.id in tracked:
-                    kind = (
-                        "augmented-assigns to"
-                        if isinstance(node, ast.AugAssign)
-                        else "writes into"
-                    )
-                    yield self.finding(
-                        file,
-                        node,
-                        f"kernel {func.name!r} {kind} parameter "
-                        f"{base.id!r}; parameter arrays may be read-only "
-                        "shared-memory views and must never be mutated",
-                    )

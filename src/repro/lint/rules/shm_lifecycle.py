@@ -8,11 +8,14 @@ trace plane") is that the *creating function* pins the lifecycle: the
 creation must sit inside a ``with`` block, or the same function must
 contain an ``.unlink()`` call in a ``try``/``finally``.
 
-Functions that intentionally transfer ownership (``share_context`` hands
-the live segment to ``SharedSiteContext``, whose ``unlink`` the optimizer
-calls in its own ``finally``) carry an explicit suppression with the
-justification — the transfer is invisible to static analysis and *should*
-require a human-written why.
+The owner modules (``core/shm.py``, ``core/engine.py``) intentionally
+*transfer* ownership — ``share_context`` hands the live segment to
+``SharedSiteContext``, whose ``unlink`` the optimizer calls in its own
+``finally``.  That shape is invisible to this file-local rule, so those
+modules are excluded here and policed by RL010 instead, which follows
+the transfer through the project call graph and verifies the receiving
+class really unlinks.  A blanket suppression is no longer needed — or
+accepted — for them.
 """
 
 from __future__ import annotations
@@ -82,8 +85,15 @@ class ShmLifecycleRule(Rule):
     name = "shm-lifecycle"
     description = (
         "SharedMemory(create=True) requires a matching unlink() in a "
-        "finally block or context manager in the same function"
+        "finally block or context manager in the same function "
+        "(owner modules are policed by RL010 instead)"
     )
+
+    def applies_to(self, file: SourceFile) -> bool:
+        from ..graph.facts import module_name_for_path
+        from .shm_ownership import is_owner_module
+
+        return not is_owner_module(module_name_for_path(file.path))
 
     def check(self, file: SourceFile) -> Iterator[Finding]:
         aliases = ImportAliases(file.tree)

@@ -1,7 +1,7 @@
 """Inline suppression directives: ``# repro-lint: disable=RULE``.
 
-A finding is suppressed when the physical line it is reported on carries
-a disable comment naming its rule (or ``all``)::
+A finding is suppressed when the statement it is reported on carries a
+disable comment naming its rule (or ``all``)::
 
     if energy == capacity_mwh:  # repro-lint: disable=RL005 — exact rail check
 
@@ -12,17 +12,39 @@ without a *why* is a smell (see DESIGN.md "Static analysis").
 
 Directives are extracted from real comment tokens via :mod:`tokenize`, so
 a ``repro-lint:`` inside a string literal never suppresses anything.
+
+A directive covers its *statement's* full line span, not just its
+physical line: a call spelled over four lines is suppressed by a comment
+on any of them, and a decorated ``def`` is suppressed by a comment on
+the decorator or the header.  Compound statements (``def``, ``if``,
+``with``, …) span only their header lines — a directive on a ``def``
+line must not blanket the whole body.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 #: Sentinel rule name matching every rule on the line.
 ALL_RULES = "all"
+
+#: Statements whose body must NOT inherit a header directive.
+_COMPOUND = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
 
 _DIRECTIVE = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
@@ -37,8 +59,42 @@ def parse_directive(comment: str) -> FrozenSet[str]:
     return frozenset(code.strip() for code in match.group(1).split(","))
 
 
-def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+def _statement_spans(tree: ast.AST) -> "list[tuple[int, int]]":
+    """``(first, last)`` physical-line spans of every statement.
+
+    Simple statements span their full ``lineno..end_lineno``.  Compound
+    statements span from their first decorator (if any) to the line
+    before their body starts, clamped to at least the header line — so a
+    directive anywhere on a decorated/multi-line header reaches findings
+    anchored anywhere on it, without blanketing the body.
+    """
+    spans = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        first = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            first = min([first] + [d.lineno for d in decorators])
+        if isinstance(node, _COMPOUND):
+            body = getattr(node, "body", None)
+            last = body[0].lineno - 1 if body else node.lineno
+            last = max(last, node.lineno)
+        else:
+            last = getattr(node, "end_lineno", None) or node.lineno
+        if last > first:  # single-line spans add nothing
+            spans.append((first, last))
+    return spans
+
+
+def suppressed_lines(
+    source: str, tree: Optional[ast.AST] = None
+) -> Dict[int, FrozenSet[str]]:
     """Map of line number to the rule codes disabled on that line.
+
+    With ``tree`` (the file's parsed AST), each directive is widened to
+    its statement's full line span — see the module docstring.  Without
+    it, only the directive's own physical line is covered.
 
     Tokenization errors (the file may be unparseable or use an encoding
     trick) degrade to "no suppressions" — the engine reports the parse
@@ -57,6 +113,20 @@ def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
                 suppressions[line] = suppressions.get(line, frozenset()) | codes
     except (tokenize.TokenError, SyntaxError, IndentationError, ValueError):
         return {}
+    if tree is not None and suppressions:
+        for first, last in _statement_spans(tree):
+            span_codes = frozenset().union(
+                *(
+                    suppressions.get(line, frozenset())
+                    for line in range(first, last + 1)
+                )
+            )
+            if not span_codes:
+                continue
+            for line in range(first, last + 1):
+                suppressions[line] = (
+                    suppressions.get(line, frozenset()) | span_codes
+                )
     return suppressions
 
 

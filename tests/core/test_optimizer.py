@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.timeseries.stats import is_exact_zero
+
 from repro.core import (
     DesignSpace,
     Strategy,
@@ -42,7 +44,7 @@ class TestOptimize:
         (which pays full grid-intensity operational carbon)."""
         result = optimize(context, small_space, Strategy.RENEWABLES_ONLY)
         do_nothing = next(
-            e for e in result.evaluations if e.design.investment.total_mw == 0.0
+            e for e in result.evaluations if is_exact_zero(e.design.investment.total_mw)
         )
         assert result.best.total_tons <= do_nothing.total_tons
 

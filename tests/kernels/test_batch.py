@@ -420,13 +420,13 @@ def ref_fifo_walk(entries, budget, queued):
     left = np.array(entries, copy=True)
     executed = 0.0
     for k, amount in enumerate(entries):
-        if amount == 0.0:
+        if amount == 0.0:  # repro-lint: disable=RL005 — exact sentinel; emptied lanes hold exact zeros
             continue
         if budget - executed <= _EPSILON_MWH:
             break
         take = min(amount, budget - executed)
         executed += take
-        queued -= take
+        queued -= take  # repro-lint: disable=RL003 — scalar fold accumulator, returned to the caller
         left[k] = 0.0 if take >= amount - _EPSILON_MWH else amount - take
     return left, executed, queued
 

@@ -90,8 +90,8 @@ def ref_schedule_one_day(demand, supply, intensity, capacity_mw, flexible_ratio)
             amount = min(deficit, movable[src], surplus, headroom)
             if amount <= _MIN_MOVE_MW:
                 continue
-            demand[src] -= amount
-            demand[dst] += amount
+            demand[src] -= amount  # repro-lint: disable=RL003 — reference implementation mutates its own per-day copy; callers pass fresh arrays
+            demand[dst] += amount  # repro-lint: disable=RL003 — reference implementation mutates its own per-day copy; callers pass fresh arrays
             movable[src] -= amount
             moved_total += amount
     return moved_total

@@ -1,0 +1,20 @@
+"""RL011 fixture: every dispatch-reachable stall shape in one class."""
+
+import concurrent.futures
+import time
+
+
+class SweepEngine:
+    def dispatch(self, futures, delay):
+        done, _ = concurrent.futures.wait(futures)
+        for future in done:
+            payload = future.result()
+            self._drain(payload, delay)
+
+    def _drain(self, payload, delay):
+        time.sleep(delay)
+        print(payload)
+
+    def shutdown(self):
+        # Unreachable from dispatch: blocking here is exempt by design.
+        time.sleep(self.linger)

@@ -1,0 +1,18 @@
+"""RL011 fixture: the same loop shapes, each properly bounded."""
+
+import concurrent.futures
+import time
+
+_TICK_S = 0.05
+
+
+class SweepEngine:
+    def dispatch(self, futures, delay):
+        done, _ = concurrent.futures.wait(futures, timeout=_TICK_S)
+        for future in done:
+            payload = future.result(timeout=0)
+            self._drain(payload, delay)
+
+    def _drain(self, payload, delay):
+        time.sleep(min(delay, _TICK_S))
+        self._queue.append(payload)

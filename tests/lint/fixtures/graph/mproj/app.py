@@ -1,0 +1,8 @@
+"""Census fixture emitters: one live use per kind, one undeclared."""
+
+
+def report(metrics, bus):
+    metrics.inc("chunks.completed")
+    metrics.set_gauge("fleet.active_sites", 3)
+    bus.emit("sweep_started", {})
+    metrics.inc("chunks.phantom")

@@ -1,0 +1,17 @@
+"""Census fixture registry: one dead name per namespace, rest live."""
+
+COUNTERS = frozenset(
+    {
+        "chunks.completed",
+        "chunks.orphaned",
+    }
+)
+
+GAUGES = frozenset({"fleet.active_sites"})
+
+EVENTS = frozenset(
+    {
+        "sweep_started",
+        "sweep_vanished",
+    }
+)

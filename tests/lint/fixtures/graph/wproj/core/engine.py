@@ -1,0 +1,11 @@
+"""Worker roots for the graph fixtures: reachability starts here."""
+
+from wproj.core import helpers
+
+
+def _init_worker(ctx):
+    helpers.stamp(ctx)
+
+
+def _evaluate_chunk(chunk):
+    return helpers.fold(chunk)

@@ -1,0 +1,17 @@
+"""Called from the worker roots: nondeterminism here is in scope."""
+
+import random
+import time
+
+
+def stamp(ctx):
+    return time.time()
+
+
+def fold(chunk):
+    random.shuffle(chunk)
+    return sum(chunk)
+
+
+def helper_never_called():
+    return time.time()

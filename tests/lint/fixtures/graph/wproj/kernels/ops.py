@@ -1,0 +1,20 @@
+"""Kernel fixture: caller-arg mutation fires, owned scratch does not."""
+
+import numpy as np
+
+
+def scale(values, factor):
+    values *= factor
+    return values
+
+
+def _fold(scratch, items):
+    scratch[:] = 0.0
+    for item in items:
+        scratch += item
+    return float(scratch.sum())
+
+
+def fold_all(items):
+    scratch = np.zeros(4)
+    return _fold(scratch, items)

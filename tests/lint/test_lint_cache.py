@@ -1,0 +1,133 @@
+"""Incremental-cache behavior: hits, invalidation, ``--changed-only``.
+
+The subject is a four-file scratch package where ``app.py`` imports
+``util.py`` (and carries the only finding) while ``lone.py`` imports
+nothing — so reverse-dependency closures are observable in ``stats``.
+"""
+
+import json
+
+from repro.lint import lint_project, render_json
+from repro.lint.engine import CACHE_VERSION
+
+
+def write_tree(root):
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "util.py").write_text("def half(x):\n    return x / 2\n")
+    (pkg / "app.py").write_text(
+        "from pkg import util\n"
+        "\n"
+        "\n"
+        "def run(x):\n"
+        "    return util.half(x) == 0.5\n"
+    )
+    (pkg / "lone.py").write_text("def seven():\n    return 7\n")
+    return pkg
+
+
+class TestCacheRoundTrip:
+    def test_cold_run_parses_everything(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        report = lint_project([str(pkg)], cache_path=str(cache))
+        assert report.stats == {
+            "files": 4,
+            "cache_hits": 0,
+            "reparsed": 4,
+            "rechecked": 4,
+        }
+        assert [(f.line, f.rule) for f in report.findings] == [(5, "RL005")]
+        assert cache.is_file()
+
+    def test_warm_run_hits_and_reports_identically(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = lint_project([str(pkg)], cache_path=str(cache))
+        warm = lint_project([str(pkg)], cache_path=str(cache))
+        assert warm.stats == {
+            "files": 4,
+            "cache_hits": 4,
+            "reparsed": 0,
+            "rechecked": 0,
+        }
+        # Byte-identical findings: the cache changes cost, never output.
+        assert render_json(warm.findings) == render_json(cold.findings)
+
+    def test_no_cache_path_writes_nothing(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        lint_project([str(pkg)], cache_path=None)
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestInvalidation:
+    def test_one_edit_rechecks_its_reverse_closure_only(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_project([str(pkg)], cache_path=str(cache))
+        (pkg / "util.py").write_text("def half(x):\n    return x * 0.5\n")
+        report = lint_project([str(pkg)], cache_path=str(cache))
+        # util.py reparses; app.py imports it and is recheck-relevant;
+        # lone.py and __init__.py stay out of the closure.
+        assert report.stats == {
+            "files": 4,
+            "cache_hits": 3,
+            "reparsed": 1,
+            "rechecked": 2,
+        }
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        report = lint_project([str(pkg)], cache_path=str(cache))
+        assert report.stats["reparsed"] == 4
+        assert [(f.line, f.rule) for f in report.findings] == [(5, "RL005")]
+
+    def test_stale_cache_version_is_discarded(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_project([str(pkg)], cache_path=str(cache))
+        document = json.loads(cache.read_text())
+        assert document["version"] == CACHE_VERSION
+        document["version"] = CACHE_VERSION + 1
+        cache.write_text(json.dumps(document))
+        report = lint_project([str(pkg)], cache_path=str(cache))
+        assert report.stats["cache_hits"] == 0
+        assert report.stats["reparsed"] == 4
+
+
+class TestChangedOnly:
+    def test_untouched_tree_reports_nothing(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        full = lint_project([str(pkg)], cache_path=str(cache))
+        assert full.findings  # the finding exists...
+        narrowed = lint_project(
+            [str(pkg)], cache_path=str(cache), changed_only=True
+        )
+        assert narrowed.findings == []  # ...but nothing changed
+
+    def test_unrelated_edit_keeps_old_findings_out(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_project([str(pkg)], cache_path=str(cache))
+        (pkg / "lone.py").write_text("def seven():\n    return 8\n")
+        report = lint_project(
+            [str(pkg)], cache_path=str(cache), changed_only=True
+        )
+        # app.py's standing finding is outside lone.py's closure.
+        assert report.findings == []
+        assert report.stats["rechecked"] == 1
+
+    def test_edit_in_the_closure_resurfaces_findings(self, tmp_path):
+        pkg = write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_project([str(pkg)], cache_path=str(cache))
+        (pkg / "util.py").write_text("def half(x):\n    return x * 0.5\n")
+        report = lint_project(
+            [str(pkg)], cache_path=str(cache), changed_only=True
+        )
+        # app.py is in util.py's reverse closure, so its finding shows.
+        assert [(f.line, f.rule) for f in report.findings] == [(5, "RL005")]

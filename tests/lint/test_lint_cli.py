@@ -39,6 +39,79 @@ class TestStandaloneRunner:
         assert lint_main(["--ignore", "RL005", str(fixtures / "bad_floats.py")]) == 0
         capsys.readouterr()
 
+    def test_empty_select_exits_two(self, fixtures, capsys):
+        # ``--select ,`` names zero rules: running "nothing" would make
+        # any tree look clean, so it is a usage error like RL999.
+        assert lint_main(["--select", ",", str(fixtures / "bad_floats.py")]) == 2
+        assert "selection is empty" in capsys.readouterr().err
+
+    def test_ignoring_every_rule_exits_two(self, fixtures, capsys):
+        from repro.lint.rules import ALL_RULES
+
+        everything = ",".join(cls.code for cls in ALL_RULES)
+        code = lint_main(
+            ["--ignore", everything, str(fixtures / "bad_floats.py")]
+        )
+        assert code == 2
+        assert "selection is empty" in capsys.readouterr().err
+
+    def test_sarif_format(self, fixtures, capsys):
+        code = lint_main(
+            [
+                "--format",
+                "sarif",
+                "--select",
+                "RL005",
+                str(fixtures / "bad_floats.py"),
+            ]
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 4
+
+
+class TestCacheFlags:
+    def test_cache_file_is_written_and_reused(self, fixtures, tmp_path, capsys):
+        cache = tmp_path / "lint-cache.json"
+        target = str(fixtures / "bad_floats.py")
+        argv = ["--cache", str(cache), "--format", "json", target]
+        assert lint_main(argv) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert cache.is_file()
+        assert lint_main(argv) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["stats"]["cache_hits"] == 1
+        assert warm["findings"] == cold["findings"]
+
+    def test_no_cache_disables_persistence(self, fixtures, tmp_path, capsys):
+        cache = tmp_path / "lint-cache.json"
+        argv = [
+            "--no-cache",
+            "--cache",
+            str(cache),
+            str(fixtures / "good_floats.py"),
+        ]
+        assert lint_main(argv) == 0
+        capsys.readouterr()
+        assert not cache.exists()
+
+    def test_changed_only_quiets_an_untouched_tree(
+        self, fixtures, tmp_path, capsys
+    ):
+        cache = tmp_path / "lint-cache.json"
+        target = str(fixtures / "bad_floats.py")
+        assert lint_main(["--cache", str(cache), target]) == 1
+        capsys.readouterr()
+        code = lint_main(
+            ["--cache", str(cache), "--changed-only", target]
+        )
+        # The standing finding is outside the (empty) changed set.
+        assert code == 0
+        capsys.readouterr()
+
 
 class TestReproSubcommand:
     def test_repro_lint_routes_and_propagates_exit_code(self, fixtures, capsys):
@@ -57,10 +130,22 @@ class TestReproSubcommand:
 
 
 class TestAcceptance:
-    def test_src_and_benchmarks_are_clean(self, repo_root, capsys):
-        """The merged tree must lint clean — the CI gate in local form."""
+    def test_full_tree_is_clean(self, repo_root, capsys):
+        """The merged tree must lint clean — the CI gate in local form.
+
+        tests/ and examples/ are held to the same bar as src/: every
+        intentional violation in them carries a justified suppression,
+        and the fixture trees are pruned by their ``.repro-lint-ignore``
+        marker.
+        """
         code = lint_main(
-            [str(repo_root / "src"), str(repo_root / "benchmarks")]
+            [
+                "--no-cache",
+                str(repo_root / "src"),
+                str(repo_root / "benchmarks"),
+                str(repo_root / "tests"),
+                str(repo_root / "examples"),
+            ]
         )
         assert code == 0, capsys.readouterr().out
 

@@ -79,7 +79,7 @@ class TestRendering:
     def test_json_document_schema(self, fixtures):
         findings = run_lint([str(fixtures / "bad_metrics.py")], select=["RL004"])
         document = json.loads(render_json(findings))
-        assert set(document) == {"version", "count", "findings"}
+        assert set(document) == {"version", "count", "findings", "stats"}
         assert document["version"] == JSON_FORMAT_VERSION
         assert document["count"] == len(document["findings"]) == 4
         for entry in document["findings"]:

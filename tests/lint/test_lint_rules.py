@@ -1,10 +1,15 @@
 """Per-rule behavior over the checked-in fixture trees.
 
-Each rule gets one bad-fixture test asserting the exact ``(line, rule)``
-pairs it reports and one good-fixture test asserting silence.  The
-fixtures live under directory names (``core/``, ``kernels/``) that
-trigger the same path scoping as the real source tree.
+Each file rule gets one bad-fixture test asserting the exact
+``(line, rule)`` pairs it reports and one good-fixture test asserting
+silence.  Project rules (RL001/RL003/RL009/RL010) are exercised over
+the packaged trees under ``fixtures/graph/`` — ``wproj`` defines worker
+roots and a kernel module, ``mproj`` a metric registry plus emitters,
+``sproj`` an owner-module pair of shm creation shapes — so reachability
+and cross-file census behavior is pinned down with exact locations.
 """
+
+import pathlib
 
 from repro.lint import run_lint
 
@@ -13,9 +18,31 @@ def findings_for(path, rule):
     return [(f.line, f.rule) for f in run_lint([str(path)], select=[rule])]
 
 
+def tree_findings(root, rule):
+    """``(basename, line, rule)`` triples for a whole fixture tree."""
+    return [
+        (pathlib.Path(f.path).name, f.line, f.rule)
+        for f in run_lint([str(root)], select=[rule])
+    ]
+
+
 class TestDeterminismRL001:
-    def test_flags_clock_and_global_rng_calls(self, fixtures):
-        assert findings_for(fixtures / "core" / "bad_determinism.py", "RL001") == [
+    def test_flags_worker_reachable_functions_only(self, fixtures):
+        # wproj.core.engine defines the worker roots; helpers.py is in
+        # their import+call closure, while orphan.py and the
+        # never-called helper carry the same violations and stay clean.
+        assert tree_findings(fixtures / "graph" / "wproj", "RL001") == [
+            ("helpers.py", 8, "RL001"),   # time.time() in stamp()
+            ("helpers.py", 12, "RL001"),  # random.shuffle() in fold()
+        ]
+
+    def test_kernel_modules_are_roots_too(self, fixtures, tmp_path):
+        # Every function in a kernels module is a seed: the same bad
+        # file fires wholesale once it lives under kernels/.
+        copy = tmp_path / "kernels" / "bad_determinism.py"
+        copy.parent.mkdir()
+        copy.write_text((fixtures / "core" / "bad_determinism.py").read_text())
+        assert findings_for(copy, "RL001") == [
             (12, "RL001"),  # time.time()
             (13, "RL001"),  # now() aliased from time.time
             (14, "RL001"),  # datetime.now()
@@ -29,8 +56,8 @@ class TestDeterminismRL001:
     def test_seeded_and_sleep_are_legal(self, fixtures):
         assert findings_for(fixtures / "core" / "good_determinism.py", "RL001") == []
 
-    def test_scoped_to_worker_reachable_directories(self, fixtures, tmp_path):
-        # The same source outside core/kernels/... is out of scope.
+    def test_unreachable_code_is_out_of_scope(self, fixtures, tmp_path):
+        # Linted alone there is no worker universe to reach this file.
         copy = tmp_path / "elsewhere" / "bad_determinism.py"
         copy.parent.mkdir()
         copy.write_text((fixtures / "core" / "bad_determinism.py").read_text())
@@ -66,6 +93,14 @@ class TestKernelPurityRL003:
         copy.parent.mkdir()
         copy.write_text((fixtures / "kernels" / "bad_kernel.py").read_text())
         assert run_lint([str(copy)], select=["RL003"]) == []
+
+    def test_owned_scratch_exemption_is_call_graph_proven(self, fixtures):
+        # _fold mutates its scratch parameter, but its only call site
+        # passes a freshly allocated array, so the ownership fixpoint
+        # exempts it; scale() mutates a caller-owned argument and fires.
+        assert tree_findings(fixtures / "graph" / "wproj", "RL003") == [
+            ("ops.py", 7, "RL003"),  # values *= factor in public scale()
+        ]
 
 
 class TestMetricNamesRL004:
@@ -147,3 +182,51 @@ class TestPoolConfinementRL008:
     def test_source_tree_is_clean(self, repo_root):
         src = repo_root / "src" / "repro"
         assert run_lint([str(src)], select=["RL008"]) == []
+
+
+class TestMetricCensusRL009:
+    def test_dead_declarations_and_undeclared_uses(self, fixtures):
+        assert tree_findings(fixtures / "graph" / "mproj", "RL009") == [
+            ("app.py", 8, "RL009"),            # emitted but never declared
+            ("metric_names.py", 6, "RL009"),   # counter declared, never emitted
+            ("metric_names.py", 15, "RL009"),  # event declared, never emitted
+        ]
+
+    def test_census_inactive_without_the_registry(self, fixtures):
+        # Linting a subtree that lacks obs/metric_names.py must not
+        # report registry names as dead — or uses as undeclared.
+        app = fixtures / "graph" / "mproj" / "app.py"
+        assert run_lint([str(app)], select=["RL009"]) == []
+
+
+class TestShmOwnershipRL010:
+    def test_escape_shapes_are_flagged(self, fixtures):
+        # sproj/core/engine.py in the same tree holds the passing
+        # shapes (with-managed, finally-unlinked, error-guarded
+        # transfer to Holder) — only shm.py's escapes appear.
+        assert tree_findings(fixtures / "graph" / "sproj", "RL010") == [
+            ("shm.py", 9, "RL010"),   # result never bound to a name
+            ("shm.py", 13, "RL010"),  # returned bare
+            ("shm.py", 18, "RL010"),  # no error-path unlink
+            ("shm.py", 24, "RL010"),  # transferred to a non-unlinking class
+        ]
+
+    def test_rl002_cedes_owner_modules_to_rl010(self, fixtures):
+        # The same creations would all trip RL002's file-local shape
+        # check; in owner modules RL010 is the (stricter) authority.
+        assert tree_findings(fixtures / "graph" / "sproj", "RL002") == []
+
+
+class TestDispatchHygieneRL011:
+    def test_flags_dispatch_reachable_stalls(self, fixtures):
+        # shutdown()'s unbounded sleep is exempt: dispatch never
+        # reaches it through self.* calls.
+        assert findings_for(fixtures / "core" / "bad_dispatch.py", "RL011") == [
+            (9, "RL011"),   # wait() without timeout
+            (11, "RL011"),  # .result() without timeout
+            (15, "RL011"),  # unclamped time.sleep(delay)
+            (16, "RL011"),  # print()
+        ]
+
+    def test_bounded_loop_passes(self, fixtures):
+        assert findings_for(fixtures / "core" / "good_dispatch.py", "RL011") == []

@@ -1,5 +1,7 @@
 """Inline ``# repro-lint: disable=...`` directive handling."""
 
+import ast
+
 from repro.lint import parse_directive, run_lint, suppressed_lines
 from repro.lint.suppress import is_suppressed
 
@@ -42,6 +44,52 @@ class TestSuppressedLines:
         assert not is_suppressed(lines, 3, "RL002")
         assert is_suppressed(lines, 7, "RL999")
         assert not is_suppressed(lines, 4, "RL001")
+
+
+class TestStatementSpans:
+    def test_multiline_statement_is_covered_from_any_line(self):
+        source = (
+            "check = (\n"
+            "    reading\n"
+            "    == 0.5\n"
+            ")  # repro-lint: disable=RL005 — one directive, whole span\n"
+        )
+        lines = suppressed_lines(source, ast.parse(source))
+        # The comparison anchors on line 3; the directive sits on line 4
+        # — the statement's full 1..4 span carries the code.
+        for line in (1, 2, 3, 4):
+            assert is_suppressed(lines, line, "RL005"), line
+
+    def test_decorated_def_header_is_covered_but_not_the_body(self):
+        source = (
+            "@decorate(\n"
+            "    level=1,\n"
+            ")  # repro-lint: disable=RL005\n"
+            "def f(x):\n"
+            "    return x == 0.5\n"
+        )
+        lines = suppressed_lines(source, ast.parse(source))
+        for line in (1, 2, 3, 4):
+            assert is_suppressed(lines, line, "RL005"), line
+        # A header directive must not blanket the function body.
+        assert not is_suppressed(lines, 5, "RL005")
+
+    def test_without_a_tree_only_the_physical_line_is_covered(self):
+        source = "check = (\n    reading\n    == 0.5\n)  # repro-lint: disable=RL005\n"
+        lines = suppressed_lines(source)
+        assert not is_suppressed(lines, 3, "RL005")
+        assert is_suppressed(lines, 4, "RL005")
+
+    def test_end_to_end_multiline_violation_is_silenced(self, tmp_path):
+        target = tmp_path / "spanned.py"
+        target.write_text(
+            "reading = 1.0\n"
+            "check = (\n"
+            "    reading\n"
+            "    == 0.5\n"
+            ")  # repro-lint: disable=RL005 — regression: span, not line\n"
+        )
+        assert run_lint([str(target)], select=["RL005"]) == []
 
 
 class TestSuppressionFixture:

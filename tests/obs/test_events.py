@@ -32,12 +32,12 @@ class TestSweepEventsBus:
     def test_unknown_kind_raises_on_validating_bus(self):
         bus = SweepEvents()
         with pytest.raises(UnknownMetricError):
-            bus.emit("chunk_complete")  # typo'd kind
+            bus.emit("chunk_complete")  # typo'd kind  # repro-lint: disable=RL007,RL009 — deliberately unregistered; exercises the runtime registry guard
         assert bus.events() == ()
 
     def test_validation_can_be_disabled(self):
         bus = SweepEvents(validate=False)
-        event = bus.emit("anything_goes", x=1)
+        event = bus.emit("anything_goes", x=1)  # repro-lint: disable=RL007,RL009 — deliberately unregistered; exercises the runtime registry guard
         assert event.kind == "anything_goes"
 
     def test_every_declared_kind_is_emittable(self):

@@ -237,7 +237,7 @@ class TestSweepInterrupted:
                 raise SweepInterrupted("c", 1, 2, "s")
             except Exception:  # noqa: BLE001 — the point of the test
                 pytest.fail("except Exception must not catch SweepInterrupted")
-        except SweepInterrupted as error:
+        except SweepInterrupted as error:  # repro-lint: disable=RL006 — the test asserts the interrupt IS catchable by name
             caught = error
         assert caught is not None
 
